@@ -1,0 +1,173 @@
+//! Shared infrastructure for the distributed algorithms: fiber
+//! communicators, phase metering, and output reassembly for verification.
+
+use pmm_dense::{block_range, Matrix};
+use pmm_model::Grid3;
+use pmm_simnet::{Comm, Meter, Rank};
+
+/// Traffic attributed to one named phase of an algorithm (diff of two
+/// meter snapshots).
+#[derive(Debug, Clone)]
+pub struct PhaseMeter {
+    /// Phase label (e.g. `"all-gather A"`).
+    pub label: &'static str,
+    /// Traffic and flops during the phase.
+    pub meter: Meter,
+}
+
+impl PhaseMeter {
+    /// Measure `f` as a phase on `rank`.
+    pub fn measure<T>(
+        rank: &mut Rank,
+        label: &'static str,
+        f: impl FnOnce(&mut Rank) -> T,
+    ) -> (T, PhaseMeter) {
+        let before = rank.meter();
+        let out = f(rank);
+        let meter = rank.meter().diff(&before);
+        (out, PhaseMeter { label, meter })
+    }
+}
+
+/// Create the three fiber communicators of `grid` for the calling rank:
+/// `comms[axis]` spans the fiber through this rank's coordinate along
+/// `axis`, ordered by that coordinate (so communicator index equals
+/// `coord[axis]`).
+///
+/// Every world rank must call this exactly once, and the world size must
+/// equal the grid size.
+pub fn fiber_comms(rank: &mut Rank, grid: Grid3) -> [Comm; 3] {
+    assert_eq!(
+        rank.world_size(),
+        grid.size(),
+        "world size must equal grid size"
+    );
+    let world = rank.world_comm();
+    let coord = grid.coord_of(rank.world_rank());
+    let make = |rank: &mut Rank, axis: usize| {
+        let color = grid.fiber_color(coord, axis) as i64;
+        let key = coord[axis] as i64;
+        let comm = rank
+            .split(&world, color, key)
+            .expect("non-negative color always yields a communicator");
+        assert_eq!(comm.size(), grid.dims()[axis]);
+        assert_eq!(comm.index(), coord[axis]);
+        comm
+    };
+    [make(rank, 0), make(rank, 1), make(rank, 2)]
+}
+
+/// Reassemble a global matrix from per-coordinate owned blocks.
+///
+/// `block_of(i, j)` must return the `(i, j)` block of the `pr × pc` block
+/// partition of an `rows × cols` matrix (uneven partitions follow
+/// [`block_range`]). Used by tests and experiment harnesses to verify
+/// distributed outputs; reassembly happens *outside* the simulated
+/// machine, so it does not perturb any meter.
+pub fn assemble_from_blocks(
+    rows: usize,
+    cols: usize,
+    pr: usize,
+    pc: usize,
+    mut block_of: impl FnMut(usize, usize) -> Matrix,
+) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..pr {
+        for j in 0..pc {
+            let r = block_range(rows, pr, i);
+            let c = block_range(cols, pc, j);
+            let blk = block_of(i, j);
+            assert_eq!(
+                (blk.rows(), blk.cols()),
+                (r.len(), c.len()),
+                "block ({i},{j}) has wrong shape"
+            );
+            out.set_sub(r.start, c.start, &blk);
+        }
+    }
+    out
+}
+
+/// Flatten the `(i, j)` block of `m` under a `pr × pc` partition into a
+/// row-major vector (the wire/storage format used by the distributed
+/// algorithms).
+pub fn flatten_block(m: &Matrix, pr: usize, pc: usize, i: usize, j: usize) -> Vec<f64> {
+    let r = block_range(m.rows(), pr, i);
+    let c = block_range(m.cols(), pc, j);
+    m.sub(r.start, c.start, r.len(), c.len()).into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_simnet::{MachineParams, World};
+
+    #[test]
+    fn fiber_comms_have_right_shape_and_order() {
+        let grid = Grid3::new(2, 3, 2);
+        let out = World::new(12, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
+            let comms = fiber_comms(rank, grid);
+            let coord = grid.coord_of(rank.world_rank());
+            (0..3)
+                .map(|a| (comms[a].size(), comms[a].index() == coord[a]))
+                .collect::<Vec<_>>()
+        });
+        for v in &out.values {
+            assert_eq!(v[0].0, 2);
+            assert_eq!(v[1].0, 3);
+            assert_eq!(v[2].0, 2);
+            assert!(v.iter().all(|&(_, ok)| ok));
+        }
+    }
+
+    #[test]
+    fn fiber_comm_members_match_grid_fibers() {
+        let grid = Grid3::new(3, 3, 3);
+        let out = World::new(27, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
+            let comms = fiber_comms(rank, grid);
+            let coord = grid.coord_of(rank.world_rank());
+            (0..3)
+                .map(|a| (comms[a].members().to_vec(), grid.fiber(coord, a)))
+                .collect::<Vec<_>>()
+        });
+        for v in &out.values {
+            for (got, want) in v {
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_round_trips_a_partition() {
+        let m = Matrix::from_fn(7, 9, |r, c| (r * 9 + c) as f64);
+        let got = assemble_from_blocks(7, 9, 3, 2, |i, j| {
+            let r = block_range(7, 3, i);
+            let c = block_range(9, 2, j);
+            m.sub(r.start, c.start, r.len(), c.len())
+        });
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn flatten_block_is_row_major() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let v = flatten_block(&m, 2, 2, 1, 0);
+        assert_eq!(v, vec![8.0, 9.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn phase_meter_attributes_traffic() {
+        let out = World::new(2, MachineParams::BANDWIDTH_ONLY).run(|rank| {
+            let wc = rank.world_comm();
+            let partner = 1 - wc.index();
+            let (_, p1) = PhaseMeter::measure(rank, "x", |r| {
+                r.sendrecv(&wc, partner, &[1.0; 5]);
+            });
+            let (_, p2) = PhaseMeter::measure(rank, "y", |r| {
+                r.sendrecv(&wc, partner, &[1.0; 7]);
+            });
+            (p1.meter.words_sent, p2.meter.words_sent)
+        });
+        assert_eq!(out.values[0], (5, 7));
+    }
+}

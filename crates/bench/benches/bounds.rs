@@ -1,0 +1,56 @@
+//! Criterion bench: the bound machinery itself — cheap enough that a
+//! downstream scheduler could call it per-decision (formula evaluation,
+//! exact integer grid search, KKT verification, numeric solver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmm_core::gridopt::best_grid;
+use pmm_core::kkt::{certificate_for, verify_kkt};
+use pmm_core::numeric::solve_numeric;
+use pmm_core::optproblem::OptProblem;
+use pmm_core::theorem3::lower_bound;
+use pmm_model::MatMulDims;
+use std::hint::black_box;
+
+fn bench_bound_eval(c: &mut Criterion) {
+    let dims = MatMulDims::new(9600, 2400, 600);
+    c.bench_function("lower_bound_eval", |b| {
+        b.iter(|| black_box(lower_bound(black_box(dims), black_box(512.0))))
+    });
+}
+
+fn bench_grid_search(c: &mut Criterion) {
+    let dims = MatMulDims::new(9600, 2400, 600);
+    let mut group = c.benchmark_group("best_grid");
+    for p in [64usize, 512, 5040, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(best_grid(black_box(dims), p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kkt(c: &mut Criterion) {
+    let prob = OptProblem::new(9600.0, 2400.0, 600.0, 36.0);
+    let sol = prob.solve();
+    c.bench_function("kkt_verify", |b| {
+        b.iter(|| {
+            let mu = certificate_for(&prob);
+            black_box(verify_kkt(&prob, sol.x, mu, 1e-9))
+        })
+    });
+}
+
+fn bench_numeric_solver(c: &mut Criterion) {
+    let prob = OptProblem::new(9600.0, 2400.0, 600.0, 36.0);
+    let mut group = c.benchmark_group("numeric_solver");
+    group.sample_size(20);
+    for levels in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &l| {
+            b.iter(|| black_box(solve_numeric(&prob, l)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_eval, bench_grid_search, bench_kkt, bench_numeric_solver);
+criterion_main!(benches);

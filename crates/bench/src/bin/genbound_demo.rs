@@ -1,0 +1,111 @@
+//! **E12 — the §6.3 generalization in action**: the paper closes by
+//! noting its optimization-problem technique "can be applied to many
+//! other computations that have iteration spaces with uneven dimensions."
+//! This harness exercises the generalized solver:
+//!
+//! 1. as a sanity anchor, the matmul instance reproduces Lemma 2 across a
+//!    `P` sweep (identical case structure and values);
+//! 2. the symmetric `d`-dimensional contraction family shows how the
+//!    tight constant generalizes: in the unconstrained regime the bound
+//!    is `d·(n^d/P)^{(d−1)/d}` — constant `d`, generalizing the paper's 3;
+//! 3. an uneven 4-array example (an MTTKRP-shaped footprint problem)
+//!    shows the case structure — which access bounds pin — shifting
+//!    with `P`, exactly as Lemma 2's three cases do for matmul.
+//!
+//! ```sh
+//! cargo run --release -p pmm-bench --bin genbound_demo
+//! ```
+
+use pmm_bench::{fnum, print_table, Checks};
+use pmm_core::genbound::GenBoundProblem;
+use pmm_core::optproblem::OptProblem;
+
+fn main() {
+    let mut checks = Checks::new();
+
+    // ---- 1. anchor: matmul == Lemma 2 --------------------------------------
+    println!("anchor: generalized solver vs Lemma 2 on (9600, 2400, 600):\n");
+    let mut rows = Vec::new();
+    for p in [1.0, 3.0, 36.0, 512.0, 65536.0] {
+        let lemma2 = OptProblem::new(9600.0, 2400.0, 600.0, p).solve();
+        let gen = GenBoundProblem::matmul(9600.0, 2400.0, 600.0, p).solve();
+        let agree = (gen.total - lemma2.objective()).abs() < 1e-9 * lemma2.objective();
+        checks.check(format!("P={p}: matches Lemma 2"), agree);
+        rows.push(vec![
+            fnum(p),
+            lemma2.case.to_string(),
+            fnum(lemma2.objective()),
+            fnum(gen.total),
+            format!("{:?}", gen.active),
+        ]);
+    }
+    print_table(&["P", "Lemma 2 case", "Lemma 2 D", "general D", "pinned bounds"], &rows);
+
+    // ---- 2. the d-dimensional family ----------------------------------------
+    println!("\nsymmetric d-dimensional contraction (n = 256): the tight constant is d:\n");
+    let mut rows = Vec::new();
+    for d in [3usize, 4, 5, 6] {
+        let n = 256.0f64;
+        let p = 1e6;
+        let sol = GenBoundProblem::symmetric_tensor(d, n, p).solve();
+        let predicted = d as f64 * (n.powi(d as i32) / p).powf((d as f64 - 1.0) / d as f64);
+        let unconstrained = sol.active.iter().all(|&a| !a);
+        if unconstrained {
+            checks.check(
+                format!("d={d}: D = d·(n^d/P)^((d-1)/d)"),
+                (sol.total - predicted).abs() < 1e-9 * predicted,
+            );
+        }
+        rows.push(vec![
+            d.to_string(),
+            fnum(sol.total),
+            fnum(predicted),
+            if unconstrained { "3D-like (none pinned)".into() } else { format!("{:?}", sol.active) },
+        ]);
+    }
+    print_table(&["d", "general D", "d·(n^d/P)^((d-1)/d)", "regime"], &rows);
+
+    // ---- 3. an uneven 4-array instance --------------------------------------
+    // MTTKRP-shaped: order-3 tensor (I×J×K) with factor matrices (I×R),
+    // (J×R), (K×R); footprint exponents chosen so the product inequality
+    // covers the I×J×K×R iteration space (tensor gets weight 1 on its
+    // 3 indices, each factor 1/3-ish on the shared R): illustrative of how
+    // the pinning pattern migrates as P grows.
+    println!("\nuneven 4-array instance (tensor 512x256x64, rank R = 32):\n");
+    let (i, j, k, r) = (512.0f64, 256.0, 64.0, 32.0);
+    let work_total = i * j * k * r;
+    let mut rows = Vec::new();
+    let mut prev_pinned = usize::MAX;
+    for p in [1.0, 8.0, 64.0, 512.0, 4096.0, 65536.0] {
+        let prob = GenBoundProblem::new(
+            // s chosen to satisfy a HBL-type covering of (i,j,k,r):
+            // tensor (i,j,k) exponent 2/3 over its three indices plus each
+            // factor matrix at 1/3 of (index, r) jointly covers every
+            // coordinate with total weight ≥ 1.
+            vec![2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0],
+            work_total / p,
+            vec![i * j * k / p, i * r / p, j * r / p, k * r / p],
+        );
+        let sol = prob.solve();
+        let pinned = sol.active.iter().filter(|&&a| a).count();
+        checks.check(format!("P={p}: solution feasible"), prob.feasible(&sol.x, 1e-9));
+        checks.check(
+            format!("P={p}: pinned set shrinks with P"),
+            pinned <= prev_pinned,
+        );
+        prev_pinned = pinned;
+        rows.push(vec![
+            fnum(p),
+            fnum(sol.total),
+            format!("{:?}", sol.active),
+            pinned.to_string(),
+        ]);
+    }
+    print_table(&["P", "access bound D", "pinned (tensor, A, B, C)", "#pinned"], &rows);
+    println!("\nreading: at small P the large-array access floors bind (the 1D/2D");
+    println!("analogues); as P grows they release one by one until the pure");
+    println!("product regime (the 3D analogue) — the same mechanism as Lemma 2,");
+    println!("now with four arrays. This is the §6.3 program made executable.");
+
+    checks.finish();
+}

@@ -1,0 +1,312 @@
+//! Hand-rolled argument parsing for the `pmm` binary.
+//!
+//! Kept dependency-free and pure (`Vec<String> → Command`) so the whole
+//! surface is unit-testable.
+
+use std::fmt;
+
+use pmm_model::MatMulDims;
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `pmm bound --dims AxBxC --procs P [--memory M]`
+    Bound { dims: MatMulDims, procs: f64, memory: Option<f64> },
+    /// `pmm grid --dims AxBxC --procs P`
+    Grid { dims: MatMulDims, procs: usize },
+    /// `pmm advise --dims AxBxC --procs P [--memory M] [--alpha A --beta B --gamma G]`
+    Advise {
+        dims: MatMulDims,
+        procs: usize,
+        memory: Option<f64>,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+    },
+    /// `pmm simulate --dims AxBxC --procs P [--grid AxBxC] [--seed S]`
+    Simulate { dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: u64 },
+    /// `pmm sweep --dims AxBxC --procs P1,P2,…`
+    Sweep { dims: MatMulDims, procs: Vec<f64> },
+    /// `pmm help` / `-h` / `--help`
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parse `AxBxC` into a dimension triple.
+pub fn parse_dims(s: &str) -> Result<MatMulDims, ParseError> {
+    let parts: Vec<&str> = s.split(['x', 'X']).collect();
+    if parts.len() != 3 {
+        return Err(err(format!("--dims expects N1xN2xN3, got '{s}'")));
+    }
+    let mut v = [0u64; 3];
+    for (i, p) in parts.iter().enumerate() {
+        v[i] = p
+            .parse::<u64>()
+            .map_err(|_| err(format!("dimension '{p}' is not a positive integer")))?;
+        if v[i] == 0 {
+            return Err(err("dimensions must be >= 1"));
+        }
+    }
+    Ok(MatMulDims::new(v[0], v[1], v[2]))
+}
+
+/// Parse `AxBxC` into a grid triple.
+pub fn parse_grid(s: &str) -> Result<[usize; 3], ParseError> {
+    let d = parse_dims(s)?;
+    Ok([d.n1 as usize, d.n2 as usize, d.n3 as usize])
+}
+
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Flags<'a>, ParseError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(err(format!("expected a --flag, got '{flag}'")));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+            pairs.push((&flag[2..], value.as_str()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(f, _)| *f == name).map(|(_, v)| *v)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, ParseError> {
+        self.get(name).ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), ParseError> {
+        for (f, _) in &self.pairs {
+            if !known.contains(f) {
+                return Err(err(format!("unknown flag --{f}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(flags: &Flags, name: &str, default: Option<f64>) -> Result<Option<f64>, ParseError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| err(format!("--{name} expects a number, got '{v}'"))),
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        "bound" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["dims", "procs", "memory"])?;
+            Ok(Command::Bound {
+                dims: parse_dims(flags.require("dims")?)?,
+                procs: parse_f64(&flags, "procs", None)?
+                    .ok_or_else(|| err("missing required flag --procs"))?,
+                memory: parse_f64(&flags, "memory", None)?,
+            })
+        }
+        "grid" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["dims", "procs"])?;
+            let procs = flags
+                .require("procs")?
+                .parse::<usize>()
+                .map_err(|_| err("--procs expects a positive integer"))?;
+            Ok(Command::Grid { dims: parse_dims(flags.require("dims")?)?, procs })
+        }
+        "advise" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["dims", "procs", "memory", "alpha", "beta", "gamma"])?;
+            let procs = flags
+                .require("procs")?
+                .parse::<usize>()
+                .map_err(|_| err("--procs expects a positive integer"))?;
+            Ok(Command::Advise {
+                dims: parse_dims(flags.require("dims")?)?,
+                procs,
+                memory: parse_f64(&flags, "memory", None)?,
+                alpha: parse_f64(&flags, "alpha", Some(1e4))?.unwrap(),
+                beta: parse_f64(&flags, "beta", Some(10.0))?.unwrap(),
+                gamma: parse_f64(&flags, "gamma", Some(1.0))?.unwrap(),
+            })
+        }
+        "simulate" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["dims", "procs", "grid", "seed"])?;
+            let procs = flags
+                .require("procs")?
+                .parse::<usize>()
+                .map_err(|_| err("--procs expects a positive integer"))?;
+            let grid = flags.get("grid").map(parse_grid).transpose()?;
+            let seed = match flags.get("seed") {
+                None => 42,
+                Some(v) => {
+                    v.parse::<u64>().map_err(|_| err("--seed expects an integer"))?
+                }
+            };
+            Ok(Command::Simulate { dims: parse_dims(flags.require("dims")?)?, procs, grid, seed })
+        }
+        "sweep" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["dims", "procs"])?;
+            let procs: Vec<f64> = flags
+                .require("procs")?
+                .split(',')
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| err(format!("bad processor count '{s}' in --procs list")))
+                })
+                .collect::<Result<_, _>>()?;
+            if procs.is_empty() {
+                return Err(err("--procs list is empty"));
+            }
+            Ok(Command::Sweep { dims: parse_dims(flags.require("dims")?)?, procs })
+        }
+        other => Err(err(format!("unknown command '{other}' (try 'pmm help')"))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+pmm — tight memory-independent parallel matmul communication bounds (SPAA 2022)
+
+USAGE:
+  pmm bound    --dims N1xN2xN3 --procs P [--memory M]
+      Evaluate the Theorem 3 lower bound (and, with --memory, the §6.2
+      memory-dependent comparison).
+  pmm grid     --dims N1xN2xN3 --procs P
+      The optimal processor grid (§5.2), exact integer search.
+  pmm advise   --dims N1xN2xN3 --procs P [--memory M]
+               [--alpha A] [--beta B] [--gamma G]
+      Rank execution strategies by predicted time on an α-β-γ machine.
+  pmm simulate --dims N1xN2xN3 --procs P [--grid AxBxC] [--seed S]
+      Run Algorithm 1 on the simulated machine, verify the product, and
+      report measured communication vs the bound.
+  pmm sweep    --dims N1xN2xN3 --procs P1,P2,...
+      Bound/case/grid table over a list of processor counts.
+  pmm help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_bound() {
+        let c = parse_args(&argv("bound --dims 9600x2400x600 --procs 512")).unwrap();
+        assert_eq!(
+            c,
+            Command::Bound { dims: MatMulDims::new(9600, 2400, 600), procs: 512.0, memory: None }
+        );
+    }
+
+    #[test]
+    fn parses_bound_with_memory() {
+        let c = parse_args(&argv("bound --dims 10x10x10 --procs 4 --memory 9000")).unwrap();
+        match c {
+            Command::Bound { memory: Some(m), .. } => assert_eq!(m, 9000.0),
+            _ => panic!("wrong parse: {c:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_grid_and_simulate() {
+        assert_eq!(
+            parse_args(&argv("grid --dims 96x24x6 --procs 36")).unwrap(),
+            Command::Grid { dims: MatMulDims::new(96, 24, 6), procs: 36 }
+        );
+        assert_eq!(
+            parse_args(&argv("simulate --dims 96x24x6 --procs 4 --grid 4x1x1 --seed 7")).unwrap(),
+            Command::Simulate {
+                dims: MatMulDims::new(96, 24, 6),
+                procs: 4,
+                grid: Some([4, 1, 1]),
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parses_advise_with_defaults() {
+        let c = parse_args(&argv("advise --dims 100x100x100 --procs 8")).unwrap();
+        match c {
+            Command::Advise { alpha, beta, gamma, memory, .. } => {
+                assert_eq!((alpha, beta, gamma), (1e4, 10.0, 1.0));
+                assert_eq!(memory, None);
+            }
+            _ => panic!("wrong parse"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_lists() {
+        let c = parse_args(&argv("sweep --dims 10x10x10 --procs 1,4,16")).unwrap();
+        assert_eq!(
+            c,
+            Command::Sweep { dims: MatMulDims::new(10, 10, 10), procs: vec![1.0, 4.0, 16.0] }
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&argv("bound --dims 10x10 --procs 4")).is_err());
+        assert!(parse_args(&argv("bound --dims 10x10x0 --procs 4")).is_err());
+        assert!(parse_args(&argv("bound --procs 4")).is_err());
+        assert!(parse_args(&argv("bound --dims 10x10x10")).is_err());
+        assert!(parse_args(&argv("bound --dims 10x10x10 --procs four")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("bound --dims 10x10x10 --procs 4 --bogus 1")).is_err());
+        assert!(parse_args(&argv("grid --dims 10x10x10 --procs 4.5")).is_err());
+        assert!(parse_args(&argv("sweep --dims 10x10x10 --procs 1,x")).is_err());
+    }
+
+    #[test]
+    fn flag_without_value_is_an_error() {
+        assert!(parse_args(&argv("bound --dims")).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Implementations of the CLI commands. Each returns its output as a
+//! `String` (printed by `main`), so commands are unit-testable.
+
+use std::fmt::Write as _;
+
+use pmm_algs::{alg1, assemble_c, Alg1Config};
+use pmm_core::advisor::{recommend, Strategy};
+use pmm_core::gridopt::{alg1_cost_words, best_grid, continuous_grid};
+use pmm_core::memlimit::{limited_memory_report, min_memory_words, Dominant};
+use pmm_core::theorem3::lower_bound;
+use pmm_dense::{gemm, random_int_matrix, Kernel};
+use pmm_model::{Grid3, MachineParams, MatMulDims};
+use pmm_simnet::World;
+
+/// `pmm bound`.
+pub fn bound(dims: MatMulDims, procs: f64, memory: Option<f64>) -> String {
+    let r = lower_bound(dims, procs);
+    let s = dims.sorted();
+    let mut out = String::new();
+    let _ = writeln!(out, "problem      : {dims} on P = {procs}");
+    let _ = writeln!(
+        out,
+        "sorted dims  : m = {}, n = {}, k = {} (thresholds m/n = {}, mn/k² = {})",
+        s.m,
+        s.n,
+        s.k,
+        s.threshold_1d_2d(),
+        s.threshold_2d_3d()
+    );
+    let _ = writeln!(out, "case         : {}", r.case);
+    let _ = writeln!(
+        out,
+        "bound        : {:.3} words/processor  (= {} × {:.3} − {:.3})",
+        r.bound, r.constant, r.leading_term, r.offset
+    );
+    if let Some(m) = memory {
+        if min_memory_words(dims, procs) > m {
+            let _ = writeln!(
+                out,
+                "memory       : INFEASIBLE — M = {m} < (mn+mk+nk)/P = {:.0}",
+                min_memory_words(dims, procs)
+            );
+        } else {
+            let rep = limited_memory_report(dims, procs, m);
+            let _ = writeln!(out, "mem-dependent: {:.3} (2mnk/(P·sqrt(M)))", rep.dependent);
+            let _ = writeln!(
+                out,
+                "binding bound: {}",
+                match rep.dominant {
+                    Dominant::MemoryIndependent => "memory-independent (Theorem 3)",
+                    Dominant::MemoryDependent => "memory-dependent 2mnk/(P·sqrt(M)) (§6.2)",
+                }
+            );
+        }
+    }
+    out
+}
+
+/// `pmm grid`.
+pub fn grid(dims: MatMulDims, procs: usize) -> String {
+    let choice = best_grid(dims, procs);
+    let cont = continuous_grid(dims.sorted(), procs as f64);
+    let bound = lower_bound(dims, procs as f64).bound;
+    let mut out = String::new();
+    let _ = writeln!(out, "problem          : {dims} on P = {procs}");
+    let _ = writeln!(out, "optimal grid     : {} (iteration-space order p1xp2xp3)", choice.grid3());
+    let _ = writeln!(
+        out,
+        "continuous optimum (sorted m,n,k order): {:.2} x {:.2} x {:.2}",
+        cont[0], cont[1], cont[2]
+    );
+    let _ = writeln!(out, "predicted cost   : {:.3} words/processor (eq. 3)", choice.cost_words);
+    let _ = writeln!(out, "lower bound      : {bound:.3}");
+    let _ = writeln!(
+        out,
+        "gap              : {:.2}% {}",
+        100.0 * (choice.cost_words / bound.max(1e-300) - 1.0),
+        if (choice.cost_words - bound).abs() <= 1e-9 * bound.max(1.0) {
+            "(attains the bound exactly)"
+        } else {
+            "(continuous grid not integral at this P)"
+        }
+    );
+    let _ = writeln!(out, "divides dims     : {}", dims.divisible_by(choice.grid));
+    out
+}
+
+/// `pmm advise`.
+pub fn advise(
+    dims: MatMulDims,
+    procs: usize,
+    memory: Option<f64>,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> String {
+    let params = MachineParams::new(alpha, beta, gamma);
+    let m = memory.unwrap_or(f64::INFINITY);
+    let recs = recommend(dims, procs, m, params);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "problem: {dims}, P = {procs}, M = {}, (α, β, γ) = ({alpha}, {beta}, {gamma})",
+        memory.map(|m| m.to_string()).unwrap_or_else(|| "∞".into())
+    );
+    if recs.is_empty() {
+        let _ = writeln!(out, "no strategy fits in memory (need ≥ (mn+mk+nk)/P words)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<4} {:<28} {:>14} {:>12} {:>8} {:>12}",
+        "#", "strategy", "pred. time", "words", "msgs", "mem (words)"
+    );
+    for (i, r) in recs.iter().take(6).enumerate() {
+        let name = match &r.strategy {
+            Strategy::Alg1 { grid } => format!("Alg1 {}x{}x{}", grid[0], grid[1], grid[2]),
+            Strategy::TwoFiveD { q, c } => format!("2.5D {q}x{q} c={c}"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<4} {:<28} {:>14.1} {:>12.0} {:>8.0} {:>12.0}",
+            i, name, r.time, r.cost.words, r.cost.messages, r.memory_words
+        );
+    }
+    out
+}
+
+/// `pmm simulate`.
+pub fn simulate(dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: u64) -> String {
+    let grid = grid.unwrap_or_else(|| best_grid(dims, procs).grid);
+    let g = Grid3::from_dims(grid);
+    assert_eq!(
+        g.size(),
+        procs,
+        "grid {} has {} processors but --procs is {procs}",
+        g,
+        g.size()
+    );
+    let cfg = Alg1Config::new(dims, g);
+    let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
+    let out = World::new(procs, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
+        let a = random_int_matrix(n1, n2, -3..4, seed);
+        let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+        alg1(rank, &cfg, &a, &b)
+    });
+    let a = random_int_matrix(n1, n2, -3..4, seed);
+    let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+    let want = gemm(&a, &b, Kernel::Tiled);
+    let chunks: Vec<_> = out.values.iter().map(|v| v.c_chunk.clone()).collect();
+    let correct = assemble_c(dims, g, &chunks) == want;
+
+    let measured = out.critical_path_time();
+    let predicted = alg1_cost_words(dims, grid);
+    let bound = lower_bound(dims, procs as f64).bound;
+    let mut s = String::new();
+    let _ = writeln!(s, "simulated {dims} on grid {g} ({procs} ranks, seed {seed})");
+    let _ = writeln!(s, "product      : {}", if correct { "correct ✓" } else { "WRONG ✗" });
+    let _ = writeln!(s, "measured     : {measured:.3} words/processor (critical path)");
+    let _ = writeln!(s, "eq.(3) model : {predicted:.3}");
+    let _ = writeln!(s, "lower bound  : {bound:.3}");
+    let _ = writeln!(s, "peak memory  : {} words/rank (max)", out.max_peak_mem_words());
+    s
+}
+
+/// `pmm sweep`.
+pub fn sweep(dims: MatMulDims, procs: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>5} {:>12} {:>16} {:>12} {:>8}",
+        "P", "case", "grid", "bound (words)", "leading", "const"
+    );
+    for &p in procs {
+        let r = lower_bound(dims, p);
+        let g = if p.fract() == 0.0 && (1.0..1e7).contains(&p) {
+            best_grid(dims, p as usize).grid3().to_string()
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {:>5} {:>12} {:>16.1} {:>12.1} {:>8}",
+            p,
+            r.case.to_string(),
+            g,
+            r.bound,
+            r.leading_term,
+            r.constant
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: MatMulDims = MatMulDims { n1: 9600, n2: 2400, n3: 600 };
+
+    #[test]
+    fn bound_reports_case_and_value() {
+        let s = bound(PAPER, 512.0, None);
+        assert!(s.contains("case         : 3D"));
+        assert!(s.contains("210937.500"), "output was: {s}");
+    }
+
+    #[test]
+    fn bound_with_memory_reports_binding() {
+        let s = bound(PAPER, 4096.0, Some(9000.0));
+        assert!(s.contains("memory-dependent"), "output was: {s}");
+        let s = bound(PAPER, 65536.0, Some(9000.0));
+        assert!(s.contains("memory-independent"), "output was: {s}");
+        let s = bound(PAPER, 64.0, Some(9000.0));
+        assert!(s.contains("INFEASIBLE"), "output was: {s}");
+    }
+
+    #[test]
+    fn grid_reports_fig2_grids() {
+        assert!(grid(PAPER, 36).contains("12x3x1"));
+        assert!(grid(PAPER, 512).contains("32x8x2"));
+        assert!(grid(PAPER, 512).contains("attains the bound exactly"));
+    }
+
+    #[test]
+    fn advise_ranks_strategies() {
+        let s = advise(MatMulDims::square(512), 64, None, 0.0, 1.0, 0.0);
+        let first = s.lines().nth(2).expect("at least one recommendation");
+        assert!(first.contains("Alg1 4x4x4"), "winner line: {first}");
+    }
+
+    #[test]
+    fn simulate_verifies_and_measures() {
+        let s = simulate(MatMulDims::new(48, 24, 12), 8, Some([2, 2, 2]), 3);
+        assert!(s.contains("correct ✓"), "output was: {s}");
+        assert!(s.contains("measured"));
+    }
+
+    #[test]
+    fn simulate_defaults_to_best_grid() {
+        let s = simulate(MatMulDims::new(96, 24, 6), 3, None, 1);
+        assert!(s.contains("3x1x1"), "output was: {s}");
+    }
+
+    #[test]
+    fn sweep_covers_all_cases() {
+        let s = sweep(PAPER, &[2.0, 36.0, 512.0]);
+        assert!(s.contains("1D") && s.contains("2D") && s.contains("3D"), "{s}");
+    }
+}

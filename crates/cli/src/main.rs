@@ -1,0 +1,27 @@
+//! The `pmm` binary: see [`pmm_cli::args::HELP`].
+
+use pmm_cli::args::{parse_args, Command, HELP};
+use pmm_cli::commands;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::Help) => print!("{HELP}"),
+        Ok(Command::Bound { dims, procs, memory }) => {
+            print!("{}", commands::bound(dims, procs, memory));
+        }
+        Ok(Command::Grid { dims, procs }) => print!("{}", commands::grid(dims, procs)),
+        Ok(Command::Advise { dims, procs, memory, alpha, beta, gamma }) => {
+            print!("{}", commands::advise(dims, procs, memory, alpha, beta, gamma));
+        }
+        Ok(Command::Simulate { dims, procs, grid, seed }) => {
+            print!("{}", commands::simulate(dims, procs, grid, seed));
+        }
+        Ok(Command::Sweep { dims, procs }) => print!("{}", commands::sweep(dims, &procs)),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    }
+}

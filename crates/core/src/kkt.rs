@@ -1,0 +1,176 @@
+//! KKT machinery (Defs. 2–4, Lemmas 5–6 of the paper).
+//!
+//! The paper proves Lemma 2 by exhibiting, for each case, dual variables
+//! `μ*` such that `(x*, μ*)` satisfies the Karush–Kuhn–Tucker conditions;
+//! Lemma 6 (convex objective + quasiconvex constraints, Lemma 5) makes
+//! those conditions *sufficient* for global optimality.
+//!
+//! This module reproduces the certificates from the paper's three case
+//! proofs ([`certificate_for`]) and provides a numeric verifier
+//! ([`verify_kkt`]) that checks all four KKT conditions for any candidate
+//! pair — the executable analogue of the paper's "direct verification".
+
+use crate::optproblem::OptProblem;
+
+/// Outcome of checking the KKT conditions for a candidate `(x, μ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KktReport {
+    /// `g(x) ≤ 0` (up to tolerance).
+    pub primal_feasible: bool,
+    /// `μ ≥ 0` (up to tolerance).
+    pub dual_feasible: bool,
+    /// `‖∇f(x) + μ·J_g(x)‖_∞`, normalized by the gradient scale.
+    pub stationarity_residual: f64,
+    /// `max_i |μ_i · g_i(x)|`, normalized.
+    pub complementary_slackness_residual: f64,
+}
+
+impl KktReport {
+    /// All four conditions hold within `tol`.
+    pub fn holds(&self, tol: f64) -> bool {
+        self.primal_feasible
+            && self.dual_feasible
+            && self.stationarity_residual <= tol
+            && self.complementary_slackness_residual <= tol
+    }
+}
+
+/// The gradient of the objective is `(1, 1, 1)`; the Jacobian of `g` is
+/// `[[-x2x3, -x1x3, -x1x2], [-1,0,0], [0,-1,0], [0,0,-1]]`.
+fn stationarity_residual(x: [f64; 3], mu: [f64; 4]) -> f64 {
+    let grad_g0 = [-x[1] * x[2], -x[0] * x[2], -x[0] * x[1]];
+    let mut worst: f64 = 0.0;
+    for i in 0..3 {
+        // ∇f_i + μ0·∇g0_i + μ_{i+1}·(-1)
+        let r = 1.0 + mu[0] * grad_g0[i] - mu[i + 1];
+        // normalize by the largest term magnitude so huge dimensions don't
+        // inflate the residual
+        let scale = 1.0f64.max((mu[0] * grad_g0[i]).abs()).max(mu[i + 1].abs());
+        worst = worst.max(r.abs() / scale);
+    }
+    worst
+}
+
+/// Numerically verify the KKT conditions of Def. 4 for `(x, μ)` on
+/// `problem`, with relative tolerance `tol`.
+pub fn verify_kkt(problem: &OptProblem, x: [f64; 3], mu: [f64; 4], tol: f64) -> KktReport {
+    let g = problem.constraints(x);
+    let scale0 = problem.product_bound().max(1.0);
+    let b = problem.lower_bounds();
+    let primal_feasible = g[0] <= tol * scale0
+        && (0..3).all(|i| g[i + 1] <= tol * b[i].max(1.0));
+    let dual_feasible = mu.iter().all(|&m| m >= -tol);
+    let comp = {
+        let mut worst: f64 = 0.0;
+        // normalize each product by the scale of its constraint
+        worst = worst.max((mu[0] * g[0]).abs() / (scale0 * mu[0].max(1.0)));
+        for i in 0..3 {
+            worst = worst.max((mu[i + 1] * g[i + 1]).abs() / (b[i].max(1.0) * mu[i + 1].max(1.0)));
+        }
+        worst
+    };
+    KktReport {
+        primal_feasible,
+        dual_feasible,
+        stationarity_residual: stationarity_residual(x, mu),
+        complementary_slackness_residual: comp,
+    }
+}
+
+/// The paper's dual certificate `μ*` for the instance's case:
+///
+/// * 1D: `μ* = (P²/(m²nk), 0, 1 − Pn/m, 1 − Pk/m)`
+/// * 2D: `μ* = ((P/(mnk^{2/3}))^{3/2}, 0, 0, 1 − (Pk²/(mn))^{1/2})`
+/// * 3D: `μ* = ((P/(mnk))^{4/3}, 0, 0, 0)`
+pub fn certificate_for(problem: &OptProblem) -> [f64; 4] {
+    let (m, n, k, p) = (problem.m, problem.n, problem.k, problem.p);
+    match problem.case() {
+        pmm_model::Case::OneD => {
+            [p * p / (m * m * n * k), 0.0, 1.0 - p * n / m, 1.0 - p * k / m]
+        }
+        pmm_model::Case::TwoD => {
+            let mu1 = (p / (m * n * k.powf(2.0 / 3.0))).powf(1.5);
+            [mu1, 0.0, 0.0, 1.0 - (p * k * k / (m * n)).sqrt()]
+        }
+        pmm_model::Case::ThreeD => [(p / (m * n * k)).powf(4.0 / 3.0), 0.0, 0.0, 0.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_instance(p: f64) -> OptProblem {
+        OptProblem::new(9600.0, 2400.0, 600.0, p)
+    }
+
+    #[test]
+    fn certificates_verify_in_all_three_cases() {
+        for p in [1.0, 2.0, 3.0, 4.0, 10.0, 36.0, 64.0, 200.0, 512.0, 1e5] {
+            let prob = paper_instance(p);
+            let sol = prob.solve();
+            let mu = certificate_for(&prob);
+            let report = verify_kkt(&prob, sol.x, mu, 1e-9);
+            assert!(report.holds(1e-9), "P={p}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn certificates_verify_for_many_shapes() {
+        for (m, n, k) in [
+            (1000.0, 1000.0, 1000.0),
+            (4096.0, 64.0, 64.0),
+            (10000.0, 5000.0, 10.0),
+            (7.0, 5.0, 3.0),
+            (1e7, 1e3, 1.0),
+        ] {
+            for p in [1.0, 2.0, 7.0, 32.0, 1000.0, 1e6] {
+                let prob = OptProblem::new(m, n, k, p);
+                let sol = prob.solve();
+                let mu = certificate_for(&prob);
+                let report = verify_kkt(&prob, sol.x, mu, 1e-8);
+                assert!(report.holds(1e-8), "({m},{n},{k}) P={p}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_point_fails_stationarity() {
+        let prob = paper_instance(512.0);
+        let sol = prob.solve();
+        let mu = certificate_for(&prob);
+        let bad = [sol.x[0] * 2.0, sol.x[1], sol.x[2]];
+        let report = verify_kkt(&prob, bad, mu, 1e-9);
+        assert!(!report.holds(1e-9));
+        assert!(report.stationarity_residual > 1e-3);
+    }
+
+    #[test]
+    fn infeasible_point_is_flagged() {
+        let prob = paper_instance(36.0);
+        let mu = certificate_for(&prob);
+        let report = verify_kkt(&prob, [1.0, 1.0, 1.0], mu, 1e-9);
+        assert!(!report.primal_feasible);
+    }
+
+    #[test]
+    fn negative_duals_are_flagged() {
+        let prob = paper_instance(36.0);
+        let sol = prob.solve();
+        let report = verify_kkt(&prob, sol.x, [0.0, 0.0, 0.0, -1.0], 1e-9);
+        assert!(!report.dual_feasible);
+    }
+
+    #[test]
+    fn duals_respect_case_structure() {
+        // Case 1: constraints 1, 3, 4 tight, μ2 = 0.
+        let mu = certificate_for(&paper_instance(3.0));
+        assert!(mu[0] > 0.0 && mu[1] == 0.0 && mu[2] > 0.0 && mu[3] > 0.0);
+        // Case 2: constraints 1 and 4 tight.
+        let mu = certificate_for(&paper_instance(36.0));
+        assert!(mu[0] > 0.0 && mu[1] == 0.0 && mu[2] == 0.0 && mu[3] > 0.0);
+        // Case 3: only the product constraint is tight.
+        let mu = certificate_for(&paper_instance(512.0));
+        assert!(mu[0] > 0.0 && mu[1..] == [0.0, 0.0, 0.0]);
+    }
+}

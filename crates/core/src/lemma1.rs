@@ -1,0 +1,125 @@
+//! Lemma 1 (§4.1) — lower bounds on individual array access.
+//!
+//! Any processor performing at least `1/P`-th of the `n1·n2·n3` scalar
+//! multiplications must access at least `n1n2/P` elements of `A`,
+//! `n2n3/P` elements of `B`, and contribute to at least `n1n3/P` elements
+//! of `C`: each element of `A` is involved in only `n3` multiplications
+//! (resp. `n1` for `B`, `n2` summands per `C` entry), so touching fewer
+//! elements cannot produce enough multiplications.
+//!
+//! These per-array bounds are what separate the three cases of Theorem 3:
+//! they become active exactly when the aspect ratios are large relative to
+//! `P`.
+
+use pmm_model::{MatMulDims, MatrixId};
+
+use crate::loomis::LatticeSet;
+
+/// The Lemma 1 lower bound on the number of elements of `matrix` accessed
+/// by a processor performing at least `1/P`-th of the multiplications.
+pub fn access_lower_bound(dims: MatMulDims, p: f64, matrix: MatrixId) -> f64 {
+    assert!(p >= 1.0, "P must be >= 1");
+    dims.words_of(matrix) / p
+}
+
+/// All three access bounds, `[A, B, C]`-ordered.
+pub fn access_lower_bounds(dims: MatMulDims, p: f64) -> [f64; 3] {
+    [
+        access_lower_bound(dims, p, MatrixId::A),
+        access_lower_bound(dims, p, MatrixId::B),
+        access_lower_bound(dims, p, MatrixId::C),
+    ]
+}
+
+/// Check Lemma 1's conclusion on an explicit work set: if `work` contains
+/// at least `dims.mults()/p` multiplications of the `dims` iteration
+/// space, its three matrix footprints meet the access bounds.
+///
+/// Returns `None` if the premise does not hold (the work set is too
+/// small), otherwise `Some(true/false)` — which Lemma 1 proves is always
+/// `Some(true)`; the tests exercise this over random work assignments.
+pub fn check_on_work_set(dims: MatMulDims, p: f64, work: &LatticeSet) -> Option<bool> {
+    if (work.len() as f64) < dims.mults() / p {
+        return None;
+    }
+    let f = work.footprints();
+    let b = access_lower_bounds(dims, p);
+    Some(f[0] as f64 >= b[0] && f[1] as f64 >= b[1] && f[2] as f64 >= b[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_are_matrix_sizes_over_p() {
+        let dims = MatMulDims::new(8, 6, 4);
+        assert_eq!(access_lower_bounds(dims, 2.0), [24.0, 12.0, 16.0]);
+        assert_eq!(access_lower_bound(dims, 1.0, MatrixId::A), 48.0);
+    }
+
+    #[test]
+    fn full_cuboid_exactly_meets_bounds_at_p1() {
+        let dims = MatMulDims::new(5, 4, 3);
+        let v = LatticeSet::cuboid(5, 4, 3);
+        assert_eq!(check_on_work_set(dims, 1.0, &v), Some(true));
+        // At P = 1 the footprints equal the bounds exactly.
+        let f = v.footprints();
+        let b = access_lower_bounds(dims, 1.0);
+        assert_eq!([f[0] as f64, f[1] as f64, f[2] as f64], b);
+    }
+
+    #[test]
+    fn undersized_work_sets_are_rejected() {
+        let dims = MatMulDims::new(4, 4, 4);
+        let v = LatticeSet::brick((0, 1), (0, 1), (0, 1));
+        assert_eq!(check_on_work_set(dims, 2.0, &v), None);
+    }
+
+    #[test]
+    fn random_equal_shares_always_satisfy_lemma1() {
+        // Partition the cuboid into P random equal shares; every share
+        // holding ≥ 1/P of the multiplications must satisfy the bounds.
+        let dims = MatMulDims::new(6, 5, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut all: Vec<[u32; 3]> = LatticeSet::cuboid(6, 5, 4).iter().copied().collect();
+        all.sort_unstable(); // determinism before shuffling
+        for p in [2usize, 3, 4, 5] {
+            for trial in 0..10 {
+                all.shuffle(&mut rng);
+                let share = all.len() / p;
+                for c in 0..p {
+                    let chunk: Vec<[u32; 3]> =
+                        all[c * share..(c + 1) * share].to_vec();
+                    let v = LatticeSet::from_points(chunk);
+                    if let Some(ok) = check_on_work_set(dims, p as f64, &v) {
+                        assert!(ok, "p={p} trial={trial} chunk={c} violates Lemma 1");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brick_partitions_satisfy_lemma1_tightly() {
+        // The 2×2×2 grid partition of an 8×8×8 cuboid: every brick meets
+        // the A and B bounds with slack and C exactly? — footprints are
+        // 16 = 64/(P^{2/3}) vs bound 64/8 = 8: slack factor P^{1/3}.
+        let dims = MatMulDims::new(8, 8, 8);
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                for l in 0..2u32 {
+                    let v = LatticeSet::brick(
+                        (i * 4, (i + 1) * 4),
+                        (j * 4, (j + 1) * 4),
+                        (l * 4, (l + 1) * 4),
+                    );
+                    assert_eq!(check_on_work_set(dims, 8.0, &v), Some(true));
+                }
+            }
+        }
+    }
+}

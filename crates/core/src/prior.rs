@@ -1,0 +1,199 @@
+//! Prior-work bounds — the comparison rows of Table 1 and the
+//! memory-dependent bounds of §2.1 / §6.2.
+//!
+//! Each memory-independent prior result is represented by the constant it
+//! proves on the leading term in each of the three cases (`None` where the
+//! work proves no bound for that case). Evaluating a row multiplies the
+//! constant by the case's leading term, which is how Table 1 is
+//! regenerated in the `table1` experiment.
+
+use pmm_model::{Case, MatMulDims};
+
+use crate::theorem3::lower_bound;
+
+/// A published memory-independent lower-bound result for parallel matmul.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PriorBound {
+    /// Aggarwal, Chandra, Snir 1990 (LPRAM): `(1/2)^{2/3} ≈ .63` on the 3D
+    /// leading term; nothing for the other cases.
+    AggarwalChandraSnir,
+    /// Irony, Toledo, Tiskin 2004: `1/2` on the 3D leading term.
+    IronyToledoTiskin,
+    /// Demmel et al. 2013: `16/25`, `(2/3)^{1/2}`, `1` across the three
+    /// cases.
+    DemmelEtAl,
+    /// This paper (Theorem 3): `1`, `2`, `3` — tight.
+    ThisPaper,
+}
+
+impl PriorBound {
+    /// All rows of Table 1 in publication order.
+    pub const ALL: [PriorBound; 4] = [
+        PriorBound::AggarwalChandraSnir,
+        PriorBound::IronyToledoTiskin,
+        PriorBound::DemmelEtAl,
+        PriorBound::ThisPaper,
+    ];
+
+    /// Citation-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PriorBound::AggarwalChandraSnir => "Aggarwal et al. (1990)",
+            PriorBound::IronyToledoTiskin => "Irony et al. (2004)",
+            PriorBound::DemmelEtAl => "Demmel et al. (2013)",
+            PriorBound::ThisPaper => "Theorem 3 (this paper)",
+        }
+    }
+
+    /// The constant this work proves on the leading term of `case`
+    /// (`None` = no bound proved for that case).
+    pub fn leading_constant(&self, case: Case) -> Option<f64> {
+        match (self, case) {
+            (PriorBound::AggarwalChandraSnir, Case::ThreeD) => Some(0.5f64.powf(2.0 / 3.0)),
+            (PriorBound::AggarwalChandraSnir, _) => None,
+            (PriorBound::IronyToledoTiskin, Case::ThreeD) => Some(0.5),
+            (PriorBound::IronyToledoTiskin, _) => None,
+            (PriorBound::DemmelEtAl, Case::OneD) => Some(16.0 / 25.0),
+            (PriorBound::DemmelEtAl, Case::TwoD) => Some((2.0f64 / 3.0).sqrt()),
+            (PriorBound::DemmelEtAl, Case::ThreeD) => Some(1.0),
+            (PriorBound::ThisPaper, Case::OneD) => Some(1.0),
+            (PriorBound::ThisPaper, Case::TwoD) => Some(2.0),
+            (PriorBound::ThisPaper, Case::ThreeD) => Some(3.0),
+        }
+    }
+
+    /// The leading-order bound this work proves for `(dims, p)`:
+    /// constant × leading term (no lower-order offset), or `None` if the
+    /// work proves nothing in the applicable case.
+    pub fn evaluate_leading(&self, dims: MatMulDims, p: f64) -> Option<f64> {
+        let r = lower_bound(dims, p);
+        self.leading_constant(r.case).map(|c| c * r.leading_term)
+    }
+}
+
+/// Published constants for the *memory-dependent* bound
+/// `c · mnk/(P·√M)` (§2.1). Listed in order of publication; each improves
+/// the constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemDependentBound {
+    /// Irony, Toledo, Tiskin 2004: `c = (1/2)^{3/2} ≈ .35`.
+    IronyToledoTiskin,
+    /// Dongarra et al. 2008: `c = (3/2)^{3/2} ≈ 1.84`.
+    DongarraEtAl,
+    /// Smith et al. 2019 / Kwasniewski et al. 2019 / Olivry et al. 2020:
+    /// `c = 2`, tight.
+    SmithEtAl,
+}
+
+impl MemDependentBound {
+    /// All variants, oldest first.
+    pub const ALL: [MemDependentBound; 3] = [
+        MemDependentBound::IronyToledoTiskin,
+        MemDependentBound::DongarraEtAl,
+        MemDependentBound::SmithEtAl,
+    ];
+
+    /// Citation-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemDependentBound::IronyToledoTiskin => "Irony et al. (2004)",
+            MemDependentBound::DongarraEtAl => "Dongarra et al. (2008)",
+            MemDependentBound::SmithEtAl => "Smith et al. (2019)",
+        }
+    }
+
+    /// The constant `c`.
+    pub fn constant(&self) -> f64 {
+        match self {
+            MemDependentBound::IronyToledoTiskin => 0.5f64.powf(1.5),
+            MemDependentBound::DongarraEtAl => 1.5f64.powf(1.5),
+            MemDependentBound::SmithEtAl => 2.0,
+        }
+    }
+
+    /// Evaluate `c·mnk/(P√M)` for local memory `m_words`.
+    pub fn evaluate(&self, dims: MatMulDims, p: f64, m_words: f64) -> f64 {
+        assert!(m_words > 0.0, "memory must be positive");
+        self.constant() * dims.mults() / (p * m_words.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: MatMulDims = MatMulDims { n1: 9600, n2: 2400, n3: 600 };
+
+    #[test]
+    fn table1_constants_match_the_paper() {
+        use Case::*;
+        use PriorBound::*;
+        let want: [(PriorBound, [Option<f64>; 3]); 4] = [
+            (AggarwalChandraSnir, [None, None, Some(0.6299605249474366)]),
+            (IronyToledoTiskin, [None, None, Some(0.5)]),
+            (DemmelEtAl, [Some(0.64), Some(0.816496580927726), Some(1.0)]),
+            (ThisPaper, [Some(1.0), Some(2.0), Some(3.0)]),
+        ];
+        for (row, cols) in want {
+            for (case, want_c) in [OneD, TwoD, ThreeD].into_iter().zip(cols) {
+                let got = row.leading_constant(case);
+                match (got, want_c) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => {
+                        assert!((g - w).abs() < 1e-12, "{row:?}/{case:?}: {g} vs {w}")
+                    }
+                    _ => panic!("{row:?}/{case:?}: presence mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn this_paper_dominates_every_prior_row_in_every_case() {
+        for p in [2.0, 3.0, 36.0, 512.0, 1e5] {
+            let ours = PriorBound::ThisPaper.evaluate_leading(PAPER, p).unwrap();
+            for row in [
+                PriorBound::AggarwalChandraSnir,
+                PriorBound::IronyToledoTiskin,
+                PriorBound::DemmelEtAl,
+            ] {
+                if let Some(theirs) = row.evaluate_leading(PAPER, p) {
+                    assert!(
+                        ours > theirs,
+                        "P={p}: ours {ours} must exceed {} {theirs}",
+                        row.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_factors_match_table1() {
+        // 3D case: 3 / .63 ≈ 4.76, 3 / .5 = 6, 3 / 1 = 3.
+        let p = 512.0;
+        let ours = PriorBound::ThisPaper.evaluate_leading(PAPER, p).unwrap();
+        let acs = PriorBound::AggarwalChandraSnir.evaluate_leading(PAPER, p).unwrap();
+        let itt = PriorBound::IronyToledoTiskin.evaluate_leading(PAPER, p).unwrap();
+        let dem = PriorBound::DemmelEtAl.evaluate_leading(PAPER, p).unwrap();
+        assert!((ours / itt - 6.0).abs() < 1e-9);
+        assert!((ours / dem - 3.0).abs() < 1e-9);
+        assert!((ours / acs - 3.0 / 0.5f64.powf(2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_dependent_constants_improve_over_time() {
+        let cs: Vec<f64> = MemDependentBound::ALL.iter().map(|b| b.constant()).collect();
+        assert!(cs[0] < cs[1] && cs[1] < cs[2]);
+        assert!((cs[0] - 0.35355339059327373).abs() < 1e-12);
+        assert!((cs[1] - 1.8371173070873836).abs() < 1e-12);
+        assert_eq!(cs[2], 2.0);
+    }
+
+    #[test]
+    fn memory_dependent_bound_scales_as_inverse_sqrt_m() {
+        let b1 = MemDependentBound::SmithEtAl.evaluate(PAPER, 64.0, 1e6);
+        let b2 = MemDependentBound::SmithEtAl.evaluate(PAPER, 64.0, 4e6);
+        assert!((b1 / b2 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Local matmul kernels.
+//!
+//! These perform the per-processor computation of every parallel algorithm
+//! (line 6 of Algorithm 1). Three implementations:
+//!
+//! * [`Kernel::Naive`] — textbook `i-k-j` triple loop (the `k` middle loop
+//!   keeps the inner loop streaming over contiguous rows of `B` and `C`);
+//! * [`Kernel::Tiled`] — cache-blocked over all three loops;
+//! * [`Kernel::Parallel`] — the tiled kernel with rows parallelized via
+//!   Rayon (shared-memory, *within* one simulated rank; does not touch
+//!   the communication accounting).
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+/// Tile edge (in elements) for the blocked kernels; 64×64 f64 tiles ≈ 32
+/// KiB per operand, a reasonable L1/L2 compromise.
+const TILE: usize = 64;
+
+/// Kernel selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Triple loop, `i-k-j` order.
+    Naive,
+    /// Cache-tiled triple loop.
+    #[default]
+    Tiled,
+    /// Tiled with Rayon row-parallelism.
+    Parallel,
+}
+
+/// `C = A·B` (allocates the result).
+pub fn gemm(a: &Matrix, b: &Matrix, kernel: Kernel) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_acc(&mut c, a, b, kernel);
+    c
+}
+
+/// `C += A·B`.
+///
+/// Panics if shapes are incompatible.
+pub fn gemm_acc(c: &mut Matrix, a: &Matrix, b: &Matrix, kernel: Kernel) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+    assert_eq!(c.rows(), a.rows(), "C rows disagree");
+    assert_eq!(c.cols(), b.cols(), "C cols disagree");
+    match kernel {
+        Kernel::Naive => naive(c, a, b),
+        Kernel::Tiled => tiled(c, a, b),
+        Kernel::Parallel => parallel(c, a, b),
+    }
+}
+
+fn naive(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        for l in 0..k {
+            let aik = a[(i, l)];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(l);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+fn tiled(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        tiled_rows(c, a, b, i0, i1, k, n);
+    }
+}
+
+/// One horizontal stripe `[i0, i1)` of the tiled kernel; shared by the
+/// serial and parallel drivers.
+fn tiled_stripe(crows: &mut [f64], a: &Matrix, b: &Matrix, i0: usize, i1: usize) {
+    let (k, n) = (a.cols(), b.cols());
+    let ncols = n;
+    for l0 in (0..k).step_by(TILE) {
+        let l1 = (l0 + TILE).min(k);
+        for j0 in (0..n).step_by(TILE) {
+            let j1 = (j0 + TILE).min(n);
+            for i in i0..i1 {
+                let arow = a.row(i);
+                let crow = &mut crows[(i - i0) * ncols..][..ncols];
+                for (l, &ail) in arow.iter().enumerate().take(l1).skip(l0) {
+                    if ail == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(l);
+                    for j in j0..j1 {
+                        crow[j] += ail * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tiled_rows(c: &mut Matrix, a: &Matrix, b: &Matrix, i0: usize, i1: usize, _k: usize, n: usize) {
+    let crows = &mut c.as_mut_slice()[i0 * n..i1 * n];
+    tiled_stripe(crows, a, b, i0, i1);
+}
+
+fn parallel(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let n = b.cols();
+    let m = a.rows();
+    c.as_mut_slice()
+        .par_chunks_mut(TILE * n)
+        .enumerate()
+        .for_each(|(chunk, crows)| {
+            let i0 = chunk * TILE;
+            let i1 = (i0 + TILE).min(m);
+            tiled_stripe(crows, a, b, i0, i1);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_int_matrix;
+
+    fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|l| a[(i, l)] * b[(l, j)]).sum()
+        })
+    }
+
+    #[test]
+    fn tiny_known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = gemm(&a, &b, Kernel::Naive);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn kernels_agree_with_reference_on_integer_matrices() {
+        // Integer-valued entries ⇒ exact f64 arithmetic ⇒ strict equality.
+        for (m, k, n, seed) in
+            [(5usize, 7usize, 3usize, 1u64), (64, 64, 64, 2), (65, 130, 67, 3), (1, 100, 1, 4)]
+        {
+            let a = random_int_matrix(m, k, -4..5, seed);
+            let b = random_int_matrix(k, n, -4..5, seed + 100);
+            let want = reference(&a, &b);
+            for kern in [Kernel::Naive, Kernel::Tiled, Kernel::Parallel] {
+                let got = gemm(&a, &b, kern);
+                assert_eq!(got, want, "{kern:?} disagrees for {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = random_int_matrix(10, 10, 0..3, 7);
+        let b = random_int_matrix(10, 10, 0..3, 8);
+        let mut c = Matrix::from_fn(10, 10, |_, _| 1.0);
+        gemm_acc(&mut c, &a, &b, Kernel::Tiled);
+        let mut want = reference(&a, &b);
+        for x in want.as_mut_slice() {
+            *x += 1.0;
+        }
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let c = gemm(&a, &b, Kernel::Tiled);
+        assert_eq!((c.rows(), c.cols()), (0, 3));
+
+        let a = Matrix::from_vec(1, 1, vec![3.0]);
+        let b = Matrix::from_vec(1, 1, vec![4.0]);
+        assert_eq!(gemm(&a, &b, Kernel::Parallel).as_slice(), &[12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        gemm(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2), Kernel::Naive);
+    }
+}

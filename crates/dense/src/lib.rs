@@ -1,0 +1,25 @@
+//! # pmm-dense — dense matrix substrate
+//!
+//! Row-major `f64` matrices, block partitioning, and local matmul kernels:
+//! the "γ side" of the α-β-γ model. Every parallel algorithm in
+//! `pmm-algs` stores its local blocks as [`Matrix`] values, extracts and
+//! inserts sub-blocks with the [`partition`] helpers, and multiplies them
+//! with a [`kernels`] kernel.
+//!
+//! The kernels are deliberately simple (naive / cache-tiled /
+//! Rayon-parallel tiled): the paper's subject is communication, and the
+//! benches only need local compute that is correct, deterministic, and
+//! fast enough. The tiled kernel exists so `cargo bench local_matmul` can
+//! ablate the local-compute choice.
+
+pub mod gen;
+pub mod kernels;
+pub mod matrix;
+pub mod partition;
+pub mod views;
+
+pub use gen::{constant_matrix, identity, random_int_matrix, random_matrix};
+pub use kernels::{gemm, gemm_acc, Kernel};
+pub use matrix::Matrix;
+pub use partition::{block_len, block_range, chunk_of_block, Block2};
+pub use views::{gemm_view, gemm_view_acc, MatrixView};

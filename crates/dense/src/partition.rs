@@ -1,0 +1,173 @@
+//! Block partitioning of index ranges and matrices.
+//!
+//! Everything the parallel algorithms need to agree on ownership without
+//! communicating: which rows/columns of a global matrix belong to which
+//! grid coordinate, and how a 2D block is further chopped into the
+//! per-rank chunks of the initial/final data distributions of
+//! Algorithm 1.
+//!
+//! Conventions: `block_range(n, parts, i)` splits `0..n` into `parts`
+//! nearly-equal contiguous ranges, giving the first `n % parts` ranges one
+//! extra element. When `parts` divides `n` this is the exact uniform
+//! partition assumed by the paper's §5 analysis.
+
+use std::ops::Range;
+
+use crate::matrix::Matrix;
+
+/// The contiguous index range of part `i` of `0..n` split into `parts`.
+pub fn block_range(n: usize, parts: usize, i: usize) -> Range<usize> {
+    assert!(parts >= 1, "parts must be >= 1");
+    assert!(i < parts, "part index out of range");
+    let base = n / parts;
+    let rem = n % parts;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    start..start + len
+}
+
+/// Length of part `i` of `0..n` split into `parts`.
+pub fn block_len(n: usize, parts: usize, i: usize) -> usize {
+    block_range(n, parts, i).len()
+}
+
+/// A 2D block of a global matrix: row and column ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block2 {
+    /// Global row range.
+    pub rows: Range<usize>,
+    /// Global column range.
+    pub cols: Range<usize>,
+}
+
+impl Block2 {
+    /// The `(i, j)` block of an `rows × cols` matrix partitioned into
+    /// `pr × pc` blocks.
+    pub fn of(rows: usize, cols: usize, pr: usize, pc: usize, i: usize, j: usize) -> Block2 {
+        Block2 { rows: block_range(rows, pr, i), cols: block_range(cols, pc, j) }
+    }
+
+    /// Block height.
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Block width.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Words in the block.
+    pub fn words(&self) -> usize {
+        self.height() * self.width()
+    }
+
+    /// Extract this block from `m` as an owned matrix.
+    pub fn extract(&self, m: &Matrix) -> Matrix {
+        m.sub(self.rows.start, self.cols.start, self.height(), self.width())
+    }
+
+    /// Paste `block` into `m` at this block's position.
+    pub fn insert(&self, m: &mut Matrix, block: &Matrix) {
+        assert_eq!((block.rows(), block.cols()), (self.height(), self.width()));
+        m.set_sub(self.rows.start, self.cols.start, block);
+    }
+}
+
+/// The chunk of a flattened (row-major) 2D block assigned to member
+/// `chunk_idx` of `chunks` — the initial distribution of Algorithm 1, in
+/// which block `A_{p1',p2'}` is "distributed evenly across processors
+/// `(p1', p2', :)`" (§5): each fiber member holds a contiguous run of the
+/// block's row-major elements.
+pub fn chunk_of_block(block_words: usize, chunks: usize, chunk_idx: usize) -> Range<usize> {
+    block_range(block_words, chunks, chunk_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_exact_division() {
+        assert_eq!(block_range(12, 3, 0), 0..4);
+        assert_eq!(block_range(12, 3, 1), 4..8);
+        assert_eq!(block_range(12, 3, 2), 8..12);
+    }
+
+    #[test]
+    fn block_range_with_remainder_spreads_extras_first() {
+        // 10 into 3: 4, 3, 3
+        assert_eq!(block_range(10, 3, 0), 0..4);
+        assert_eq!(block_range(10, 3, 1), 4..7);
+        assert_eq!(block_range(10, 3, 2), 7..10);
+    }
+
+    #[test]
+    fn block_ranges_tile_the_interval() {
+        for n in [0usize, 1, 7, 12, 100] {
+            for parts in [1usize, 2, 3, 5, 12] {
+                let mut next = 0usize;
+                for i in 0..parts {
+                    let r = block_range(n, parts, i);
+                    assert_eq!(r.start, next, "n={n} parts={parts} i={i}");
+                    next = r.end;
+                    assert!(r.len() >= n / parts && r.len() <= n / parts + 1);
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_elements_gives_empty_tail() {
+        assert_eq!(block_range(2, 4, 0), 0..1);
+        assert_eq!(block_range(2, 4, 1), 1..2);
+        assert_eq!(block_range(2, 4, 2), 2..2);
+        assert_eq!(block_len(2, 4, 3), 0);
+    }
+
+    #[test]
+    fn block2_extract_insert_roundtrip() {
+        let m = Matrix::from_fn(6, 8, |r, c| (r * 8 + c) as f64);
+        let b = Block2::of(6, 8, 2, 2, 1, 0);
+        assert_eq!(b.rows, 3..6);
+        assert_eq!(b.cols, 0..4);
+        assert_eq!(b.words(), 12);
+        let sub = b.extract(&m);
+        assert_eq!(sub[(0, 0)], m[(3, 0)]);
+        let mut z = Matrix::zeros(6, 8);
+        b.insert(&mut z, &sub);
+        assert_eq!(z[(4, 2)], m[(4, 2)]);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn blocks_tile_the_matrix() {
+        let (rows, cols, pr, pc) = (10usize, 7usize, 3usize, 2usize);
+        let mut covered = vec![vec![0u32; cols]; rows];
+        for i in 0..pr {
+            for j in 0..pc {
+                let b = Block2::of(rows, cols, pr, pc, i, j);
+                for r in b.rows.clone() {
+                    for c in b.cols.clone() {
+                        covered[r][c] += 1;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunks_tile_a_block() {
+        let total = 17usize;
+        let chunks = 5usize;
+        let mut next = 0;
+        for i in 0..chunks {
+            let r = chunk_of_block(total, chunks, i);
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, total);
+    }
+}

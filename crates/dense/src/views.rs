@@ -1,0 +1,209 @@
+//! Borrowed, strided matrix views — zero-copy sub-matrix access.
+//!
+//! The distributed algorithms frequently multiply *blocks* of larger
+//! matrices. [`Matrix::sub`] copies the block; a [`MatrixView`] borrows it
+//! in place (row stride = the parent's column count), and
+//! [`gemm_view_acc`] runs the tiled kernel directly on views. The
+//! `local_matmul` criterion bench quantifies the copy-vs-view trade-off.
+
+use crate::matrix::Matrix;
+
+/// An immutable view of an `rows × cols` region inside a larger row-major
+/// buffer, with an arbitrary row stride (`row_stride ≥ cols`).
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// View over a raw buffer. `data` must hold at least
+    /// `(rows−1)·row_stride + cols` elements.
+    pub fn new(data: &'a [f64], rows: usize, cols: usize, row_stride: usize) -> MatrixView<'a> {
+        assert!(row_stride >= cols, "row stride must cover the row");
+        if rows > 0 {
+            assert!(
+                data.len() >= (rows - 1) * row_stride + cols,
+                "buffer too short for the view"
+            );
+        }
+        MatrixView { data, rows, cols, row_stride }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.row_stride..][..self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.row_stride + c]
+    }
+
+    /// A sub-view of this view (no copy).
+    pub fn subview(&self, r0: usize, c0: usize, h: usize, w: usize) -> MatrixView<'a> {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "subview out of range");
+        MatrixView {
+            data: &self.data[r0 * self.row_stride + c0..],
+            rows: h,
+            cols: w,
+            row_stride: self.row_stride,
+        }
+    }
+
+    /// Materialize into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.at(r, c))
+    }
+}
+
+impl Matrix {
+    /// A borrowed view of the whole matrix.
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.as_slice(), self.rows(), self.cols(), self.cols())
+    }
+
+    /// A borrowed view of the sub-block at `(r0, c0)` of shape `h × w`
+    /// (the zero-copy counterpart of [`Matrix::sub`]).
+    pub fn subview(&self, r0: usize, c0: usize, h: usize, w: usize) -> MatrixView<'_> {
+        self.view().subview(r0, c0, h, w)
+    }
+}
+
+/// Tile edge for the view kernel (matches the owned-kernel tiling).
+const TILE: usize = 64;
+
+/// `C += A·B` where `A` and `B` are (possibly strided) views and `C` is
+/// owned. Cache-tiled, same loop structure as the owned `Kernel::Tiled`.
+pub fn gemm_view_acc(c: &mut Matrix, a: MatrixView<'_>, b: MatrixView<'_>) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
+    assert_eq!(c.rows(), a.rows(), "C rows disagree");
+    assert_eq!(c.cols(), b.cols(), "C cols disagree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for l0 in (0..k).step_by(TILE) {
+            let l1 = (l0 + TILE).min(k);
+            for j0 in (0..n).step_by(TILE) {
+                let j1 = (j0 + TILE).min(n);
+                for i in i0..i1 {
+                    let arow = a.row(i);
+                    let crow = c.row_mut(i);
+                    for (l, &ail) in arow.iter().enumerate().take(l1).skip(l0) {
+                        if ail == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(l);
+                        for j in j0..j1 {
+                            crow[j] += ail * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A·B` on views (allocates the result).
+pub fn gemm_view(a: MatrixView<'_>, b: MatrixView<'_>) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_view_acc(&mut c, a, b);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_int_matrix;
+    use crate::kernels::{gemm, Kernel};
+
+    #[test]
+    fn view_reads_match_the_matrix() {
+        let m = random_int_matrix(7, 9, -9..10, 1);
+        let v = m.view();
+        for r in 0..7 {
+            for c in 0..9 {
+                assert_eq!(v.at(r, c), m[(r, c)]);
+            }
+            assert_eq!(v.row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn subview_matches_sub_copy() {
+        let m = random_int_matrix(10, 12, -9..10, 2);
+        let v = m.subview(2, 3, 5, 6);
+        let copy = m.sub(2, 3, 5, 6);
+        assert_eq!(v.to_matrix(), copy);
+        // nested subviews compose
+        let vv = v.subview(1, 2, 3, 3);
+        assert_eq!(vv.to_matrix(), m.sub(3, 5, 3, 3));
+    }
+
+    #[test]
+    fn gemm_on_views_equals_gemm_on_copies() {
+        let a = random_int_matrix(20, 16, -3..4, 3);
+        let b = random_int_matrix(16, 12, -3..4, 4);
+        // whole-matrix views
+        assert_eq!(gemm_view(a.view(), b.view()), gemm(&a, &b, Kernel::Tiled));
+        // block views: multiply interior blocks without copying
+        let av = a.subview(4, 2, 9, 10);
+        let bv = b.subview(2, 1, 10, 7);
+        let want = gemm(&a.sub(4, 2, 9, 10), &b.sub(2, 1, 10, 7), Kernel::Naive);
+        assert_eq!(gemm_view(av, bv), want);
+    }
+
+    #[test]
+    fn gemm_view_acc_accumulates() {
+        let a = random_int_matrix(8, 8, -2..3, 5);
+        let b = random_int_matrix(8, 8, -2..3, 6);
+        let mut c = random_int_matrix(8, 8, -2..3, 7);
+        let init = c.clone();
+        gemm_view_acc(&mut c, a.view(), b.view());
+        let prod = gemm(&a, &b, Kernel::Naive);
+        for r in 0..8 {
+            for q in 0..8 {
+                assert_eq!(c[(r, q)], init[(r, q)] + prod[(r, q)]);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_views() {
+        let m = Matrix::zeros(3, 3);
+        let v = m.subview(1, 1, 0, 0);
+        assert_eq!(v.rows(), 0);
+        let empty = gemm_view(m.subview(0, 0, 0, 3), m.subview(0, 0, 3, 2));
+        assert_eq!((empty.rows(), empty.cols()), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subview_bounds_checked() {
+        let m = Matrix::zeros(3, 3);
+        m.subview(1, 1, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too short")]
+    fn raw_view_bounds_checked() {
+        MatrixView::new(&[0.0; 10], 3, 4, 4);
+    }
+}

@@ -1,0 +1,255 @@
+//! Cost algebra for the α-β-γ machine model.
+//!
+//! A [`Cost`] counts the three resources of the model along the critical
+//! path of a (piece of a) parallel algorithm:
+//!
+//! * `messages` — how many point-to-point messages were on the critical
+//!   path (each contributes one `α` latency term),
+//! * `words` — how many words traversed the critical path (each
+//!   contributes one `β` bandwidth term),
+//! * `flops` — how many scalar arithmetic operations lie on the critical
+//!   path (each contributes one `γ` term).
+//!
+//! Costs compose in two ways, mirroring the structure of parallel programs:
+//! **sequential composition** is addition ([`Cost::then`], also `+`), and
+//! **parallel composition** of independent work on disjoint processors is a
+//! component-wise maximum ([`Cost::par`]) — "the communication cost is that
+//! of the largest message" (§3.1).
+//!
+//! All counts are `f64`: bound formulas produce fractional words (e.g.
+//! `(1 − 1/p)·w`), and sweeps go far beyond `u32` ranges. Exact integer
+//! metering of the executed simulator lives in `pmm-simnet` and is converted
+//! into a `Cost` only at reporting time.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Resource counts along the critical path of a parallel computation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Number of messages (latency, α) on the critical path.
+    pub messages: f64,
+    /// Number of words (bandwidth, β) on the critical path.
+    pub words: f64,
+    /// Number of scalar operations (compute, γ) on the critical path.
+    pub flops: f64,
+}
+
+impl Cost {
+    /// The zero cost (identity for both compositions).
+    pub const ZERO: Cost = Cost { messages: 0.0, words: 0.0, flops: 0.0 };
+
+    /// Cost of a single message of `w` words: one α plus `w` β.
+    #[inline]
+    pub fn message(w: f64) -> Cost {
+        Cost { messages: 1.0, words: w, flops: 0.0 }
+    }
+
+    /// Cost of pure communication volume: `w` words, no latency terms.
+    ///
+    /// Used by bandwidth-only analyses (the paper sets α = 0, γ = 0 and
+    /// studies the word count alone).
+    #[inline]
+    pub fn words(w: f64) -> Cost {
+        Cost { messages: 0.0, words: w, flops: 0.0 }
+    }
+
+    /// Cost of pure local computation: `f` flops.
+    #[inline]
+    pub fn flops(f: f64) -> Cost {
+        Cost { messages: 0.0, words: 0.0, flops: f }
+    }
+
+    /// Sequential composition: `self` followed by `next`.
+    #[inline]
+    #[must_use]
+    pub fn then(self, next: Cost) -> Cost {
+        self + next
+    }
+
+    /// Parallel composition: `self` and `other` run simultaneously on
+    /// disjoint processors; the critical path takes the larger of each
+    /// resource.
+    ///
+    /// Note this is component-wise and therefore an *upper bound* on the
+    /// true critical path when one branch is message-heavy and the other
+    /// word-heavy; for the homogeneous collectives used in this workspace
+    /// (all branches run the same schedule) it is exact.
+    #[inline]
+    #[must_use]
+    pub fn par(self, other: Cost) -> Cost {
+        Cost {
+            messages: self.messages.max(other.messages),
+            words: self.words.max(other.words),
+            flops: self.flops.max(other.flops),
+        }
+    }
+
+    /// `n` repetitions of this cost in sequence.
+    #[inline]
+    #[must_use]
+    pub fn repeat(self, n: f64) -> Cost {
+        Cost { messages: self.messages * n, words: self.words * n, flops: self.flops * n }
+    }
+
+    /// True if every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        ok(self.messages) && ok(self.words) && ok(self.flops)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            messages: self.messages + rhs.messages,
+            words: self.words + rhs.words,
+            flops: self.flops + rhs.flops,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cost {
+        self.repeat(rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+/// The machine parameters (α, β, γ) of §3.1.
+///
+/// `α` is the per-message latency, `β` the per-word inverse bandwidth, and
+/// `γ` the per-flop compute cost, all in the same (arbitrary) time unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineParams {
+    /// Per-message latency cost.
+    pub alpha: f64,
+    /// Per-word bandwidth cost.
+    pub beta: f64,
+    /// Per-flop compute cost.
+    pub gamma: f64,
+}
+
+impl MachineParams {
+    /// Bandwidth-only accounting: α = γ = 0, β = 1.
+    ///
+    /// Under these parameters [`MachineParams::time`] equals the word count
+    /// along the critical path — exactly the quantity bounded by Theorem 3.
+    pub const BANDWIDTH_ONLY: MachineParams =
+        MachineParams { alpha: 0.0, beta: 1.0, gamma: 0.0 };
+
+    /// A representative HPC interconnect / node balance, loosely modeled on
+    /// published `(α, β, γ)` for modern clusters: a message costs about
+    /// 10⁴ flop-times, a word about 10 flop-times. Only ratios matter.
+    pub const TYPICAL_CLUSTER: MachineParams =
+        MachineParams { alpha: 1.0e4, beta: 10.0, gamma: 1.0 };
+
+    /// Construct custom parameters. Panics on negative or non-finite input.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> MachineParams {
+        assert!(
+            alpha.is_finite() && beta.is_finite() && gamma.is_finite(),
+            "machine parameters must be finite"
+        );
+        assert!(alpha >= 0.0 && beta >= 0.0 && gamma >= 0.0, "machine parameters must be >= 0");
+        MachineParams { alpha, beta, gamma }
+    }
+
+    /// Time taken by `cost` on this machine: `α·messages + β·words + γ·flops`.
+    #[inline]
+    pub fn time(&self, cost: Cost) -> f64 {
+        self.alpha * cost.messages + self.beta * cost.words + self.gamma * cost.flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_identity_for_then_and_par() {
+        let c = Cost { messages: 3.0, words: 100.0, flops: 42.0 };
+        assert_eq!(c.then(Cost::ZERO), c);
+        assert_eq!(Cost::ZERO.then(c), c);
+        assert_eq!(c.par(Cost::ZERO), c);
+        assert_eq!(Cost::ZERO.par(c), c);
+    }
+
+    #[test]
+    fn sequential_composition_adds() {
+        let a = Cost::message(10.0);
+        let b = Cost::message(20.0);
+        let c = a.then(b);
+        assert_eq!(c.messages, 2.0);
+        assert_eq!(c.words, 30.0);
+    }
+
+    #[test]
+    fn parallel_composition_takes_max_componentwise() {
+        let a = Cost { messages: 1.0, words: 50.0, flops: 0.0 };
+        let b = Cost { messages: 4.0, words: 10.0, flops: 7.0 };
+        let c = a.par(b);
+        assert_eq!(c, Cost { messages: 4.0, words: 50.0, flops: 7.0 });
+    }
+
+    #[test]
+    fn repeat_scales_linearly() {
+        let c = Cost::message(8.0).repeat(5.0);
+        assert_eq!(c.messages, 5.0);
+        assert_eq!(c.words, 40.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Cost = (1..=4).map(|i| Cost::words(i as f64)).sum();
+        assert_eq!(total.words, 10.0);
+        assert_eq!(total.messages, 0.0);
+    }
+
+    #[test]
+    fn bandwidth_only_time_is_word_count() {
+        let c = Cost { messages: 17.0, words: 123.0, flops: 99.0 };
+        assert_eq!(MachineParams::BANDWIDTH_ONLY.time(c), 123.0);
+    }
+
+    #[test]
+    fn typical_cluster_weighs_latency_heaviest_per_unit() {
+        let p = MachineParams::TYPICAL_CLUSTER;
+        assert!(p.time(Cost::message(0.0)) > p.time(Cost::words(1.0)));
+        assert!(p.time(Cost::words(1.0)) > p.time(Cost::flops(1.0)));
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(Cost::message(5.0).is_valid());
+        assert!(!Cost::words(f64::NAN).is_valid());
+        assert!(!Cost::words(-1.0).is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn negative_params_rejected() {
+        let _ = MachineParams::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn mul_matches_repeat() {
+        let c = Cost { messages: 2.0, words: 3.0, flops: 4.0 };
+        assert_eq!(c * 2.5, c.repeat(2.5));
+    }
+}

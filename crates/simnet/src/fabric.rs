@@ -1,0 +1,294 @@
+//! The communication fabric shared by all ranks of a [`World`].
+//!
+//! The fabric owns, for every communicator context, one unbounded channel
+//! per member (the member's *mailbox*). Directed receive (`recv(from)`)
+//! is implemented by the receiving rank stashing out-of-order messages —
+//! messages from one sender to one receiver stay FIFO because they travel
+//! through a single channel and a FIFO stash.
+//!
+//! The fabric also hosts the rendezvous state for **communicator splits**
+//! (the MPI `comm_split` equivalent): a split is a collective, so all
+//! members of the parent communicator deposit their `(color, key)` and the
+//! last one to arrive partitions the members into groups, allocates one
+//! fresh context per group, and wakes everyone.
+//!
+//! [`World`]: crate::world::World
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+/// Identifier of a communicator context. Every communicator created during
+/// a run has a distinct context, so traffic on different communicators can
+/// never be confused.
+pub type Ctx = u64;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender's index *within the communicator* the message was sent on.
+    pub from: usize,
+    /// Sender's clock when the send was posted (used for critical-path
+    /// accounting on the receiving side).
+    pub sent_at: f64,
+    /// The data; its length is the metered word count.
+    pub payload: Vec<f64>,
+}
+
+struct Mailbox {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+}
+
+/// Result of a communicator split for a single color.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitGroup {
+    pub ctx: Ctx,
+    /// World ranks of the members, ordered by `(key, parent index)`.
+    pub members: Vec<usize>,
+}
+
+struct SplitState {
+    /// `(color, key, world_rank)` per parent index; `None` until deposited.
+    entries: Vec<Option<(i64, i64, usize)>>,
+    arrived: usize,
+    consumed: usize,
+    /// color -> group; populated by the last rank to arrive.
+    result: Option<Arc<HashMap<i64, SplitGroup>>>,
+}
+
+struct SplitCell {
+    state: Mutex<SplitState>,
+    cv: Condvar,
+}
+
+/// The shared fabric. One per [`World`](crate::world::World); ranks hold it
+/// behind an `Arc`.
+pub struct Fabric {
+    next_ctx: AtomicU64,
+    mailboxes: RwLock<HashMap<(Ctx, usize), Mailbox>>,
+    splits: Mutex<HashMap<(Ctx, u64), Arc<SplitCell>>>,
+    /// Zero-cost world barrier, for callers that need to delimit phases
+    /// without perturbing the metered costs.
+    sync_barrier: std::sync::Barrier,
+}
+
+/// Context id of the world communicator (created by [`Fabric::new`]).
+pub(crate) const WORLD_CTX: Ctx = 0;
+
+impl Fabric {
+    pub(crate) fn new(world_size: usize) -> Fabric {
+        Fabric {
+            next_ctx: AtomicU64::new(1),
+            mailboxes: RwLock::new(HashMap::new()),
+            splits: Mutex::new(HashMap::new()),
+            sync_barrier: std::sync::Barrier::new(world_size),
+        }
+    }
+
+    fn alloc_ctx(&self) -> Ctx {
+        self.next_ctx.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn mailbox<R>(&self, ctx: Ctx, index: usize, f: impl FnOnce(&Mailbox) -> R) -> R {
+        {
+            let map = self.mailboxes.read();
+            if let Some(mb) = map.get(&(ctx, index)) {
+                return f(mb);
+            }
+        }
+        let mut map = self.mailboxes.write();
+        let mb = map.entry((ctx, index)).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            Mailbox { tx, rx }
+        });
+        f(mb)
+    }
+
+    /// Post `msg` to member `to` of context `ctx`.
+    pub(crate) fn post(&self, ctx: Ctx, to: usize, msg: Message) {
+        self.mailbox(ctx, to, |mb| {
+            // Unbounded channel: never blocks; can only fail if the
+            // receiver end were dropped, which the fabric keeps alive.
+            mb.tx.send(msg).expect("fabric mailbox closed");
+        });
+    }
+
+    /// Blockingly take the next message from member `index`'s mailbox on
+    /// context `ctx` (in arrival order; directed matching is done by the
+    /// rank's stash).
+    pub(crate) fn take_any(&self, ctx: Ctx, index: usize) -> Message {
+        let rx = self.mailbox(ctx, index, |mb| mb.rx.clone());
+        rx.recv().expect("fabric mailbox closed")
+    }
+
+    /// Zero-cost synchronization of all world ranks (not metered; test and
+    /// phase-delimiting use only).
+    pub(crate) fn hard_sync(&self) {
+        self.sync_barrier.wait();
+    }
+
+    /// Collective communicator split. Called by every member of the parent
+    /// context; `seq` is the caller's per-parent split sequence number
+    /// (all members must call splits in the same order).
+    ///
+    /// `color < 0` means "no new communicator for me" (MPI_UNDEFINED).
+    /// Returns the group for `color`, or `None` for negative colors.
+    #[allow(clippy::too_many_arguments)] // a rendezvous genuinely needs all of these
+    pub(crate) fn split(
+        &self,
+        parent_ctx: Ctx,
+        parent_size: usize,
+        seq: u64,
+        my_parent_index: usize,
+        my_world_rank: usize,
+        color: i64,
+        key: i64,
+    ) -> Option<SplitGroup> {
+        let cell = {
+            let mut splits = self.splits.lock();
+            splits
+                .entry((parent_ctx, seq))
+                .or_insert_with(|| {
+                    Arc::new(SplitCell {
+                        state: Mutex::new(SplitState {
+                            entries: vec![None; parent_size],
+                            arrived: 0,
+                            consumed: 0,
+                            result: None,
+                        }),
+                        cv: Condvar::new(),
+                    })
+                })
+                .clone()
+        };
+
+        let result = {
+            let mut st = cell.state.lock();
+            assert!(
+                st.entries[my_parent_index].is_none(),
+                "rank deposited twice into the same split — mismatched split sequence"
+            );
+            st.entries[my_parent_index] = Some((color, key, my_world_rank));
+            st.arrived += 1;
+            if st.arrived == parent_size {
+                // Last to arrive: compute all groups.
+                let mut by_color: HashMap<i64, Vec<(i64, usize, usize)>> = HashMap::new();
+                for (parent_idx, e) in st.entries.iter().enumerate() {
+                    let (c, k, w) = e.expect("all entries deposited");
+                    if c >= 0 {
+                        by_color.entry(c).or_default().push((k, parent_idx, w));
+                    }
+                }
+                let mut groups = HashMap::new();
+                let mut colors: Vec<i64> = by_color.keys().copied().collect();
+                colors.sort_unstable(); // deterministic ctx assignment
+                for c in colors {
+                    let mut v = by_color.remove(&c).expect("color present");
+                    v.sort_unstable(); // by (key, parent index)
+                    let members = v.into_iter().map(|(_, _, w)| w).collect();
+                    groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members });
+                }
+                st.result = Some(Arc::new(groups));
+                self.cv_notify(&cell);
+            } else {
+                while st.result.is_none() {
+                    cell.cv.wait(&mut st);
+                }
+            }
+            let res = st.result.as_ref().expect("split result present").clone();
+            st.consumed += 1;
+            if st.consumed == parent_size {
+                // Everyone has read the result; free the rendezvous slot so
+                // long runs don't accumulate split state.
+                self.splits.lock().remove(&(parent_ctx, seq));
+            }
+            res
+        };
+
+        if color < 0 {
+            None
+        } else {
+            Some(result.get(&color).expect("own color present in split result").clone())
+        }
+    }
+
+    fn cv_notify(&self, cell: &SplitCell) {
+        cell.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn post_and_take_roundtrip() {
+        let fabric = Fabric::new(1);
+        fabric.post(
+            WORLD_CTX,
+            0,
+            Message { from: 3, sent_at: 1.5, payload: vec![1.0, 2.0] },
+        );
+        let m = fabric.take_any(WORLD_CTX, 0);
+        assert_eq!(m.from, 3);
+        assert_eq!(m.sent_at, 1.5);
+        assert_eq!(m.payload, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn messages_between_contexts_are_isolated() {
+        let fabric = Fabric::new(1);
+        fabric.post(7, 0, Message { from: 0, sent_at: 0.0, payload: vec![7.0] });
+        fabric.post(8, 0, Message { from: 0, sent_at: 0.0, payload: vec![8.0] });
+        assert_eq!(fabric.take_any(8, 0).payload, vec![8.0]);
+        assert_eq!(fabric.take_any(7, 0).payload, vec![7.0]);
+    }
+
+    #[test]
+    fn split_partitions_by_color_and_orders_by_key() {
+        // 4 "ranks" split into color = rank % 2, key = -rank (reverse order).
+        let fabric = Arc::new(Fabric::new(4));
+        let mut handles = Vec::new();
+        for r in 0..4usize {
+            let f = fabric.clone();
+            handles.push(thread::spawn(move || {
+                f.split(WORLD_CTX, 4, 0, r, r, (r % 2) as i64, -(r as i64))
+            }));
+        }
+        let groups: Vec<_> = handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
+        // ranks 0 and 2 share color 0; members sorted by key (descending rank)
+        assert_eq!(groups[0].members, vec![2, 0]);
+        assert_eq!(groups[2].members, vec![2, 0]);
+        assert_eq!(groups[1].members, vec![3, 1]);
+        assert_eq!(groups[3].members, vec![3, 1]);
+        // distinct colors got distinct contexts
+        assert_ne!(groups[0].ctx, groups[1].ctx);
+        assert_eq!(groups[0].ctx, groups[2].ctx);
+    }
+
+    #[test]
+    fn split_with_negative_color_yields_none() {
+        let fabric = Arc::new(Fabric::new(2));
+        let f2 = fabric.clone();
+        let h = thread::spawn(move || f2.split(WORLD_CTX, 2, 0, 1, 1, -1, 0));
+        let g0 = fabric.split(WORLD_CTX, 2, 0, 0, 0, 0, 0);
+        let g1 = h.join().unwrap();
+        assert!(g1.is_none());
+        assert_eq!(g0.unwrap().members, vec![0]);
+    }
+
+    #[test]
+    fn split_state_is_cleaned_up() {
+        let fabric = Arc::new(Fabric::new(2));
+        let f2 = fabric.clone();
+        let h = thread::spawn(move || f2.split(WORLD_CTX, 2, 5, 1, 1, 0, 0));
+        fabric.split(WORLD_CTX, 2, 5, 0, 0, 0, 0);
+        h.join().unwrap();
+        assert!(fabric.splits.lock().is_empty());
+    }
+}

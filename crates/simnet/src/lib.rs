@@ -1,0 +1,67 @@
+//! # pmm-simnet — a metered, simulated distributed-memory machine
+//!
+//! This crate is the workspace's substitute for an MPI cluster. It realizes
+//! the α-β-γ machine model of §3.1 of the paper as a *real concurrent
+//! execution*: every simulated processor ("rank") is an OS thread with
+//! private data, and the **only** way data moves between ranks is through
+//! explicit messages over channels. Consequently, the word counts metered
+//! here are exactly the communication volumes a distributed implementation
+//! would incur — which is the quantity the paper's lower bounds constrain.
+//!
+//! ## What is metered
+//!
+//! * per-rank **traffic**: words and messages sent and received
+//!   ([`Meter`]), with cheap snapshots so callers can attribute traffic to
+//!   phases (e.g. "the All-Gather of A" vs "the Reduce-Scatter of C");
+//! * per-rank **critical-path clock**: a Lamport-style clock advanced by
+//!   `α + βw` per message, `γ` per flop, with full-duplex exchanges costed
+//!   once (§3.1: links are bidirectional, a pair can exchange with no
+//!   contention). Run with [`MachineParams::BANDWIDTH_ONLY`] and the final
+//!   clock *is* the bandwidth cost along the critical path;
+//! * per-rank **memory**: a high-water mark of explicitly acquired words,
+//!   used by the limited-memory experiments (§6.2);
+//! * optional **traces** of individual sends/receives for the Fig. 1 style
+//!   who-talks-to-whom analyses.
+//!
+//! ## Shape of the API
+//!
+//! ```
+//! use pmm_model::MachineParams;
+//! use pmm_simnet::World;
+//!
+//! // 4 ranks; each sends its rank to rank 0.
+//! let out = World::new(4, MachineParams::BANDWIDTH_ONLY).run(|rank| {
+//!     let world = rank.world_comm();
+//!     if rank.world_rank() == 0 {
+//!         let mut sum = 0.0;
+//!         for from in 1..4 {
+//!             sum += rank.recv(&world, from).payload[0];
+//!         }
+//!         sum
+//!     } else {
+//!         rank.send(&world, 0, &[rank.world_rank() as f64]);
+//!         0.0
+//!     }
+//! });
+//! assert_eq!(out.values[0], 6.0);
+//! assert_eq!(out.total_words_sent(), 3.0);
+//! ```
+//!
+//! Deadlock note: channels are unbounded, so `send` never blocks; `recv`
+//! blocks until the matching message arrives. Programs that receive
+//! messages that were never sent block forever — as they would under MPI.
+
+pub mod comm;
+pub mod fabric;
+pub mod meter;
+pub mod rank;
+pub mod world;
+
+pub use comm::Comm;
+pub use fabric::{Ctx, Message};
+pub use meter::{MemTracker, Meter, TraceEvent};
+pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
+pub use world::{RankReport, World, WorldResult};
+
+// Re-export the model vocabulary users need alongside the simulator.
+pub use pmm_model::{Cost, MachineParams};

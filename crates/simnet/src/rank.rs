@@ -1,0 +1,661 @@
+//! The per-thread rank handle: messaging, clocks, meters, memory.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use pmm_model::MachineParams;
+
+use crate::comm::Comm;
+use crate::fabric::{Ctx, Fabric, Message, WORLD_CTX};
+use crate::meter::{MemTracker, Meter, TraceEvent};
+
+/// Error returned by [`Rank::try_mem_acquire`] when the configured local
+/// memory `M` would be exceeded (§6.2 limited-memory scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryLimitExceeded {
+    /// Words that would have been resident after the acquire.
+    pub requested_total: u64,
+    /// The configured capacity.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for MemoryLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "local memory limit exceeded: need {} words, capacity {}",
+            self.requested_total, self.limit
+        )
+    }
+}
+
+impl std::error::Error for MemoryLimitExceeded {}
+
+/// A pending nonblocking receive (see [`Rank::irecv`]). Dropping a
+/// never-redeemed request panics in debug form via the `Drop` check —
+/// a leaked request means a message is silently never accounted.
+#[derive(Debug)]
+pub struct RecvRequest {
+    ctx: u64,
+    from: usize,
+    #[allow(dead_code)]
+    comm_size: usize,
+    redeemed: bool,
+}
+
+impl Drop for RecvRequest {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.redeemed || std::thread::panicking(),
+            "RecvRequest dropped without wait() — a message from {} on ctx {} was leaked",
+            self.from,
+            self.ctx
+        );
+    }
+}
+
+/// A simulated processor. Each rank runs on its own OS thread; the closure
+/// passed to [`World::run`](crate::World::run) receives `&mut Rank` and may
+/// keep arbitrary private state — the only inter-rank data path is
+/// [`Rank::send`] / [`Rank::recv`].
+pub struct Rank {
+    world_rank: usize,
+    world_members: Arc<Vec<usize>>,
+    fabric: Arc<Fabric>,
+    params: MachineParams,
+    time: f64,
+    meter: Meter,
+    mem: MemTracker,
+    /// Out-of-order stash for directed receives, keyed by (ctx, from index).
+    pending: HashMap<(Ctx, usize), VecDeque<Message>>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Rank {
+    pub(crate) fn new(
+        world_rank: usize,
+        world_members: Arc<Vec<usize>>,
+        fabric: Arc<Fabric>,
+        params: MachineParams,
+        mem_limit: Option<u64>,
+        trace: bool,
+    ) -> Rank {
+        Rank {
+            world_rank,
+            world_members,
+            fabric,
+            params,
+            time: 0.0,
+            meter: Meter::default(),
+            mem: MemTracker::new(mem_limit),
+            pending: HashMap::new(),
+            trace: if trace { Some(Vec::new()) } else { None },
+        }
+    }
+
+    // ----- identity --------------------------------------------------------
+
+    /// This rank's id in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.world_members.len()
+    }
+
+    /// The world communicator (all ranks, identity ordering).
+    pub fn world_comm(&self) -> Comm {
+        Comm::new(WORLD_CTX, self.world_members.clone(), self.world_rank)
+    }
+
+    /// The machine parameters this world was created with.
+    #[inline]
+    pub fn params(&self) -> MachineParams {
+        self.params
+    }
+
+    // ----- accounting ------------------------------------------------------
+
+    /// Current critical-path clock of this rank.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Snapshot of the traffic/compute meter (cheap; `Copy`).
+    #[inline]
+    pub fn meter(&self) -> Meter {
+        self.meter
+    }
+
+    /// The memory tracker (peak, current, limit).
+    #[inline]
+    pub fn mem(&self) -> &MemTracker {
+        &self.mem
+    }
+
+    /// Declare `words` of working memory resident. Panics if the limit is
+    /// exceeded — use [`Rank::try_mem_acquire`] when overflow is an
+    /// expected outcome (limited-memory experiments).
+    pub fn mem_acquire(&mut self, words: u64) {
+        self.try_mem_acquire(words)
+            .unwrap_or_else(|e| panic!("rank {}: {}", self.world_rank, e));
+    }
+
+    /// Fallible version of [`Rank::mem_acquire`]; on failure nothing is
+    /// acquired.
+    pub fn try_mem_acquire(&mut self, words: u64) -> Result<(), MemoryLimitExceeded> {
+        self.mem.acquire(words).map_err(|(requested_total, limit)| MemoryLimitExceeded {
+            requested_total,
+            limit,
+        })
+    }
+
+    /// Release previously acquired working memory.
+    pub fn mem_release(&mut self, words: u64) {
+        self.mem.release(words);
+    }
+
+    /// Place a marker in the trace (no cost).
+    pub fn mark(&mut self, label: impl Into<String>) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Mark(label.into()));
+        }
+    }
+
+    pub(crate) fn take_trace(&mut self) -> Option<Vec<TraceEvent>> {
+        self.trace.take()
+    }
+
+    // ----- computation -----------------------------------------------------
+
+    /// Account `flops` scalar operations of local computation
+    /// (advances the clock by `γ · flops`).
+    pub fn compute(&mut self, flops: f64) {
+        debug_assert!(flops >= 0.0);
+        self.meter.flops += flops;
+        self.time += self.params.gamma * flops;
+    }
+
+    // ----- point-to-point messaging ----------------------------------------
+
+    /// Send `payload` to member `to` of `comm`.
+    ///
+    /// Cost model (eager/postal): the sender is busy for `α + βw`; the
+    /// message arrives at `send_start + α + βw`, and the receiver is busy
+    /// for `α + βw` after the later of (its own readiness, the send start).
+    pub fn send(&mut self, comm: &Comm, to: usize, payload: &[f64]) {
+        assert!(to < comm.size(), "send target {to} out of communicator of size {}", comm.size());
+        assert_ne!(to, comm.index(), "send to self is not allowed (use local state)");
+        let w = payload.len() as u64;
+        let sent_at = self.time;
+        self.meter.words_sent += w;
+        self.meter.msgs_sent += 1;
+        self.time += self.params.alpha + self.params.beta * w as f64;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Send { ctx: comm.ctx(), to_world: comm.world_rank_of(to), words: w });
+        }
+        self.fabric.post(
+            comm.ctx,
+            to,
+            Message { from: comm.index(), sent_at, payload: payload.to_vec() },
+        );
+    }
+
+    /// Blockingly receive the next message from member `from` of `comm`.
+    pub fn recv(&mut self, comm: &Comm, from: usize) -> Message {
+        assert!(from < comm.size(), "recv source {from} out of communicator");
+        assert_ne!(from, comm.index(), "recv from self is not allowed");
+        let msg = self.match_directed(comm, from);
+        let w = msg.payload.len() as u64;
+        self.meter.words_recv += w;
+        self.meter.msgs_recv += 1;
+        // Transfer occupies the receiver from when both sides are ready.
+        self.time = self.time.max(msg.sent_at) + self.params.alpha + self.params.beta * w as f64;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Recv {
+                ctx: comm.ctx(),
+                from_world: comm.world_rank_of(from),
+                words: w,
+            });
+        }
+        msg
+    }
+
+    /// Full-duplex exchange with `partner`: send `payload` and receive the
+    /// partner's message *in the same transfer step*.
+    ///
+    /// Both sides must call `sendrecv` for the duplex costing to be
+    /// symmetric. Cost: `α + β·max(w_sent, w_recv)` starting when both
+    /// sides are ready — this is the §3.1 "pair of processors can exchange
+    /// data with no contention" rule, and what bandwidth-optimal collectives
+    /// (recursive doubling/halving, bidirectional ring) rely on.
+    pub fn sendrecv(&mut self, comm: &Comm, partner: usize, payload: &[f64]) -> Message {
+        self.exchange(comm, partner, partner, payload)
+    }
+
+    /// Full-duplex exchange with distinct peers: send `payload` to `to`
+    /// while receiving from `from` (ring shifts, pairwise all-to-all).
+    ///
+    /// Cost: `α + β·max(w_sent, w_recv)` starting when both this rank and
+    /// the incoming message are ready — §3.1 allows simultaneous send and
+    /// receive on the bidirectional links, and every rank is engaged in at
+    /// most one send and one receive.
+    pub fn exchange(&mut self, comm: &Comm, to: usize, from: usize, payload: &[f64]) -> Message {
+        assert!(to < comm.size() && from < comm.size(), "exchange peer out of communicator");
+        assert_ne!(to, comm.index(), "exchange send-to-self is not allowed");
+        assert_ne!(from, comm.index(), "exchange recv-from-self is not allowed");
+        let ws = payload.len() as u64;
+        let start = self.time;
+        self.meter.words_sent += ws;
+        self.meter.msgs_sent += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Send {
+                ctx: comm.ctx(),
+                to_world: comm.world_rank_of(to),
+                words: ws,
+            });
+        }
+        self.fabric.post(
+            comm.ctx,
+            to,
+            Message { from: comm.index(), sent_at: start, payload: payload.to_vec() },
+        );
+        let msg = self.match_directed(comm, from);
+        let wr = msg.payload.len() as u64;
+        self.meter.words_recv += wr;
+        self.meter.msgs_recv += 1;
+        let wmax = ws.max(wr) as f64;
+        self.time = start.max(msg.sent_at) + self.params.alpha + self.params.beta * wmax;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Recv {
+                ctx: comm.ctx(),
+                from_world: comm.world_rank_of(from),
+                words: wr,
+            });
+        }
+        msg
+    }
+
+    /// Post a nonblocking receive for the next message from member `from`
+    /// of `comm`. The returned handle must be redeemed with
+    /// [`Rank::wait`]; handles from the same `(comm, from)` pair redeem in
+    /// FIFO order.
+    ///
+    /// The point of the nonblocking form is **overlap**: computation
+    /// performed between `irecv` and `wait` hides the transfer. At `wait`
+    /// the clock advances to `max(now, sent_at + α + βw)` — the receiver
+    /// pays only the part of the transfer not already covered by its own
+    /// elapsed work, instead of the full `α + βw` the blocking
+    /// [`Rank::recv`] charges after the rendezvous.
+    pub fn irecv(&mut self, comm: &Comm, from: usize) -> RecvRequest {
+        assert!(from < comm.size(), "irecv source out of communicator");
+        assert_ne!(from, comm.index(), "irecv from self is not allowed");
+        RecvRequest { ctx: comm.ctx(), from, comm_size: comm.size(), redeemed: false }
+    }
+
+    /// Complete a nonblocking receive (see [`Rank::irecv`]).
+    pub fn wait(&mut self, mut req: RecvRequest, comm: &Comm) -> Message {
+        assert_eq!(req.ctx, comm.ctx(), "wait called with a different communicator");
+        req.redeemed = true;
+        let msg = self.match_directed(comm, req.from);
+        let w = msg.payload.len() as u64;
+        self.meter.words_recv += w;
+        self.meter.msgs_recv += 1;
+        let arrival = msg.sent_at + self.params.alpha + self.params.beta * w as f64;
+        self.time = self.time.max(arrival);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Recv {
+                ctx: comm.ctx(),
+                from_world: comm.world_rank_of(req.from),
+                words: w,
+            });
+        }
+        msg
+    }
+
+    fn match_directed(&mut self, comm: &Comm, from: usize) -> Message {
+        if let Some(q) = self.pending.get_mut(&(comm.ctx, from)) {
+            if let Some(m) = q.pop_front() {
+                return m;
+            }
+        }
+        loop {
+            let msg = self.fabric.take_any(comm.ctx, comm.index());
+            if msg.from == from {
+                return msg;
+            }
+            self.pending.entry((comm.ctx, msg.from)).or_default().push_back(msg);
+        }
+    }
+
+    // ----- communicator management -----------------------------------------
+
+    /// Collective split of `comm` into sub-communicators by `color`
+    /// (members with equal color land in the same sub-communicator, ordered
+    /// by `(key, parent index)`). Negative color opts out and yields
+    /// `None`. All members of `comm` must call `split` the same number of
+    /// times in the same order.
+    ///
+    /// Splits are bookkeeping, not communication: they are **not** metered
+    /// and do not advance the clock (an implementation on a real machine
+    /// would piggyback the group agreement on the setup phase).
+    pub fn split(&mut self, comm: &Comm, color: i64, key: i64) -> Option<Comm> {
+        let seq = comm.next_split_seq();
+        let group = self.fabric.split(
+            comm.ctx,
+            comm.size(),
+            seq,
+            comm.index(),
+            self.world_rank,
+            color,
+            key,
+        )?;
+        let my_index = group
+            .members
+            .iter()
+            .position(|&w| w == self.world_rank)
+            .expect("own world rank present in split group");
+        Some(Comm::new(group.ctx, Arc::new(group.members), my_index))
+    }
+
+    /// Zero-cost synchronization of **all world ranks** (not metered). For
+    /// delimiting test phases; real synchronization should use the metered
+    /// barrier collective from `pmm-collectives`.
+    pub fn hard_sync(&self) {
+        self.fabric.hard_sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    fn bw() -> MachineParams {
+        MachineParams::BANDWIDTH_ONLY
+    }
+
+    #[test]
+    fn ping_pong_content_and_meters() {
+        let out = World::new(2, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[1.0, 2.0, 3.0]);
+                let m = rank.recv(&wc, 1);
+                m.payload.iter().sum::<f64>()
+            } else {
+                let m = rank.recv(&wc, 0);
+                let back: Vec<f64> = m.payload.iter().map(|x| x * 10.0).collect();
+                rank.send(&wc, 0, &back);
+                0.0
+            }
+        });
+        assert_eq!(out.values[0], 60.0);
+        assert_eq!(out.reports[0].meter.words_sent, 3);
+        assert_eq!(out.reports[0].meter.words_recv, 3);
+        assert_eq!(out.reports[1].meter.words_sent, 3);
+        assert_eq!(out.reports[1].meter.msgs_recv, 1);
+    }
+
+    #[test]
+    fn clock_ping_pong_bandwidth_only() {
+        // 0 sends 5 words (t: 0→5); 1 receives (t = max(0,0)+5 = 5), sends
+        // 7 words back (t: 5→12); 0 receives (t = max(5,5)+7 = 12).
+        let out = World::new(2, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[0.0; 5]);
+                rank.recv(&wc, 1);
+            } else {
+                rank.recv(&wc, 0);
+                rank.send(&wc, 0, &[0.0; 7]);
+            }
+            rank.time()
+        });
+        assert_eq!(out.values[0], 12.0);
+        assert_eq!(out.values[1], 12.0);
+    }
+
+    #[test]
+    fn clock_includes_latency_and_flops() {
+        let params = MachineParams::new(100.0, 1.0, 0.5);
+        let out = World::new(2, params).run(|rank| {
+            let wc = rank.world_comm();
+            rank.compute(10.0); // t = 5
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[0.0; 20]); // t = 5 + 100 + 20 = 125
+            } else {
+                rank.recv(&wc, 0); // t = max(5, 5) + 120 = 125
+            }
+            rank.time()
+        });
+        assert_eq!(out.values[0], 125.0);
+        assert_eq!(out.values[1], 125.0);
+    }
+
+    #[test]
+    fn sendrecv_duplex_costs_once() {
+        // Symmetric 8-word exchange: each side's clock advances by β·8 once.
+        let out = World::new(2, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            let partner = 1 - rank.world_rank();
+            let m = rank.sendrecv(&wc, partner, &[rank.world_rank() as f64; 8]);
+            (rank.time(), m.payload[0])
+        });
+        assert_eq!(out.values[0], (8.0, 1.0));
+        assert_eq!(out.values[1], (8.0, 0.0));
+    }
+
+    #[test]
+    fn irecv_overlaps_compute_with_transfer() {
+        // Sender ships 100 words at t = 0; receiver computes 100 flops.
+        // Blocking: t = max(100, 0) + 100 = 200. Overlapped: the transfer
+        // (arrival t = 100) hides behind the compute (t = 100) → t = 100.
+        let params = MachineParams::new(0.0, 1.0, 1.0);
+        let run = |overlap: bool| {
+            World::new(2, params).run(move |rank| {
+                let wc = rank.world_comm();
+                if rank.world_rank() == 0 {
+                    rank.send(&wc, 1, &[0.0; 100]);
+                } else if overlap {
+                    let req = rank.irecv(&wc, 0);
+                    rank.compute(100.0);
+                    rank.wait(req, &wc);
+                } else {
+                    rank.recv(&wc, 0);
+                    rank.compute(100.0);
+                }
+                rank.time()
+            })
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
+        assert_eq!(blocking.values[1], 200.0);
+        assert_eq!(overlapped.values[1], 100.0);
+        // Meters are identical either way.
+        assert_eq!(
+            blocking.reports[1].meter.words_recv,
+            overlapped.reports[1].meter.words_recv
+        );
+    }
+
+    #[test]
+    fn irecv_requests_redeem_in_fifo_order() {
+        let out = World::new(2, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[1.0]);
+                rank.send(&wc, 1, &[2.0]);
+                Vec::new()
+            } else {
+                let r1 = rank.irecv(&wc, 0);
+                let r2 = rank.irecv(&wc, 0);
+                let a = rank.wait(r1, &wc).payload[0];
+                let b = rank.wait(r2, &wc).payload[0];
+                vec![a, b]
+            }
+        });
+        assert_eq!(out.values[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn wait_still_blocks_until_arrival() {
+        // If the receiver has done less work than the transfer takes, wait
+        // charges the remainder: compute 30 then wait on a 100-word message
+        // ⇒ t = max(30, 100) = 100.
+        let params = MachineParams::new(0.0, 1.0, 1.0);
+        let out = World::new(2, params).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[0.0; 100]);
+            } else {
+                let req = rank.irecv(&wc, 0);
+                rank.compute(30.0);
+                rank.wait(req, &wc);
+            }
+            rank.time()
+        });
+        assert_eq!(out.values[1], 100.0);
+    }
+
+    #[test]
+    fn exchange_shifts_around_a_ring() {
+        // Each of 5 ranks sends to the right, receives from the left; the
+        // duplex clock advances by one β·w step.
+        let out = World::new(5, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            let p = wc.size();
+            let me = wc.index();
+            let m = rank.exchange(&wc, (me + 1) % p, (me + p - 1) % p, &[me as f64; 4]);
+            (m.payload[0] as usize, rank.time())
+        });
+        for r in 0..5 {
+            assert_eq!(out.values[r].0, (r + 4) % 5);
+            assert_eq!(out.values[r].1, 4.0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_senders_are_matched_by_source() {
+        let out = World::new(3, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            match rank.world_rank() {
+                0 => {
+                    // Receive from 2 first even though 1 may arrive earlier.
+                    let a = rank.recv(&wc, 2).payload[0];
+                    let b = rank.recv(&wc, 1).payload[0];
+                    a * 100.0 + b
+                }
+                r => {
+                    rank.send(&wc, 0, &[r as f64]);
+                    0.0
+                }
+            }
+        });
+        assert_eq!(out.values[0], 201.0);
+    }
+
+    #[test]
+    fn fifo_per_sender_is_preserved() {
+        let out = World::new(2, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 1 {
+                for i in 0..10 {
+                    rank.send(&wc, 0, &[i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| rank.recv(&wc, 1).payload[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out.values[0], (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_into_rows_and_exchange() {
+        // 4 ranks in a 2x2 grid; split by row, exchange within row.
+        let out = World::new(4, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            let row = (rank.world_rank() / 2) as i64;
+            let comm = rank.split(&wc, row, rank.world_rank() as i64).unwrap();
+            assert_eq!(comm.size(), 2);
+            let partner = 1 - comm.index();
+            let m = rank.sendrecv(&comm, partner, &[rank.world_rank() as f64]);
+            m.payload[0]
+        });
+        assert_eq!(out.values, vec![1.0, 0.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn nested_splits() {
+        // 8 ranks → split into halves → split each half into pairs.
+        let out = World::new(8, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            let r = rank.world_rank();
+            let half = rank.split(&wc, (r / 4) as i64, r as i64).unwrap();
+            assert_eq!(half.size(), 4);
+            let pair = rank.split(&half, (half.index() / 2) as i64, half.index() as i64).unwrap();
+            assert_eq!(pair.size(), 2);
+            let m = rank.sendrecv(&pair, 1 - pair.index(), &[r as f64]);
+            m.payload[0] as usize
+        });
+        assert_eq!(out.values, vec![1, 0, 3, 2, 5, 4, 7, 6]);
+    }
+
+    #[test]
+    fn split_opt_out_with_negative_color() {
+        let out = World::new(4, bw()).run(|rank| {
+            let wc = rank.world_comm();
+            let color = if rank.world_rank() < 2 { 0 } else { -1 };
+            rank.split(&wc, color, 0).map(|c| c.size())
+        });
+        assert_eq!(out.values, vec![Some(2), Some(2), None, None]);
+    }
+
+    #[test]
+    fn memory_tracking_and_limit() {
+        let out = World::new(1, bw())
+            .with_memory_limit(Some(1000))
+            .run(|rank| {
+                rank.mem_acquire(600);
+                let err = rank.try_mem_acquire(500).unwrap_err();
+                assert_eq!(err.limit, 1000);
+                rank.mem_acquire(400);
+                rank.mem_release(1000);
+                rank.mem().peak()
+            });
+        assert_eq!(out.values[0], 1000);
+    }
+
+    #[test]
+    fn compute_meters_flops() {
+        let out = World::new(1, MachineParams::new(0.0, 0.0, 2.0)).run(|rank| {
+            rank.compute(21.0);
+            (rank.meter().flops, rank.time())
+        });
+        assert_eq!(out.values[0], (21.0, 42.0));
+    }
+
+    #[test]
+    fn traces_record_sends_and_recvs() {
+        let out = World::new(2, bw()).with_trace(true).run(|rank| {
+            let wc = rank.world_comm();
+            rank.mark("phase-1");
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[1.0, 2.0]);
+            } else {
+                rank.recv(&wc, 0);
+            }
+        });
+        let t0 = out.reports[0].trace.as_ref().unwrap();
+        assert_eq!(t0[0], TraceEvent::Mark("phase-1".into()));
+        assert_eq!(t0[1], TraceEvent::Send { ctx: 0, to_world: 1, words: 2 });
+        let t1 = out.reports[1].trace.as_ref().unwrap();
+        assert_eq!(t1[1], TraceEvent::Recv { ctx: 0, from_world: 0, words: 2 });
+    }
+}

@@ -1,0 +1,251 @@
+//! World construction: spawn `P` rank threads, run a program, collect
+//! reports.
+
+use std::sync::Arc;
+
+use pmm_model::{Cost, MachineParams};
+
+use crate::fabric::Fabric;
+use crate::meter::{Meter, TraceEvent};
+use crate::rank::Rank;
+
+/// Configuration for a simulated machine run.
+///
+/// ```
+/// use pmm_simnet::{World, MachineParams};
+/// let result = World::new(8, MachineParams::BANDWIDTH_ONLY)
+///     .run(|rank| rank.world_rank() * 2);
+/// assert_eq!(result.values[3], 6);
+/// ```
+pub struct World {
+    size: usize,
+    params: MachineParams,
+    mem_limit: Option<u64>,
+    trace: bool,
+    stack_bytes: usize,
+}
+
+impl World {
+    /// A world of `size` ranks with machine parameters `params`.
+    pub fn new(size: usize, params: MachineParams) -> World {
+        assert!(size >= 1, "world size must be >= 1");
+        World { size, params, mem_limit: None, trace: false, stack_bytes: 4 << 20 }
+    }
+
+    /// Set a per-rank local memory capacity `M` in words (§6.2). `None`
+    /// models the memory-independent setting (M = ∞).
+    #[must_use]
+    pub fn with_memory_limit(mut self, limit: Option<u64>) -> World {
+        self.mem_limit = limit;
+        self
+    }
+
+    /// Enable per-rank communication traces.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> World {
+        self.trace = trace;
+        self
+    }
+
+    /// Per-rank thread stack size (default 4 MiB).
+    #[must_use]
+    pub fn with_stack_bytes(mut self, bytes: usize) -> World {
+        self.stack_bytes = bytes;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `program` on every rank simultaneously and collect the results.
+    ///
+    /// Panics in any rank propagate (with the rank id) after all threads
+    /// are joined or detached.
+    pub fn run<T, F>(&self, program: F) -> WorldResult<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
+        let fabric = Arc::new(Fabric::new(self.size));
+        let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
+        let mut slots: Vec<Option<(T, RankReport)>> = Vec::with_capacity(self.size);
+        for _ in 0..self.size {
+            slots.push(None);
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for (r, slot) in slots.iter_mut().enumerate() {
+                let fabric = fabric.clone();
+                let members = members.clone();
+                let program = &program;
+                let params = self.params;
+                let mem_limit = self.mem_limit;
+                let trace = self.trace;
+                let builder = std::thread::Builder::new()
+                    .name(format!("pmm-rank-{r}"))
+                    .stack_size(self.stack_bytes);
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let mut rank =
+                            Rank::new(r, members, fabric, params, mem_limit, trace);
+                        let value = program(&mut rank);
+                        let report = RankReport {
+                            meter: rank.meter(),
+                            time: rank.time(),
+                            peak_mem_words: rank.mem().peak(),
+                            trace: rank.take_trace(),
+                        };
+                        *slot = Some((value, report));
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            let mut first_panic = None;
+            for (r, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    first_panic.get_or_insert((r, payload));
+                }
+            }
+            if let Some((r, payload)) = first_panic {
+                eprintln!("pmm-simnet: rank {r} panicked");
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        let (values, reports): (Vec<T>, Vec<RankReport>) = slots
+            .into_iter()
+            .map(|s| s.expect("rank completed without panicking"))
+            .unzip();
+        WorldResult { params: self.params, values, reports }
+    }
+}
+
+/// Final accounting for one rank.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// Cumulative traffic/compute counters.
+    pub meter: Meter,
+    /// Final critical-path clock.
+    pub time: f64,
+    /// Memory high-water mark in words.
+    pub peak_mem_words: u64,
+    /// Communication trace, if enabled.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+/// Results of a [`World::run`]: per-rank return values and reports, plus
+/// aggregate views.
+#[derive(Debug)]
+pub struct WorldResult<T> {
+    /// Machine parameters of the run.
+    pub params: MachineParams,
+    /// Per-rank return values, indexed by world rank.
+    pub values: Vec<T>,
+    /// Per-rank reports, indexed by world rank.
+    pub reports: Vec<RankReport>,
+}
+
+impl<T> WorldResult<T> {
+    /// The simulated makespan: the maximum final clock over ranks. Under
+    /// [`MachineParams::BANDWIDTH_ONLY`] this is the bandwidth cost along
+    /// the critical path — the quantity Theorem 3 lower-bounds.
+    pub fn critical_path_time(&self) -> f64 {
+        self.reports.iter().map(|r| r.time).fold(0.0, f64::max)
+    }
+
+    /// Total words sent across all ranks (each word counted once at the
+    /// sender).
+    pub fn total_words_sent(&self) -> f64 {
+        self.reports.iter().map(|r| r.meter.words_sent as f64).sum()
+    }
+
+    /// Maximum over ranks of `max(words_sent, words_recv)` — the per-rank
+    /// duplex communication volume.
+    pub fn max_duplex_words(&self) -> u64 {
+        self.reports.iter().map(|r| r.meter.duplex_words()).max().unwrap_or(0)
+    }
+
+    /// Maximum flops performed by any rank.
+    pub fn max_flops(&self) -> f64 {
+        self.reports.iter().map(|r| r.meter.flops).fold(0.0, f64::max)
+    }
+
+    /// Maximum memory high-water mark over ranks, in words.
+    pub fn max_peak_mem_words(&self) -> u64 {
+        self.reports.iter().map(|r| r.peak_mem_words).max().unwrap_or(0)
+    }
+
+    /// Aggregate critical-path [`Cost`] view: message/word/flop maxima are
+    /// taken per rank and the largest is reported (exact for the
+    /// symmetric schedules used throughout this workspace).
+    pub fn critical_path_cost(&self) -> Cost {
+        let mut c = Cost::ZERO;
+        for r in &self.reports {
+            c = c.par(Cost {
+                messages: r.meter.msgs_sent.max(r.meter.msgs_recv) as f64,
+                words: r.meter.duplex_words() as f64,
+                flops: r.meter.flops,
+            });
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_indexed_by_world_rank() {
+        let out = World::new(5, MachineParams::BANDWIDTH_ONLY).run(|r| r.world_rank());
+        assert_eq!(out.values, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.reports.len(), 5);
+    }
+
+    #[test]
+    fn aggregates_on_idle_world_are_zero() {
+        let out = World::new(3, MachineParams::BANDWIDTH_ONLY).run(|_| ());
+        assert_eq!(out.critical_path_time(), 0.0);
+        assert_eq!(out.total_words_sent(), 0.0);
+        assert_eq!(out.max_duplex_words(), 0);
+        assert_eq!(out.max_peak_mem_words(), 0);
+    }
+
+    #[test]
+    fn critical_path_is_max_over_ranks() {
+        let out = World::new(4, MachineParams::new(0.0, 0.0, 1.0))
+            .run(|r| r.compute((r.world_rank() * 10) as f64));
+        assert_eq!(out.critical_path_time(), 30.0);
+        assert_eq!(out.max_flops(), 30.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        World::new(2, MachineParams::BANDWIDTH_ONLY).run(|r| {
+            if r.world_rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_spawn_and_join() {
+        let out = World::new(128, MachineParams::BANDWIDTH_ONLY)
+            .with_stack_bytes(1 << 20)
+            .run(|r| r.world_rank());
+        assert_eq!(out.values.len(), 128);
+    }
+
+    #[test]
+    fn hard_sync_allows_phase_delimiting() {
+        let out = World::new(4, MachineParams::BANDWIDTH_ONLY).run(|r| {
+            r.hard_sync();
+            r.time()
+        });
+        assert_eq!(out.values, vec![0.0; 4], "hard_sync is not metered");
+    }
+}

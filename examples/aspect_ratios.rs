@@ -1,0 +1,46 @@
+//! How the three cases of Theorem 3 arise from aspect ratios: sweep the
+//! processor count for a fixed rectangular problem and watch the case, the
+//! optimal grid dimensionality, and the binding constant change.
+//!
+//! ```sh
+//! cargo run --release --example aspect_ratios
+//! ```
+
+use pmm::prelude::*;
+
+fn main() {
+    // The paper's running example: A is 9600×2400, B is 2400×600.
+    let dims = MatMulDims::new(9600, 2400, 600);
+    let s = dims.sorted();
+    println!("problem: {dims}   (m, n, k) = ({}, {}, {})", s.m, s.n, s.k);
+    println!(
+        "case thresholds: P = m/n = {}   and   P = mn/k² = {}\n",
+        s.threshold_1d_2d(),
+        s.threshold_2d_3d()
+    );
+
+    println!(
+        "{:>6} {:>5} {:>12} {:>14} {:>10} {:>9} {:>14}",
+        "P", "case", "grid", "bound(words)", "leading", "const", "grid-dim"
+    );
+    for p in [1usize, 2, 3, 4, 6, 9, 16, 25, 36, 49, 64, 128, 256, 512, 1024, 4096] {
+        let r = lower_bound(dims, p as f64);
+        let g = best_grid(dims, p);
+        println!(
+            "{:>6} {:>5} {:>12} {:>14.0} {:>10.0} {:>9} {:>14}",
+            p,
+            r.case.to_string(),
+            g.grid3().to_string(),
+            r.bound,
+            r.leading_term,
+            r.constant,
+            format!("{}D", g.grid3().effective_dimensionality().clamp(1, 3)),
+        );
+    }
+
+    println!("\nreading the table:");
+    println!(" * P ≤ 4: 1D case — only the small nk-face matrix moves; bound (1-1/P)·nk");
+    println!(" * 4 ≤ P ≤ 64: 2D case — bound 2(mnk²/P)^(1/2) + mn/P − offset");
+    println!(" * P ≥ 64: 3D case — bound 3(mnk/P)^(2/3) − offset");
+    println!(" * the grids match Fig. 2 of the paper: 3x1x1, 12x3x1, 32x8x2 …");
+}

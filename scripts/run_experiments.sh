@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact (Tables, Figures, §5/§6 claims) and save
+# the outputs under results/. Each harness verifies its own claims and
+# exits nonzero on failure, so this doubles as an end-to-end check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+BINS=(table1 lemma2_cases tightness fig1 fig2 eq3_check limited_memory \
+      strong_scaling algo_compare collectives_cost tradeoff_25d genbound_demo)
+
+for b in "${BINS[@]}"; do
+    echo "=== $b ==="
+    cargo run --release -q -p pmm-bench --bin "$b" | tee "results/$b.txt"
+    echo
+done
+
+echo "all experiments completed; outputs in results/"

@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) on the bound machinery: the analytic
+//! Lemma 2 solution, the KKT certificates, the Theorem 3 bound, the grid
+//! optimizer, and the Loomis–Whitney inequality — over randomized
+//! instances far beyond the hand-picked unit-test shapes.
+
+use pmm::bounds::kkt::{certificate_for, verify_kkt};
+use pmm::bounds::loomis::LatticeSet;
+use pmm::bounds::numeric::solve_numeric;
+use pmm::prelude::*;
+use proptest::prelude::*;
+
+/// Random sorted dimensions and processor count.
+fn instance() -> impl Strategy<Value = (u64, u64, u64, f64)> {
+    (1u64..200, 1u64..200, 1u64..200, 1u64..100_000).prop_map(|(a, b, c, p)| {
+        let mut v = [a, b, c];
+        v.sort_unstable();
+        (v[2], v[1], v[0], p as f64)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn analytic_solution_is_feasible_and_kkt_certified((m, n, k, p) in instance()) {
+        let prob = OptProblem::new(m as f64, n as f64, k as f64, p);
+        let sol = prob.solve();
+        prop_assert!(prob.feasible(sol.x, 1e-9), "infeasible: {:?}", sol.x);
+        let mu = certificate_for(&prob);
+        let report = verify_kkt(&prob, sol.x, mu, 1e-7);
+        prop_assert!(report.holds(1e-7), "KKT fails: {report:?}");
+    }
+
+    #[test]
+    fn numeric_solver_agrees_with_analytic((m, n, k, p) in instance()) {
+        let prob = OptProblem::new(m as f64, n as f64, k as f64, p);
+        let d = prob.solve().objective();
+        let (_, obj) = solve_numeric(&prob, 6);
+        prop_assert!(obj >= d * (1.0 - 1e-9), "numeric {obj} beats analytic {d}");
+        prop_assert!(obj <= d * (1.0 + 1e-3), "numeric {obj} far above analytic {d}");
+    }
+
+    #[test]
+    fn bound_is_invariant_under_dimension_permutation(
+        (m, n, k, p) in instance()
+    ) {
+        let perms = [
+            MatMulDims::new(m, n, k),
+            MatMulDims::new(n, k, m),
+            MatMulDims::new(k, m, n),
+            MatMulDims::new(m, k, n),
+        ];
+        let b0 = lower_bound(perms[0], p).bound;
+        for d in &perms[1..] {
+            let b = lower_bound(*d, p).bound;
+            prop_assert!((b - b0).abs() <= 1e-9 * b0.max(1.0), "{d}: {b} vs {b0}");
+        }
+    }
+
+    #[test]
+    fn every_integer_grid_cost_is_at_least_the_bound(
+        (m, n, k, _) in instance(),
+        p in 1usize..256,
+    ) {
+        let dims = MatMulDims::new(m, n, k);
+        let bound = lower_bound(dims, p as f64).bound;
+        for grid in Grid3::factorizations(p) {
+            let c = alg1_cost_words(dims, grid);
+            prop_assert!(
+                c >= bound - 1e-6 * bound.max(1.0),
+                "grid {grid:?}: {c} < bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_grid_is_optimal_among_factorizations(
+        (m, n, k, _) in instance(),
+        p in 1usize..128,
+    ) {
+        let dims = MatMulDims::new(m, n, k);
+        let best = best_grid(dims, p);
+        for grid in Grid3::factorizations(p) {
+            prop_assert!(best.cost_words <= alg1_cost_words(dims, grid) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn loomis_whitney_holds_on_random_lattice_sets(
+        points in proptest::collection::vec((0u32..12, 0u32..12, 0u32..12), 0..300)
+    ) {
+        let v = LatticeSet::from_points(points.into_iter().map(|(a, b, c)| [a, b, c]));
+        prop_assert!(v.satisfies_loomis_whitney());
+    }
+
+    #[test]
+    fn brick_work_sets_meet_the_lemma2_optimum(
+        q1 in 1u32..5, q2 in 1u32..5, q3 in 1u32..5,
+        s in 1u32..5,
+    ) {
+        // A (q1·s) × (q2·s) × (q3·s) iteration space split into q1·q2·q3
+        // bricks of edge s: each brick's footprint sum is ≥ the Lemma 2
+        // optimum for P = q1·q2·q3.
+        let dims = [q1 * s, q2 * s, q3 * s];
+        let mut sorted = dims;
+        sorted.sort_unstable();
+        let p = (q1 * q2 * q3) as f64;
+        let prob = OptProblem::new(sorted[2] as f64, sorted[1] as f64, sorted[0] as f64, p);
+        let dopt = prob.solve().objective();
+        let brick = LatticeSet::brick((0, s), (0, s), (0, s));
+        let sum: usize = brick.footprints().iter().sum();
+        prop_assert!(
+            sum as f64 >= dopt - 1e-9 * dopt,
+            "brick footprints {sum} below optimum {dopt}"
+        );
+    }
+
+    #[test]
+    fn this_paper_dominates_prior_bounds((m, n, k, p) in instance()) {
+        let dims = MatMulDims::new(m, n, k);
+        let ours = PriorBound::ThisPaper.evaluate_leading(dims, p).unwrap();
+        for row in [PriorBound::AggarwalChandraSnir, PriorBound::IronyToledoTiskin, PriorBound::DemmelEtAl] {
+            if let Some(theirs) = row.evaluate_leading(dims, p) {
+                prop_assert!(ours >= theirs - 1e-9, "{}: {theirs} > ours {ours}", row.label());
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_solver_agrees_with_lemma2((m, n, k, p) in instance()) {
+        use pmm::bounds::genbound::GenBoundProblem;
+        let lemma2 = OptProblem::new(m as f64, n as f64, k as f64, p).solve();
+        let gen = GenBoundProblem::matmul(m as f64, n as f64, k as f64, p).solve();
+        let d = lemma2.objective();
+        prop_assert!((gen.total - d).abs() <= 1e-9 * d, "general {} vs Lemma2 {d}", gen.total);
+    }
+
+    #[test]
+    fn advisor_winner_is_feasible_and_no_worse_than_alternatives(
+        (m, n, k, _) in instance(),
+        p in 2usize..65,
+        mem_factor in 1.1f64..20.0,
+    ) {
+        use pmm::bounds::advisor::recommend;
+        let dims = MatMulDims::new(m, n, k);
+        let min_mem = dims.total_words() / p as f64;
+        let mem = min_mem * mem_factor;
+        let recs = recommend(dims, p, mem, MachineParams::BANDWIDTH_ONLY);
+        for r in &recs {
+            prop_assert!(r.memory_words <= mem, "{:?} over budget", r.strategy);
+            prop_assert!(r.cost.is_valid());
+        }
+        for w in recs.windows(2) {
+            prop_assert!(w[0].time <= w[1].time, "ranking out of order");
+        }
+        // The winner's words never beat Theorem 3.
+        if let Some(best) = recs.first() {
+            let bound = lower_bound(dims, p as f64).bound;
+            prop_assert!(
+                best.cost.words >= bound - 1e-6 * bound.max(1.0),
+                "advisor winner {} below the bound {bound}",
+                best.cost.words
+            );
+        }
+    }
+
+    #[test]
+    fn d_is_continuous_in_p((m, n, k, _) in instance(), pf in 1.0f64..10_000.0) {
+        // No jumps: D(p) vs D(p·(1+ε)) differ by O(ε).
+        let dims = MatMulDims::new(m, n, k);
+        let d1 = lower_bound(dims, pf).d;
+        let d2 = lower_bound(dims, pf * (1.0 + 1e-9)).d;
+        prop_assert!((d1 - d2).abs() <= 1e-6 * d1.max(1.0));
+    }
+}
