@@ -38,16 +38,20 @@ pub struct CannonOutput {
 
 /// Extract the `(i, j)` blocks of `A` and `B` owned initially by rank
 /// `(i, j)`.
-fn owned_blocks(dims: MatMulDims, q: usize, i: usize, j: usize, a: &Matrix, b: &Matrix) -> (Matrix, Matrix) {
+fn owned_blocks(
+    dims: MatMulDims,
+    q: usize,
+    i: usize,
+    j: usize,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, Matrix) {
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
     let ra = block_range(n1, q, i);
     let ca = block_range(n2, q, j);
     let rb = block_range(n2, q, i);
     let cb = block_range(n3, q, j);
-    (
-        a.sub(ra.start, ca.start, ra.len(), ca.len()),
-        b.sub(rb.start, cb.start, rb.len(), cb.len()),
-    )
+    (a.sub(ra.start, ca.start, ra.len(), ca.len()), b.sub(rb.start, cb.start, rb.len(), cb.len()))
 }
 
 /// Run Cannon's algorithm. `a`/`b` are the global inputs, read only for

@@ -37,11 +37,7 @@ impl PhaseMeter {
 /// Every world rank must call this exactly once, and the world size must
 /// equal the grid size.
 pub fn fiber_comms(rank: &mut Rank, grid: Grid3) -> [Comm; 3] {
-    assert_eq!(
-        rank.world_size(),
-        grid.size(),
-        "world size must equal grid size"
-    );
+    assert_eq!(rank.world_size(), grid.size(), "world size must equal grid size");
     let world = rank.world_comm();
     let coord = grid.coord_of(rank.world_rank());
     let make = |rank: &mut Rank, axis: usize| {
@@ -108,9 +104,7 @@ mod tests {
         let out = World::new(12, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
             let comms = fiber_comms(rank, grid);
             let coord = grid.coord_of(rank.world_rank());
-            (0..3)
-                .map(|a| (comms[a].size(), comms[a].index() == coord[a]))
-                .collect::<Vec<_>>()
+            (0..3).map(|a| (comms[a].size(), comms[a].index() == coord[a])).collect::<Vec<_>>()
         });
         for v in &out.values {
             assert_eq!(v[0].0, 2);
@@ -126,9 +120,7 @@ mod tests {
         let out = World::new(27, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
             let comms = fiber_comms(rank, grid);
             let coord = grid.coord_of(rank.world_rank());
-            (0..3)
-                .map(|a| (comms[a].members().to_vec(), grid.fiber(coord, a)))
-                .collect::<Vec<_>>()
+            (0..3).map(|a| (comms[a].members().to_vec(), grid.fiber(coord, a))).collect::<Vec<_>>()
         });
         for v in &out.values {
             for (got, want) in v {

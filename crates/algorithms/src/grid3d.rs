@@ -27,7 +27,9 @@
 //!
 //! and with the §5.2 optimal grid this *equals* the Theorem 3 bound.
 
-use pmm_collectives::{all_gather_v, all_to_all, reduce_scatter_v, AllGatherAlgo, AllToAllAlgo, ReduceScatterAlgo};
+use pmm_collectives::{
+    all_gather_v, all_to_all, reduce_scatter_v, AllGatherAlgo, AllToAllAlgo, ReduceScatterAlgo,
+};
 use pmm_dense::{block_range, chunk_of_block, gemm, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};
 use pmm_simnet::Rank;
@@ -99,11 +101,7 @@ pub fn owned_b_chunk(dims: MatMulDims, grid: Grid3, coord: [usize; 3], b: &Matri
 
 /// The chunk range of `C_{p1', p3'}` owned finally by `coord` (chunk index
 /// = `coord[1]`), as a range into the block's row-major elements.
-pub fn owned_c_range(
-    dims: MatMulDims,
-    grid: Grid3,
-    coord: [usize; 3],
-) -> std::ops::Range<usize> {
+pub fn owned_c_range(dims: MatMulDims, grid: Grid3, coord: [usize; 3]) -> std::ops::Range<usize> {
     let [p1, p2, p3] = grid.dims();
     let h = block_range(dims.n1 as usize, p1, coord[0]).len();
     let w = block_range(dims.n3 as usize, p3, coord[2]).len();
@@ -347,10 +345,7 @@ mod tests {
             let (_, out) = run(dims, grid, Assembly::ReduceScatter);
             let want = alg1_cost_words(dims, grid);
             let got = out.critical_path_time();
-            assert!(
-                (got - want).abs() < 1e-9,
-                "grid {grid:?}: measured {got} vs eq3 {want}"
-            );
+            assert!((got - want).abs() < 1e-9, "grid {grid:?}: measured {got} vs eq3 {want}");
             // And every rank moves the same volume (balanced schedule).
             for r in &out.reports {
                 assert_eq!(r.meter.duplex_words() as f64, want, "grid {grid:?}");
@@ -414,8 +409,7 @@ mod tests {
         let (_, rs) = run(dims, grid, Assembly::ReduceScatter);
         let (_, aa) = run(dims, grid, Assembly::AllToAllSum);
         assert_eq!(
-            rs.reports[0].meter.words_sent,
-            aa.reports[0].meter.words_sent,
+            rs.reports[0].meter.words_sent, aa.reports[0].meter.words_sent,
             "assembly variants move the same words"
         );
         // p2 = 4: reduce-scatter (recursive halving) needs log2(4) = 2
@@ -436,10 +430,7 @@ mod tests {
             let peak = rep.peak_mem_words as f64;
             // Peak includes the owned input chunks (counted once more than
             // the analytic footprint) but must stay within ~1.5× of it.
-            assert!(
-                peak >= want && peak <= 1.5 * want,
-                "peak {peak} vs analytic footprint {want}"
-            );
+            assert!(peak >= want && peak <= 1.5 * want, "peak {peak} vs analytic footprint {want}");
         }
     }
 }

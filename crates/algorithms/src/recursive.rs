@@ -96,29 +96,19 @@ pub fn carma_shares(p: usize, idx: usize, a: &Matrix, b: &Matrix) -> (Vec<f64>, 
         0 => {
             // split n1: A halved semantically; B shared (flat-halved).
             assert!(n1 % 2 == 0, "split dimension n1 = {n1} must be even");
-            let a_half = if lower {
-                a.sub(0, 0, n1 / 2, n2)
-            } else {
-                a.sub(n1 / 2, 0, n1 / 2, n2)
-            };
+            let a_half = if lower { a.sub(0, 0, n1 / 2, n2) } else { a.sub(n1 / 2, 0, n1 / 2, n2) };
             let (a_share, b_dist) = carma_shares(half, sub_idx, &a_half, b);
             let l = b_dist.len();
-            let b_share =
-                if lower { b_dist[..l / 2].to_vec() } else { b_dist[l / 2..].to_vec() };
+            let b_share = if lower { b_dist[..l / 2].to_vec() } else { b_dist[l / 2..].to_vec() };
             (a_share, b_share)
         }
         2 => {
             // split n3: B halved semantically; A shared (flat-halved).
             assert!(n3 % 2 == 0, "split dimension n3 = {n3} must be even");
-            let b_half = if lower {
-                b.sub(0, 0, n2, n3 / 2)
-            } else {
-                b.sub(0, n3 / 2, n2, n3 / 2)
-            };
+            let b_half = if lower { b.sub(0, 0, n2, n3 / 2) } else { b.sub(0, n3 / 2, n2, n3 / 2) };
             let (a_dist, b_share) = carma_shares(half, sub_idx, a, &b_half);
             let l = a_dist.len();
-            let a_share =
-                if lower { a_dist[..l / 2].to_vec() } else { a_dist[l / 2..].to_vec() };
+            let a_share = if lower { a_dist[..l / 2].to_vec() } else { a_dist[l / 2..].to_vec() };
             (a_share, b_share)
         }
         _ => {
@@ -218,17 +208,7 @@ pub fn carma_assemble_c(dims: MatMulDims, p: usize, shares: &[Vec<f64>]) -> Matr
     assert_eq!(shares.len(), p);
     let mut c = Matrix::zeros(dims.n1 as usize, dims.n3 as usize);
     for (r, share) in shares.iter().enumerate() {
-        place_c(
-            p,
-            r,
-            dims.n1 as usize,
-            dims.n2 as usize,
-            dims.n3 as usize,
-            share,
-            &mut c,
-            0,
-            0,
-        );
+        place_c(p, r, dims.n1 as usize, dims.n2 as usize, dims.n3 as usize, share, &mut c, 0, 0);
     }
     c
 }
@@ -470,10 +450,7 @@ mod tests {
             let (_, out) = run_carma(dims, p, 13);
             let want = carma_cost_words(dims, p as u64);
             let got = out.critical_path_time();
-            assert!(
-                (got - want).abs() < 1e-9,
-                "{dims} P={p}: measured {got} vs model {want}"
-            );
+            assert!((got - want).abs() < 1e-9, "{dims} P={p}: measured {got} vs model {want}");
         }
     }
 

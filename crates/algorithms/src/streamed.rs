@@ -21,8 +21,8 @@ use pmm_model::{Grid3, MatMulDims};
 use pmm_simnet::Rank;
 
 use crate::common::fiber_comms;
-use crate::grid3d::Alg1Output;
 use crate::common::PhaseMeter;
+use crate::grid3d::Alg1Output;
 
 /// Run the streamed Algorithm 1 with `slabs` inner-dimension slabs
 /// (`slabs = 1` is semantically plain Algorithm 1 modulo the input
@@ -66,9 +66,8 @@ pub fn alg1_streamed(
         let a_slab_words = h1 * slab.len();
         let a_counts: Vec<usize> =
             (0..p3).map(|r| chunk_of_block(a_slab_words, p3, r).len()).collect();
-        let a_slab_global = a
-            .sub(rows_a.start, inner.start + slab.start, h1, slab.len())
-            .into_vec();
+        let a_slab_global =
+            a.sub(rows_a.start, inner.start + slab.start, h1, slab.len()).into_vec();
         let my_chunk = chunk_of_block(a_slab_words, p3, coord[2]);
         let a_own = a_slab_global[my_chunk].to_vec();
         rank.mem_acquire(a_slab_words as u64);
@@ -81,9 +80,8 @@ pub fn alg1_streamed(
         let b_slab_words = slab.len() * h3;
         let b_counts: Vec<usize> =
             (0..p1).map(|r| chunk_of_block(b_slab_words, p1, r).len()).collect();
-        let b_slab_global = b
-            .sub(inner.start + slab.start, cols_b.start, slab.len(), h3)
-            .into_vec();
+        let b_slab_global =
+            b.sub(inner.start + slab.start, cols_b.start, slab.len(), h3).into_vec();
         let my_chunk = chunk_of_block(b_slab_words, p1, coord[0]);
         let b_own = b_slab_global[my_chunk].to_vec();
         rank.mem_acquire(b_slab_words as u64);
@@ -212,8 +210,7 @@ mod tests {
         });
         for r in 0..8 {
             assert_eq!(
-                streamed.reports[r].meter.words_sent,
-                plain.reports[r].meter.words_sent,
+                streamed.reports[r].meter.words_sent, plain.reports[r].meter.words_sent,
                 "rank {r}"
             );
         }

@@ -121,7 +121,11 @@ mod tests {
     use pmm_dense::{gemm, random_int_matrix};
     use pmm_simnet::{MachineParams, World};
 
-    fn run(dims: MatMulDims, pr: usize, pc: usize) -> (Matrix, pmm_simnet::WorldResult<SummaOutput>) {
+    fn run(
+        dims: MatMulDims,
+        pr: usize,
+        pc: usize,
+    ) -> (Matrix, pmm_simnet::WorldResult<SummaOutput>) {
         let cfg = SummaConfig { dims, pr, pc, kernel: Kernel::Naive };
         let out = World::new(pr * pc, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
             let a = random_int_matrix(dims.n1 as usize, dims.n2 as usize, -3..4, 15);
@@ -185,8 +189,8 @@ mod tests {
         let (_, out) = run(dims, pr, pc);
         let a_stripe = (24.0 / pr as f64) * 24.0;
         let b_stripe = 24.0 * (24.0 / pc as f64);
-        let want = 2.0 * (1.0 - 1.0 / pc as f64) * a_stripe
-            + 2.0 * (1.0 - 1.0 / pr as f64) * b_stripe;
+        let want =
+            2.0 * (1.0 - 1.0 / pc as f64) * a_stripe + 2.0 * (1.0 - 1.0 / pr as f64) * b_stripe;
         let got = out.critical_path_time();
         assert!((got - want).abs() <= 1e-9, "critical path {got} vs model {want}");
     }

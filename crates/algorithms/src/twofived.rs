@@ -63,8 +63,7 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
     // (vary i), fiber comm across layers (vary l).
     let row = rank.split(&world, (l * q + i) as i64, j as i64).expect("row comm");
     let col = rank.split(&world, (q * q + l * q + j) as i64, i as i64).expect("col comm");
-    let fiber =
-        rank.split(&world, (2 * q * q + i * q + j) as i64, l as i64).expect("fiber comm");
+    let fiber = rank.split(&world, (2 * q * q + i * q + j) as i64, l as i64).expect("fiber comm");
     debug_assert_eq!(row.size(), q);
     debug_assert_eq!(col.size(), q);
     debug_assert_eq!(fiber.size(), c);
@@ -87,8 +86,10 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
         vec![0.0; b_words]
     };
     rank.mem_acquire((a_words + b_words) as u64);
-    let mut a_cur = Matrix::from_vec(ra.len(), ca.len(), bcast(rank, &fiber, &a0, 0, BcastAlgo::Binomial));
-    let mut b_cur = Matrix::from_vec(rb.len(), cb.len(), bcast(rank, &fiber, &b0, 0, BcastAlgo::Binomial));
+    let mut a_cur =
+        Matrix::from_vec(ra.len(), ca.len(), bcast(rank, &fiber, &a0, 0, BcastAlgo::Binomial));
+    let mut b_cur =
+        Matrix::from_vec(rb.len(), cb.len(), bcast(rank, &fiber, &b0, 0, BcastAlgo::Binomial));
 
     // ---- step 2: shifted Cannon over my layer's q/c inner positions -------
     // Layer l covers inner positions {l·q/c + t : t in 0..q/c} (mod q,
@@ -137,8 +138,7 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
 
     // ---- step 3: sum partial C over the fiber to layer 0 ------------------
     let summed = reduce(rank, &fiber, cmat.as_slice(), 0, ReduceAlgo::Binomial);
-    let c_block =
-        (l == 0).then(|| Matrix::from_vec(my_rows, my_cols, summed));
+    let c_block = (l == 0).then(|| Matrix::from_vec(my_rows, my_cols, summed));
     TwoFiveDOutput { c_block }
 }
 

@@ -3,7 +3,10 @@
 //! dimensions and random grids (divisible or not), and Cannon/SUMMA agree
 //! on random instances.
 
-use pmm_algs::{alg1, assemble_c, assemble_from_blocks, cannon, summa, Alg1Config, Assembly, CannonConfig, SummaConfig};
+use pmm_algs::{
+    alg1, assemble_c, assemble_from_blocks, cannon, summa, Alg1Config, Assembly, CannonConfig,
+    SummaConfig,
+};
 use pmm_core::gridopt::alg1_cost_words;
 use pmm_dense::{gemm, random_int_matrix, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};

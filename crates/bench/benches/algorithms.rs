@@ -3,7 +3,10 @@
 //! simulator's own overhead is benchmarked in `simnet`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pmm_algs::{alg1, alg1_streamed, cannon, carma, carma_shares, summa, Alg1Config, Assembly, CannonConfig, SummaConfig};
+use pmm_algs::{
+    alg1, alg1_streamed, cannon, carma, carma_shares, summa, Alg1Config, Assembly, CannonConfig,
+    SummaConfig,
+};
 use pmm_core::gridopt::best_grid;
 use pmm_dense::{random_matrix, Kernel, Matrix};
 use pmm_model::MatMulDims;

@@ -40,10 +40,9 @@ fn bench_reduce_scatter(c: &mut Criterion) {
     for p in [4usize, 8, 16] {
         let w = 10_000usize;
         group.throughput(Throughput::Elements(((p - 1) * w) as u64));
-        for (name, algo) in [
-            ("ring", ReduceScatterAlgo::Ring),
-            ("rechalf", ReduceScatterAlgo::RecursiveHalving),
-        ] {
+        for (name, algo) in
+            [("ring", ReduceScatterAlgo::Ring), ("rechalf", ReduceScatterAlgo::RecursiveHalving)]
+        {
             group.bench_with_input(BenchmarkId::new(name, p), &p, |bench, _| {
                 bench.iter(|| {
                     World::new(p, MachineParams::BANDWIDTH_ONLY).run(move |rank| {

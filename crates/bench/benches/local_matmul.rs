@@ -12,11 +12,9 @@ fn bench_kernels(c: &mut Criterion) {
         let b = random_matrix(n, n, 2);
         group.throughput(Throughput::Elements((n * n * n) as u64));
         for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Parallel] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kernel:?}"), n),
-                &n,
-                |bench, _| bench.iter(|| black_box(gemm(black_box(&a), black_box(&b), kernel))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{kernel:?}"), n), &n, |bench, _| {
+                bench.iter(|| black_box(gemm(black_box(&a), black_box(&b), kernel)))
+            });
         }
     }
     group.finish();

@@ -52,12 +52,7 @@ fn bench_exchange_ring(c: &mut Criterion) {
                     let comm = rank.world_comm();
                     let me = comm.index();
                     for _ in 0..10 {
-                        black_box(rank.exchange(
-                            &comm,
-                            (me + 1) % p,
-                            (me + p - 1) % p,
-                            &[1.0; 64],
-                        ));
+                        black_box(rank.exchange(&comm, (me + 1) % p, (me + p - 1) % p, &[1.0; 64]));
                     }
                 })
             })
@@ -83,5 +78,11 @@ fn bench_comm_split(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_world_spawn, bench_ping_pong, bench_exchange_ring, bench_comm_split);
+criterion_group!(
+    benches,
+    bench_world_spawn,
+    bench_ping_pong,
+    bench_exchange_ring,
+    bench_comm_split
+);
 criterion_main!(benches);

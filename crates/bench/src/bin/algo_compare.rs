@@ -11,7 +11,10 @@
 //! cargo run --release -p pmm-bench --bin algo_compare
 //! ```
 
-use pmm_algs::{alg1, cannon, carma, carma_cost_words, carma_shares, summa, twofived, Alg1Config, CannonConfig, SummaConfig, TwoFiveDConfig};
+use pmm_algs::{
+    alg1, cannon, carma, carma_cost_words, carma_shares, summa, twofived, Alg1Config, CannonConfig,
+    SummaConfig, TwoFiveDConfig,
+};
 use pmm_bench::{fnum, print_table, Checks};
 use pmm_core::gridopt::best_grid;
 use pmm_core::theorem3::lower_bound;
@@ -123,7 +126,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["regime", "bound", "Alg 1 (opt grid)", "Cannon 8x8", "SUMMA 8x8", "2.5D c=4", "CARMA (measured)"],
+        &[
+            "regime",
+            "bound",
+            "Alg 1 (opt grid)",
+            "Cannon 8x8",
+            "SUMMA 8x8",
+            "2.5D c=4",
+            "CARMA (measured)",
+        ],
         &rows,
     );
 
@@ -161,8 +172,10 @@ fn main() {
     println!("   approach Alg 1 as P enters the 3D case;");
     println!(" * 2.5D interpolates: better than 2D at the same P, still above the");
     println!("   optimal 3D grid;");
-    println!(" * the CARMA recursion (executed, and exactly matching its cost model)
-   also sits on the bound here: on instances whose");
+    println!(
+        " * the CARMA recursion (executed, and exactly matching its cost model)
+   also sits on the bound here: on instances whose"
+    );
     println!("   dimensions and P are power-of-two aligned, its halving schedule is");
     println!("   equivalent to an optimal grid. Demmel et al. proved only asymptotic");
     println!("   optimality; Theorem 3 supplies the constants that certify runs like");

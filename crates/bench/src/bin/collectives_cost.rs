@@ -14,8 +14,8 @@
 
 use pmm_bench::{fnum, print_table, Checks};
 use pmm_collectives::{
-    all_gather, all_reduce, all_to_all, bcast, costs, reduce_scatter, AllGatherAlgo,
-    AllReduceAlgo, AllToAllAlgo, BcastAlgo, ReduceScatterAlgo,
+    all_gather, all_reduce, all_to_all, bcast, costs, reduce_scatter, AllGatherAlgo, AllReduceAlgo,
+    AllToAllAlgo, BcastAlgo, ReduceScatterAlgo,
 };
 use pmm_simnet::{MachineParams, World};
 
@@ -46,7 +46,10 @@ fn main() {
             let optimal = (1.0 - 1.0 / p as f64) * (p * w) as f64;
             let model = costs::all_gather_cost(algo, p, w);
             checks.check(format!("{name} p={p}: measured == model"), measured == model.words);
-            checks.check(format!("{name} p={p}: bandwidth-optimal"), (measured - optimal).abs() < 1e-9);
+            checks.check(
+                format!("{name} p={p}: bandwidth-optimal"),
+                (measured - optimal).abs() < 1e-9,
+            );
             rows.push(vec![name.into(), p.to_string(), fnum(measured), fnum(optimal)]);
         }
 
@@ -58,7 +61,10 @@ fn main() {
         });
         let measured = out.critical_path_time();
         let optimal = (1.0 - 1.0 / p as f64) * (p * w) as f64;
-        checks.check(format!("reduce-scatter p={p}: bandwidth-optimal"), (measured - optimal).abs() < 1e-9);
+        checks.check(
+            format!("reduce-scatter p={p}: bandwidth-optimal"),
+            (measured - optimal).abs() < 1e-9,
+        );
         rows.push(vec!["reduce-scatter/auto".into(), p.to_string(), fnum(measured), fnum(optimal)]);
 
         // All-Reduce (Rabenseifner): optimal 2(1 − 1/p)·w.

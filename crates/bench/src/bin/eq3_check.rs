@@ -60,7 +60,9 @@ fn main() {
         }
     }
     print_table(&["P", "grid (sorted reps)", "eq.(3)", "measured", "verdict"], &rows);
-    println!("\nchecked all {n_grids} divisible factorizations (table shows sorted representatives)");
+    println!(
+        "\nchecked all {n_grids} divisible factorizations (table shows sorted representatives)"
+    );
 
     checks.finish();
 }

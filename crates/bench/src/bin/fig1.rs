@@ -69,10 +69,7 @@ fn main() {
     // 2·chunk words received in the reduce-scatter.
     checks.check("A received == block − owned", phases[0].meter.words_recv == block - chunk);
     checks.check("B received == block − owned", phases[1].meter.words_recv == block - chunk);
-    checks.check(
-        "C received == (1 − 1/p2)·block",
-        phases[2].meter.words_recv == block - chunk,
-    );
+    checks.check("C received == (1 − 1/p2)·block", phases[2].meter.words_recv == block - chunk);
 
     // ---- the three fibers (the arrows of the figure) -----------------------
     println!("\ncollective fibers through (1,3,1):");

@@ -60,7 +60,11 @@ fn main() {
             d.to_string(),
             fnum(sol.total),
             fnum(predicted),
-            if unconstrained { "3D-like (none pinned)".into() } else { format!("{:?}", sol.active) },
+            if unconstrained {
+                "3D-like (none pinned)".into()
+            } else {
+                format!("{:?}", sol.active)
+            },
         ]);
     }
     print_table(&["d", "general D", "d·(n^d/P)^((d-1)/d)", "regime"], &rows);
@@ -89,17 +93,9 @@ fn main() {
         let sol = prob.solve();
         let pinned = sol.active.iter().filter(|&&a| a).count();
         checks.check(format!("P={p}: solution feasible"), prob.feasible(&sol.x, 1e-9));
-        checks.check(
-            format!("P={p}: pinned set shrinks with P"),
-            pinned <= prev_pinned,
-        );
+        checks.check(format!("P={p}: pinned set shrinks with P"), pinned <= prev_pinned);
         prev_pinned = pinned;
-        rows.push(vec![
-            fnum(p),
-            fnum(sol.total),
-            format!("{:?}", sol.active),
-            pinned.to_string(),
-        ]);
+        rows.push(vec![fnum(p), fnum(sol.total), format!("{:?}", sol.active), pinned.to_string()]);
     }
     print_table(&["P", "access bound D", "pinned (tensor, A, B, C)", "#pinned"], &rows);
     println!("\nreading: at small P the large-array access floors bind (the 1D/2D");

@@ -41,7 +41,8 @@ fn main() {
             format!("P={p}: numeric solver within 1e-4"),
             (numeric_obj - d).abs() <= 1e-4 * d,
         );
-        checks.check(format!("P={p}: numeric never beats analytic"), numeric_obj >= d * (1.0 - 1e-9));
+        checks
+            .check(format!("P={p}: numeric never beats analytic"), numeric_obj >= d * (1.0 - 1e-9));
 
         rows.push(vec![
             fnum(p),
@@ -73,9 +74,7 @@ fn main() {
     for pb in [m / n, m * n / (k * k)] {
         let lo = OptProblem::new(m, n, k, pb * (1.0 - 1e-12)).solve();
         let hi = OptProblem::new(m, n, k, pb * (1.0 + 1e-12)).solve();
-        let jump = (0..3)
-            .map(|i| ((lo.x[i] - hi.x[i]) / lo.x[i]).abs())
-            .fold(0.0f64, f64::max);
+        let jump = (0..3).map(|i| ((lo.x[i] - hi.x[i]) / lo.x[i]).abs()).fold(0.0f64, f64::max);
         println!("continuity at P = {pb}: max relative jump {jump:.2e}");
         checks.check(format!("continuous at P={pb}"), jump < 1e-9);
     }

@@ -18,8 +18,8 @@
 use pmm_bench::{fnum, print_table, Checks};
 use pmm_core::gridopt::best_grid;
 use pmm_core::memlimit::{
-    alg1_memory_words, limited_memory_report, memory_dependent_dominance_range,
-    min_memory_words, three_d_memory_threshold, Dominant,
+    alg1_memory_words, limited_memory_report, memory_dependent_dominance_range, min_memory_words,
+    three_d_memory_threshold, Dominant,
 };
 use pmm_model::MatMulDims;
 

@@ -64,14 +64,12 @@ fn main() {
                     for &(dims, p) in instances {
                         let r = lower_bound(dims, p);
                         assert_eq!(r.case, *case, "sweep instance fell out of its case");
-                        let value = prior
-                            .evaluate_leading(dims, p)
-                            .expect("constant exists for this case");
+                        let value =
+                            prior.evaluate_leading(dims, p).expect("constant exists for this case");
                         extracted.push(value / r.leading_term);
                     }
                     let first = extracted[0];
-                    let consistent =
-                        extracted.iter().all(|&e| (e - first).abs() < 1e-9 * first);
+                    let consistent = extracted.iter().all(|&e| (e - first).abs() < 1e-9 * first);
                     checks.check(
                         format!("{} {case}: constant is shape-independent", prior.label()),
                         consistent,
@@ -106,7 +104,10 @@ fn main() {
     {
         let cs: Vec<f64> =
             pmm_core::prior::MemDependentBound::ALL.iter().map(|b| b.constant()).collect();
-        checks.check("memory-dependent constants improve monotonically", cs[0] < cs[1] && cs[1] < cs[2]);
+        checks.check(
+            "memory-dependent constants improve monotonically",
+            cs[0] < cs[1] && cs[1] < cs[2],
+        );
         checks.check("tight memory-dependent constant is 2", cs[2] == 2.0);
     }
     println!();
@@ -114,15 +115,14 @@ fn main() {
     // Improvement factors (the paper's contribution in one line).
     let dims = MatMulDims::new(9600, 2400, 600);
     for (p, case) in [(2.0, "1D"), (36.0, "2D"), (512.0, "3D")] {
-        let ours = PriorBound::ThisPaper.evaluate_leading(dims, p).unwrap();
+        let ours = PriorBound::ThisPaper
+            .evaluate_leading(dims, p)
+            .expect("this paper's bound is defined for every aspect ratio and p");
         let best_prior = PriorBound::ALL[..3]
             .iter()
             .filter_map(|b| b.evaluate_leading(dims, p))
             .fold(0.0f64, f64::max);
-        println!(
-            "improvement over best prior constant, {case} case: {:.3}x",
-            ours / best_prior
-        );
+        println!("improvement over best prior constant, {case} case: {:.3}x", ours / best_prior);
         checks.check(format!("{case}: Theorem 3 strictly improves"), ours > best_prior);
     }
 

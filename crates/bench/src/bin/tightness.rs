@@ -32,7 +32,10 @@ fn measure(dims: MatMulDims, grid: [usize; 3], checks: &mut Checks) -> f64 {
     let b = random_int_matrix(n2, n3, -2..3, 8);
     let want = gemm(&a, &b, Kernel::Tiled);
     let chunks: Vec<_> = out.values.iter().map(|v| v.c_chunk.clone()).collect();
-    checks.check(format!("{dims} grid {grid:?}: product correct"), assemble_c(dims, g, &chunks) == want);
+    checks.check(
+        format!("{dims} grid {grid:?}: product correct"),
+        assemble_c(dims, g, &chunks) == want,
+    );
     out.critical_path_time()
 }
 

@@ -77,12 +77,10 @@ fn main() {
         println!("  P = {p:>5}: {r:.3}");
     }
     for w in ratios.windows(2) {
-        checks.check(
-            format!("ratio falls from P={} to P={}", w[0].0, w[1].0),
-            w[1].1 < w[0].1,
-        );
+        checks.check(format!("ratio falls from P={} to P={}", w[0].0, w[1].0), w[1].1 < w[0].1);
     }
-    checks.check("replication wins by P=1024", ratios.last().unwrap().1 < 1.0);
+    let last = ratios.last().expect("the P sweep is non-empty");
+    checks.check("replication wins by P=1024", last.1 < 1.0);
 
     println!("\nreading the table: replication trades memory (~c× footprint) for");
     println!("communication, but only pays once the per-layer shift work dominates");

@@ -84,9 +84,7 @@ impl<'a> Flags<'a> {
             if !flag.starts_with("--") {
                 return Err(err(format!("expected a --flag, got '{flag}'")));
             }
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| err(format!("flag {flag} needs a value")))?;
+            let value = args.get(i + 1).ok_or_else(|| err(format!("flag {flag} needs a value")))?;
             pairs.push((&flag[2..], value.as_str()));
             i += 2;
         }
@@ -159,9 +157,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 dims: parse_dims(flags.require("dims")?)?,
                 procs,
                 memory: parse_f64(&flags, "memory", None)?,
-                alpha: parse_f64(&flags, "alpha", Some(1e4))?.unwrap(),
-                beta: parse_f64(&flags, "beta", Some(10.0))?.unwrap(),
-                gamma: parse_f64(&flags, "gamma", Some(1.0))?.unwrap(),
+                alpha: parse_f64(&flags, "alpha", Some(1e4))?
+                    .expect("parse_f64 returns Some when a default is supplied"),
+                beta: parse_f64(&flags, "beta", Some(10.0))?
+                    .expect("parse_f64 returns Some when a default is supplied"),
+                gamma: parse_f64(&flags, "gamma", Some(1.0))?
+                    .expect("parse_f64 returns Some when a default is supplied"),
             })
         }
         "simulate" => {
@@ -174,9 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let grid = flags.get("grid").map(parse_grid).transpose()?;
             let seed = match flags.get("seed") {
                 None => 42,
-                Some(v) => {
-                    v.parse::<u64>().map_err(|_| err("--seed expects an integer"))?
-                }
+                Some(v) => v.parse::<u64>().map_err(|_| err("--seed expects an integer"))?,
             };
             Ok(Command::Simulate { dims: parse_dims(flags.require("dims")?)?, procs, grid, seed })
         }

@@ -130,13 +130,7 @@ pub fn advise(
 pub fn simulate(dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: u64) -> String {
     let grid = grid.unwrap_or_else(|| best_grid(dims, procs).grid);
     let g = Grid3::from_dims(grid);
-    assert_eq!(
-        g.size(),
-        procs,
-        "grid {} has {} processors but --procs is {procs}",
-        g,
-        g.size()
-    );
+    assert_eq!(g.size(), procs, "grid {} has {} processors but --procs is {procs}", g, g.size());
     let cfg = Alg1Config::new(dims, g);
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
     let out = World::new(procs, MachineParams::BANDWIDTH_ONLY).run(move |rank| {

@@ -14,7 +14,7 @@
 //! Both move exactly `W − w_me` words per rank, i.e. `(1 − 1/p)·W` for
 //! uniform blocks, which is optimal.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::util::{is_pow2, offsets};
 
@@ -38,6 +38,7 @@ pub enum AllGatherAlgo {
 ///
 /// Every rank contributes `mine` (all contributions must have equal
 /// length); returns the concatenation in communicator order.
+#[track_caller]
 pub fn all_gather(rank: &mut Rank, comm: &Comm, mine: &[f64], algo: AllGatherAlgo) -> Vec<f64> {
     let counts = vec![mine.len(); comm.size()];
     all_gather_v(rank, comm, mine, &counts, algo)
@@ -47,6 +48,7 @@ pub fn all_gather(rank: &mut Rank, comm: &Comm, mine: &[f64], algo: AllGatherAlg
 ///
 /// `counts[i]` is the contribution length of member `i` and must be known
 /// (and identical) at every rank; `counts[comm.index()] == mine.len()`.
+#[track_caller]
 pub fn all_gather_v(
     rank: &mut Rank,
     comm: &Comm,
@@ -57,6 +59,7 @@ pub fn all_gather_v(
     let p = comm.size();
     assert_eq!(counts.len(), p, "counts length must equal communicator size");
     assert_eq!(counts[comm.index()], mine.len(), "own count disagrees with contribution");
+    rank.collective_begin(comm, CollectiveOp::AllGather, mine.len() as u64);
     if p == 1 {
         return mine.to_vec();
     }

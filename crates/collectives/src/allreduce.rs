@@ -1,7 +1,7 @@
 //! All-Reduce: element-wise sum of every rank's buffer, delivered at every
 //! rank.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::allgather::{all_gather_v, AllGatherAlgo};
 use crate::reduce_scatter::{reduce_scatter_v, ReduceScatterAlgo};
@@ -22,8 +22,10 @@ pub enum AllReduceAlgo {
 
 /// Sum-reduce `data` across the communicator; every rank returns the full
 /// element-wise sum.
+#[track_caller]
 pub fn all_reduce(rank: &mut Rank, comm: &Comm, data: &[f64], algo: AllReduceAlgo) -> Vec<f64> {
     let p = comm.size();
+    rank.collective_begin(comm, CollectiveOp::AllReduce, data.len() as u64);
     if p == 1 {
         return data.to_vec();
     }

@@ -5,7 +5,7 @@
 //! Reduce-Scatter (§5.1); the All-to-All is provided both for completeness
 //! and so the ablation benches can compare the two assembly strategies.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::util::is_pow2;
 
@@ -21,9 +21,11 @@ pub enum AllToAllAlgo {
 /// equal blocks (block `i` destined for member `i`); the result is the
 /// concatenation of the blocks received from each member (own block
 /// copied locally).
+#[track_caller]
 pub fn all_to_all(rank: &mut Rank, comm: &Comm, data: &[f64], _algo: AllToAllAlgo) -> Vec<f64> {
     let p = comm.size();
     assert!(data.len().is_multiple_of(p), "all_to_all data length must be divisible by p");
+    rank.collective_begin(comm, CollectiveOp::AllToAll, data.len() as u64);
     let w = data.len() / p;
     let me = comm.index();
     let mut out = vec![0.0f64; data.len()];

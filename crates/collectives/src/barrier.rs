@@ -1,13 +1,15 @@
 //! Dissemination barrier: `⌈log2 p⌉` rounds of empty messages; works for
 //! any `p`.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 /// Synchronize all members of `comm`. Unlike
 /// [`Rank::hard_sync`](pmm_simnet::Rank::hard_sync) this is a *metered*
 /// barrier: it exchanges real (empty) messages and pays `⌈log2 p⌉·α`.
+#[track_caller]
 pub fn barrier(rank: &mut Rank, comm: &Comm) {
     let p = comm.size();
+    rank.collective_begin(comm, CollectiveOp::Barrier, 0);
     if p == 1 {
         return;
     }

@@ -1,6 +1,6 @@
 //! Broadcast: the root's buffer is replicated to every rank.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::allgather::{all_gather_v, AllGatherAlgo};
 use crate::gather_scatter::{scatter_v, ScatterAlgo};
@@ -21,9 +21,11 @@ pub enum BcastAlgo {
 ///
 /// On the root, `data` must hold the message; on other ranks `data` is
 /// ignored (pass `&[]`). Returns the broadcast message on every rank.
+#[track_caller]
 pub fn bcast(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize, algo: BcastAlgo) -> Vec<f64> {
     let p = comm.size();
     assert!(root < p, "root out of communicator");
+    rank.collective_begin(comm, CollectiveOp::Bcast, data.len() as u64);
     if p == 1 {
         return data.to_vec();
     }

@@ -5,7 +5,7 @@
 //! ranks, so messages carry concatenations of whole blocks and receivers
 //! can split them using `counts`.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::util::offsets;
 
@@ -26,6 +26,7 @@ pub enum ScatterAlgo {
 /// Gather: member `i` contributes `mine` (`counts[i]` words); the root
 /// returns the concatenation in communicator order, other ranks return an
 /// empty vector.
+#[track_caller]
 pub fn gather_v(
     rank: &mut Rank,
     comm: &Comm,
@@ -38,6 +39,7 @@ pub fn gather_v(
     assert_eq!(counts.len(), p, "counts length must equal communicator size");
     assert_eq!(counts[comm.index()], mine.len(), "own count disagrees with contribution");
     assert!(root < p, "root out of communicator");
+    rank.collective_begin(comm, CollectiveOp::Gather, mine.len() as u64);
     if p == 1 {
         return mine.to_vec();
     }
@@ -93,6 +95,7 @@ pub fn gather_v(
 /// Scatter: the root provides `data` as the concatenation of per-member
 /// blocks (`counts`, communicator order); every rank returns its own
 /// block. Non-roots pass any `data` (ignored).
+#[track_caller]
 pub fn scatter_v(
     rank: &mut Rank,
     comm: &Comm,
@@ -104,6 +107,7 @@ pub fn scatter_v(
     let p = comm.size();
     assert_eq!(counts.len(), p, "counts length must equal communicator size");
     assert!(root < p, "root out of communicator");
+    rank.collective_begin(comm, CollectiveOp::Scatter, data.len() as u64);
     if p == 1 {
         return data.to_vec();
     }

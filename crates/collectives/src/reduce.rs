@@ -1,6 +1,6 @@
 //! Reduce: element-wise sum of every rank's buffer, delivered at the root.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::util::axpy1;
 
@@ -14,6 +14,7 @@ pub enum ReduceAlgo {
 /// Sum-reduce `data` to member `root`. Every rank contributes a buffer of
 /// the same length; the root returns the element-wise sum, others return
 /// an empty vector. Reduction additions are metered as flops.
+#[track_caller]
 pub fn reduce(
     rank: &mut Rank,
     comm: &Comm,
@@ -23,6 +24,7 @@ pub fn reduce(
 ) -> Vec<f64> {
     let p = comm.size();
     assert!(root < p, "root out of communicator");
+    rank.collective_begin(comm, CollectiveOp::Reduce, data.len() as u64);
     if p == 1 {
         return data.to_vec();
     }

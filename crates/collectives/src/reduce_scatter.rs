@@ -11,7 +11,7 @@
 //! words per rank for uniform segments and performing the same number of
 //! additions.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::util::{axpy1, is_pow2, offsets};
 
@@ -28,6 +28,7 @@ pub enum ReduceScatterAlgo {
 
 /// Reduce-Scatter with uniform segments: `data.len()` must be divisible by
 /// `p`; rank `i` receives the sum of everyone's `i`-th chunk.
+#[track_caller]
 pub fn reduce_scatter(
     rank: &mut Rank,
     comm: &Comm,
@@ -49,6 +50,7 @@ pub fn reduce_scatter(
 /// `data.len() == counts.iter().sum()` at every rank; rank `i` receives
 /// the element-wise sum of everyone's segment `i`. Reduction additions are
 /// metered as flops on the rank performing them.
+#[track_caller]
 pub fn reduce_scatter_v(
     rank: &mut Rank,
     comm: &Comm,
@@ -60,6 +62,7 @@ pub fn reduce_scatter_v(
     assert_eq!(counts.len(), p, "counts length must equal communicator size");
     let total: usize = counts.iter().sum();
     assert_eq!(data.len(), total, "data length disagrees with counts");
+    rank.collective_begin(comm, CollectiveOp::ReduceScatter, total as u64);
     if p == 1 {
         return data.to_vec();
     }
@@ -113,11 +116,8 @@ fn recursive_halving(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize
     while hi - lo > 1 {
         let size = hi - lo;
         let mid = lo + size / 2;
-        let (keep_lo, keep_hi, partner) = if me < mid {
-            (lo, mid, me + size / 2)
-        } else {
-            (mid, hi, me - size / 2)
-        };
+        let (keep_lo, keep_hi, partner) =
+            if me < mid { (lo, mid, me + size / 2) } else { (mid, hi, me - size / 2) };
         let (send_lo, send_hi) = if me < mid { (mid, hi) } else { (lo, mid) };
         let payload = acc[off[send_lo]..off[send_hi]].to_vec();
         let msg = rank.exchange(comm, partner, partner, &payload);
@@ -224,10 +224,9 @@ mod tests {
     #[test]
     fn latency_matches_cost_model() {
         let params = MachineParams::new(1.0, 0.0, 0.0);
-        for (algo, p, want) in [
-            (ReduceScatterAlgo::Ring, 6usize, 5.0),
-            (ReduceScatterAlgo::RecursiveHalving, 8, 3.0),
-        ] {
+        for (algo, p, want) in
+            [(ReduceScatterAlgo::Ring, 6usize, 5.0), (ReduceScatterAlgo::RecursiveHalving, 8, 3.0)]
+        {
             let out = World::new(p, params).run(move |rank| {
                 let comm = rank.world_comm();
                 let data = vec![1.0; p];

@@ -6,14 +6,16 @@
 //! over ranks): at step `s`, rank `r` receives from `r − 2^s` (if any) and
 //! sends to `r + 2^s` (if any); `⌈log2 p⌉` rounds, `w` words each.
 
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{CollectiveOp, Comm, Rank};
 
 use crate::util::axpy1;
 
 /// Inclusive prefix sum: rank `r` returns the element-wise sum of the
 /// contributions of ranks `0..=r`.
+#[track_caller]
 pub fn scan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
     let p = comm.size();
+    rank.collective_begin(comm, CollectiveOp::Scan, data.len() as u64);
     let me = comm.index();
     let mut acc = data.to_vec();
     let mut dist = 1usize;
@@ -38,7 +40,9 @@ pub fn scan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
 
 /// Exclusive prefix sum: rank `r` returns the element-wise sum of the
 /// contributions of ranks `0..r` (zeros on rank 0).
+#[track_caller]
 pub fn exscan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
+    rank.collective_begin(comm, CollectiveOp::ExScan, data.len() as u64);
     let incl = scan(rank, comm, data);
     // exclusive = inclusive − own contribution (exact for the integer-
     // valued data used throughout; no extra communication).
@@ -61,9 +65,8 @@ mod tests {
             scan(rank, &comm, &mine)
         });
         for (r, v) in out.values.iter().enumerate() {
-            let want: Vec<f64> = (0..w)
-                .map(|e| (0..=r).map(|q| (q * 10 + e) as f64).sum())
-                .collect();
+            let want: Vec<f64> =
+                (0..w).map(|e| (0..=r).map(|q| (q * 10 + e) as f64).sum()).collect();
             assert_eq!(v, &want, "rank {r} (p={p})");
         }
     }

@@ -3,9 +3,8 @@
 //! payload values — integer-valued data so results are exact.
 
 use pmm_collectives::{
-    all_gather_v, all_to_all, bcast, gather_v, reduce, reduce_scatter_v, scatter_v,
-    AllGatherAlgo, AllToAllAlgo, BcastAlgo, GatherAlgo, ReduceAlgo, ReduceScatterAlgo,
-    ScatterAlgo,
+    all_gather_v, all_to_all, bcast, gather_v, reduce, reduce_scatter_v, scatter_v, AllGatherAlgo,
+    AllToAllAlgo, BcastAlgo, GatherAlgo, ReduceAlgo, ReduceScatterAlgo, ScatterAlgo,
 };
 use pmm_simnet::{MachineParams, World};
 use proptest::prelude::*;

@@ -56,8 +56,8 @@ pub fn alg1_full_cost(dims: MatMulDims, grid: [usize; 3]) -> Cost {
     let p = (p1 * p2 * p3) as f64;
     let words = alg1_cost_words(dims, grid);
     let messages = ceil_log2(p1) + ceil_log2(p2) + ceil_log2(p3);
-    let rs_adds = (1.0 - 1.0 / p2 as f64) * dims.n1 as f64 * dims.n3 as f64
-        / (p1 as f64 * p3 as f64);
+    let rs_adds =
+        (1.0 - 1.0 / p2 as f64) * dims.n1 as f64 * dims.n3 as f64 / (p1 as f64 * p3 as f64);
     Cost { messages, words, flops: dims.mults() / p + rs_adds }
 }
 
@@ -109,9 +109,7 @@ pub fn recommend(
     // Algorithm 1 on every factorization that fits in memory; keep the
     // best few distinct grids (always including the unconstrained best).
     let mut grids: Vec<[usize; 3]> = Grid3::factorizations(p);
-    grids.sort_by(|a, b| {
-        alg1_cost_words(dims, *a).total_cmp(&alg1_cost_words(dims, *b))
-    });
+    grids.sort_by(|a, b| alg1_cost_words(dims, *a).total_cmp(&alg1_cost_words(dims, *b)));
     let mut kept = 0;
     for grid in grids {
         let mem = alg1_memory_words(dims, grid);

@@ -229,11 +229,7 @@ impl GenBoundProblem {
     pub fn symmetric_tensor(d: usize, n: f64, p: f64) -> GenBoundProblem {
         assert!(d >= 2);
         let s = 1.0 / (d as f64 - 1.0);
-        GenBoundProblem::new(
-            vec![s; d],
-            n.powi(d as i32) / p,
-            vec![n.powi(d as i32 - 1) / p; d],
-        )
+        GenBoundProblem::new(vec![s; d], n.powi(d as i32) / p, vec![n.powi(d as i32 - 1) / p; d])
     }
 }
 
@@ -308,12 +304,8 @@ mod tests {
             let bounds: Vec<f64> = (0..d).map(|_| 1.0 + next() * 1000.0).collect();
             // Work chosen so the instance is realizable: the all-active
             // point must be feasible.
-            let max_work: f64 = exps
-                .iter()
-                .zip(&bounds)
-                .map(|(&s, &b)| s * b.ln())
-                .sum::<f64>()
-                .exp();
+            let max_work: f64 =
+                exps.iter().zip(&bounds).map(|(&s, &b)| s * b.ln()).sum::<f64>().exp();
             let work = 1.0 + next() * (max_work - 1.0).max(0.0);
             let prob = GenBoundProblem::new(exps, work, bounds);
             let ws = prob.solve();

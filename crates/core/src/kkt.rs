@@ -57,8 +57,7 @@ pub fn verify_kkt(problem: &OptProblem, x: [f64; 3], mu: [f64; 4], tol: f64) -> 
     let g = problem.constraints(x);
     let scale0 = problem.product_bound().max(1.0);
     let b = problem.lower_bounds();
-    let primal_feasible = g[0] <= tol * scale0
-        && (0..3).all(|i| g[i + 1] <= tol * b[i].max(1.0));
+    let primal_feasible = g[0] <= tol * scale0 && (0..3).all(|i| g[i + 1] <= tol * b[i].max(1.0));
     let dual_feasible = mu.iter().all(|&m| m >= -tol);
     let comp = {
         let mut worst: f64 = 0.0;
@@ -85,9 +84,7 @@ pub fn verify_kkt(problem: &OptProblem, x: [f64; 3], mu: [f64; 4], tol: f64) -> 
 pub fn certificate_for(problem: &OptProblem) -> [f64; 4] {
     let (m, n, k, p) = (problem.m, problem.n, problem.k, problem.p);
     match problem.case() {
-        pmm_model::Case::OneD => {
-            [p * p / (m * m * n * k), 0.0, 1.0 - p * n / m, 1.0 - p * k / m]
-        }
+        pmm_model::Case::OneD => [p * p / (m * m * n * k), 0.0, 1.0 - p * n / m, 1.0 - p * k / m],
         pmm_model::Case::TwoD => {
             let mu1 = (p / (m * n * k.powf(2.0 / 3.0))).powf(1.5);
             [mu1, 0.0, 0.0, 1.0 - (p * k * k / (m * n)).sqrt()]

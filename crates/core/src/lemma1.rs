@@ -92,8 +92,7 @@ mod tests {
                 all.shuffle(&mut rng);
                 let share = all.len() / p;
                 for c in 0..p {
-                    let chunk: Vec<[u32; 3]> =
-                        all[c * share..(c + 1) * share].to_vec();
+                    let chunk: Vec<[u32; 3]> = all[c * share..(c + 1) * share].to_vec();
                     let v = LatticeSet::from_points(chunk);
                     if let Some(ok) = check_on_work_set(dims, p as f64, &v) {
                         assert!(ok, "p={p} trial={trial} chunk={c} violates Lemma 1");

@@ -221,10 +221,7 @@ mod tests {
                 let p = lo + frac * (hi - lo);
                 if p > lo {
                     let thresh = three_d_memory_threshold(PAPER, p);
-                    assert!(
-                        m_words < thresh,
-                        "P={p}: M={m_words} should be < threshold {thresh}"
-                    );
+                    assert!(m_words < thresh, "P={p}: M={m_words} should be < threshold {thresh}");
                 }
             }
         }

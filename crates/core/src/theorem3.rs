@@ -82,12 +82,7 @@ mod tests {
             assert_eq!(r.case, Case::TwoD);
             let (m, n, k) = (9600.0f64, 2400.0, 600.0);
             let want = 2.0 * (m * n * k * k / p).sqrt() - (m * k + n * k) / p;
-            assert!(
-                (r.bound - want).abs() < 1e-6 * want,
-                "P={p}: {} vs {}",
-                r.bound,
-                want
-            );
+            assert!((r.bound - want).abs() < 1e-6 * want, "P={p}: {} vs {}", r.bound, want);
             assert_eq!(r.constant, 2.0);
         }
     }

@@ -110,14 +110,11 @@ fn tiled_rows(c: &mut Matrix, a: &Matrix, b: &Matrix, i0: usize, i1: usize, _k: 
 fn parallel(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     let n = b.cols();
     let m = a.rows();
-    c.as_mut_slice()
-        .par_chunks_mut(TILE * n)
-        .enumerate()
-        .for_each(|(chunk, crows)| {
-            let i0 = chunk * TILE;
-            let i1 = (i0 + TILE).min(m);
-            tiled_stripe(crows, a, b, i0, i1);
-        });
+    c.as_mut_slice().par_chunks_mut(TILE * n).enumerate().for_each(|(chunk, crows)| {
+        let i0 = chunk * TILE;
+        let i1 = (i0 + TILE).min(m);
+        tiled_stripe(crows, a, b, i0, i1);
+    });
 }
 
 #[cfg(test)]

@@ -24,10 +24,7 @@ impl<'a> MatrixView<'a> {
     pub fn new(data: &'a [f64], rows: usize, cols: usize, row_stride: usize) -> MatrixView<'a> {
         assert!(row_stride >= cols, "row stride must cover the row");
         if rows > 0 {
-            assert!(
-                data.len() >= (rows - 1) * row_stride + cols,
-                "buffer too short for the view"
-            );
+            assert!(data.len() >= (rows - 1) * row_stride + cols, "buffer too short for the view");
         }
         MatrixView { data, rows, cols, row_stride }
     }

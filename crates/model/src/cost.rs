@@ -151,8 +151,7 @@ impl MachineParams {
     ///
     /// Under these parameters [`MachineParams::time`] equals the word count
     /// along the critical path — exactly the quantity bounded by Theorem 3.
-    pub const BANDWIDTH_ONLY: MachineParams =
-        MachineParams { alpha: 0.0, beta: 1.0, gamma: 0.0 };
+    pub const BANDWIDTH_ONLY: MachineParams = MachineParams { alpha: 0.0, beta: 1.0, gamma: 0.0 };
 
     /// A representative HPC interconnect / node balance, loosely modeled on
     /// published `(α, β, γ)` for modern clusters: a message costs about

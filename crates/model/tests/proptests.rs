@@ -5,8 +5,11 @@ use pmm_model::{Case, Cost, Grid3, MachineParams, MatMulDims};
 use proptest::prelude::*;
 
 fn cost() -> impl Strategy<Value = Cost> {
-    (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6)
-        .prop_map(|(messages, words, flops)| Cost { messages, words, flops })
+    (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6).prop_map(|(messages, words, flops)| Cost {
+        messages,
+        words,
+        flops,
+    })
 }
 
 proptest! {

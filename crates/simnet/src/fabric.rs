@@ -1,10 +1,10 @@
 //! The communication fabric shared by all ranks of a [`World`].
 //!
-//! The fabric owns, for every communicator context, one unbounded channel
-//! per member (the member's *mailbox*). Directed receive (`recv(from)`)
-//! is implemented by the receiving rank stashing out-of-order messages —
-//! messages from one sender to one receiver stay FIFO because they travel
-//! through a single channel and a FIFO stash.
+//! The fabric owns, for every communicator context, one mailbox per
+//! member (a FIFO queue guarded by a mutex + condvar). Directed receive
+//! (`recv(from)`) is implemented by the receiving rank stashing
+//! out-of-order messages — messages from one sender to one receiver stay
+//! FIFO because they travel through a single queue and a FIFO stash.
 //!
 //! The fabric also hosts the rendezvous state for **communicator splits**
 //! (the MPI `comm_split` equivalent): a split is a collective, so all
@@ -12,19 +12,50 @@
 //! last one to arrive partitions the members into groups, allocates one
 //! fresh context per group, and wakes everyone.
 //!
+//! Every blocking point (mailbox receive, split rendezvous, the world
+//! barrier) is instrumented for the [`verify`](crate::verify) layer: the
+//! blocking rank registers what it waits for, waits with a short timeout
+//! so it can observe a verifier abort, and is torn down with an
+//! [`AbortPanic`](crate::verify::AbortPanic) when the world is aborted.
+//! [`Fabric::watchdog_scan`] implements the deadlock detector that runs
+//! over those registrations.
+//!
+//! Lock ordering (to keep the fabric itself deadlock-free):
+//! mailbox map → mailbox queue → verify slot; splits map → split state →
+//! (state dropped) → splits map; barrier state → verify slot. The
+//! watchdog never holds a verify slot while taking a fabric lock — it
+//! snapshots the slots first.
+//!
 //! [`World`]: crate::world::World
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
+use crate::verify::{lock_unpoisoned, SlotView, VerifyState, WaitInfo, WaitKind};
 
 /// Identifier of a communicator context. Every communicator created during
 /// a run has a distinct context, so traffic on different communicators can
 /// never be confused.
 pub type Ctx = u64;
+
+/// Context id of the world communicator (created by [`Fabric::new`]).
+pub(crate) const WORLD_CTX: Ctx = 0;
+
+/// How often a blocked primitive re-checks the abort flag. Waits are
+/// condvar-notified, so this only bounds the wake-up delay if a
+/// notification is missed — it is not a busy-wait interval.
+const ABORT_POLL: Duration = Duration::from_millis(100);
+
+fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -36,11 +67,14 @@ pub struct Message {
     pub sent_at: f64,
     /// The data; its length is the metered word count.
     pub payload: Vec<f64>,
+    /// Sender's vector clock at send time (happens-before audit; see
+    /// `crate::verify`).
+    pub(crate) vclock: Option<Arc<[u64]>>,
 }
 
 struct Mailbox {
-    tx: Sender<Message>,
-    rx: Receiver<Message>,
+    q: Mutex<VecDeque<Message>>,
+    cv: Condvar,
 }
 
 /// Result of a communicator split for a single color.
@@ -65,19 +99,31 @@ struct SplitCell {
     cv: Condvar,
 }
 
+struct BarrierState {
+    /// Which world ranks have arrived in the current generation.
+    arrived: Vec<bool>,
+    count: usize,
+    generation: u64,
+}
+
+struct BarrierCell {
+    st: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
 /// The shared fabric. One per [`World`](crate::world::World); ranks hold it
 /// behind an `Arc`.
 pub struct Fabric {
     next_ctx: AtomicU64,
-    mailboxes: RwLock<HashMap<(Ctx, usize), Mailbox>>,
+    mailboxes: RwLock<HashMap<(Ctx, usize), Arc<Mailbox>>>,
     splits: Mutex<HashMap<(Ctx, u64), Arc<SplitCell>>>,
     /// Zero-cost world barrier, for callers that need to delimit phases
     /// without perturbing the metered costs.
-    sync_barrier: std::sync::Barrier,
+    barrier: BarrierCell,
+    /// Communication-correctness state (wait registry, collective ledger,
+    /// abort flag).
+    pub(crate) verify: VerifyState,
 }
-
-/// Context id of the world communicator (created by [`Fabric::new`]).
-pub(crate) const WORLD_CTX: Ctx = 0;
 
 impl Fabric {
     pub(crate) fn new(world_size: usize) -> Fabric {
@@ -85,7 +131,15 @@ impl Fabric {
             next_ctx: AtomicU64::new(1),
             mailboxes: RwLock::new(HashMap::new()),
             splits: Mutex::new(HashMap::new()),
-            sync_barrier: std::sync::Barrier::new(world_size),
+            barrier: BarrierCell {
+                st: Mutex::new(BarrierState {
+                    arrived: vec![false; world_size],
+                    count: 0,
+                    generation: 0,
+                }),
+                cv: Condvar::new(),
+            },
+            verify: VerifyState::new(world_size),
         }
     }
 
@@ -93,47 +147,116 @@ impl Fabric {
         self.next_ctx.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn mailbox<R>(&self, ctx: Ctx, index: usize, f: impl FnOnce(&Mailbox) -> R) -> R {
+    fn mailbox(&self, ctx: Ctx, index: usize) -> Arc<Mailbox> {
         {
-            let map = self.mailboxes.read();
+            let map = read_unpoisoned(&self.mailboxes);
             if let Some(mb) = map.get(&(ctx, index)) {
-                return f(mb);
+                return mb.clone();
             }
         }
-        let mut map = self.mailboxes.write();
-        let mb = map.entry((ctx, index)).or_insert_with(|| {
-            let (tx, rx) = unbounded();
-            Mailbox { tx, rx }
-        });
-        f(mb)
+        let mut map = write_unpoisoned(&self.mailboxes);
+        map.entry((ctx, index))
+            .or_insert_with(|| {
+                Arc::new(Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+            })
+            .clone()
     }
 
-    /// Post `msg` to member `to` of context `ctx`.
+    /// Post `msg` to member `to` of context `ctx`. Never blocks (mailboxes
+    /// are unbounded).
     pub(crate) fn post(&self, ctx: Ctx, to: usize, msg: Message) {
-        self.mailbox(ctx, to, |mb| {
-            // Unbounded channel: never blocks; can only fail if the
-            // receiver end were dropped, which the fabric keeps alive.
-            mb.tx.send(msg).expect("fabric mailbox closed");
-        });
+        let mb = self.mailbox(ctx, to);
+        lock_unpoisoned(&mb.q).push_back(msg);
+        mb.cv.notify_all();
     }
 
     /// Blockingly take the next message from member `index`'s mailbox on
     /// context `ctx` (in arrival order; directed matching is done by the
-    /// rank's stash).
-    pub(crate) fn take_any(&self, ctx: Ctx, index: usize) -> Message {
-        let rx = self.mailbox(ctx, index, |mb| mb.rx.clone());
-        rx.recv().expect("fabric mailbox closed")
+    /// rank's stash). `from_world` is the world rank of the sender the
+    /// caller is ultimately waiting for (deadlock-report metadata).
+    pub(crate) fn take_any(
+        &self,
+        ctx: Ctx,
+        index: usize,
+        me_world: usize,
+        from_world: usize,
+        site: &'static Location<'static>,
+    ) -> Message {
+        let mb = self.mailbox(ctx, index);
+        let mut q = lock_unpoisoned(&mb.q);
+        if let Some(m) = q.pop_front() {
+            return m;
+        }
+        self.verify.set_wait(
+            me_world,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world, ctx_index: index },
+                ctx,
+                waiting_on: vec![from_world],
+                site,
+            },
+        );
+        loop {
+            if self.verify.is_aborted() {
+                drop(q);
+                self.verify.abort_panic(me_world);
+            }
+            if let Some(m) = q.pop_front() {
+                self.verify.clear_wait(me_world);
+                return m;
+            }
+            q = mb.cv.wait_timeout(q, ABORT_POLL).unwrap_or_else(PoisonError::into_inner).0;
+        }
     }
 
     /// Zero-cost synchronization of all world ranks (not metered; test and
     /// phase-delimiting use only).
-    pub(crate) fn hard_sync(&self) {
-        self.sync_barrier.wait();
+    pub(crate) fn hard_sync(&self, me_world: usize, site: &'static Location<'static>) {
+        let world_size = self.verify.world_size();
+        if world_size <= 1 {
+            return;
+        }
+        let mut st = lock_unpoisoned(&self.barrier.st);
+        let entered_gen = st.generation;
+        st.arrived[me_world] = true;
+        st.count += 1;
+        if st.count == world_size {
+            st.count = 0;
+            st.arrived.iter_mut().for_each(|a| *a = false);
+            st.generation += 1;
+            self.barrier.cv.notify_all();
+            return;
+        }
+        let waiting_on: Vec<usize> =
+            st.arrived.iter().enumerate().filter_map(|(r, &a)| (!a).then_some(r)).collect();
+        self.verify.set_wait(
+            me_world,
+            WaitInfo {
+                kind: WaitKind::Barrier { generation: entered_gen },
+                ctx: WORLD_CTX,
+                waiting_on,
+                site,
+            },
+        );
+        while st.generation == entered_gen {
+            if self.verify.is_aborted() {
+                drop(st);
+                self.verify.abort_panic(me_world);
+            }
+            st = self
+                .barrier
+                .cv
+                .wait_timeout(st, ABORT_POLL)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        self.verify.clear_wait(me_world);
     }
 
     /// Collective communicator split. Called by every member of the parent
     /// context; `seq` is the caller's per-parent split sequence number
-    /// (all members must call splits in the same order).
+    /// (all members must call splits in the same order). `parent_members`
+    /// are the parent communicator's world ranks in communicator order.
     ///
     /// `color < 0` means "no new communicator for me" (MPI_UNDEFINED).
     /// Returns the group for `color`, or `None` for negative colors.
@@ -141,15 +264,17 @@ impl Fabric {
     pub(crate) fn split(
         &self,
         parent_ctx: Ctx,
-        parent_size: usize,
+        parent_members: &[usize],
         seq: u64,
         my_parent_index: usize,
         my_world_rank: usize,
         color: i64,
         key: i64,
+        site: &'static Location<'static>,
     ) -> Option<SplitGroup> {
+        let parent_size = parent_members.len();
         let cell = {
-            let mut splits = self.splits.lock();
+            let mut splits = lock_unpoisoned(&self.splits);
             splits
                 .entry((parent_ctx, seq))
                 .or_insert_with(|| {
@@ -166,58 +291,263 @@ impl Fabric {
                 .clone()
         };
 
-        let result = {
-            let mut st = cell.state.lock();
-            assert!(
-                st.entries[my_parent_index].is_none(),
-                "rank deposited twice into the same split — mismatched split sequence"
+        let mut st = lock_unpoisoned(&cell.state);
+        if st.entries[my_parent_index].is_some() {
+            drop(st);
+            self.abort(format!(
+                "pmm-verify: world rank {my_world_rank} deposited twice into split #{seq} of \
+                 ctx {parent_ctx} at {site} — members issued splits in different orders"
+            ));
+            self.verify.abort_panic(my_world_rank);
+        }
+        st.entries[my_parent_index] = Some((color, key, my_world_rank));
+        st.arrived += 1;
+        if st.arrived == parent_size {
+            // Last to arrive: compute all groups.
+            let mut by_color: HashMap<i64, Vec<(i64, usize, usize)>> = HashMap::new();
+            for (parent_idx, e) in st.entries.iter().enumerate() {
+                let (c, k, w) = e.unwrap_or_else(|| {
+                    panic!("split #{seq} on ctx {parent_ctx}: entry {parent_idx} missing after full rendezvous")
+                });
+                if c >= 0 {
+                    by_color.entry(c).or_default().push((k, parent_idx, w));
+                }
+            }
+            let mut groups = HashMap::new();
+            let mut colors: Vec<i64> = by_color.keys().copied().collect();
+            colors.sort_unstable(); // deterministic ctx assignment
+            for c in colors {
+                let mut v = by_color.remove(&c).unwrap_or_else(|| {
+                    panic!("split #{seq} on ctx {parent_ctx}: color {c} vanished while grouping")
+                });
+                v.sort_unstable(); // by (key, parent index)
+                let members = v.into_iter().map(|(_, _, w)| w).collect();
+                groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members });
+            }
+            st.result = Some(Arc::new(groups));
+            cell.cv.notify_all();
+        } else {
+            let waiting_on: Vec<usize> = parent_members
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &w)| st.entries[i].is_none().then_some(w))
+                .collect();
+            self.verify.set_wait(
+                my_world_rank,
+                WaitInfo { kind: WaitKind::Split { seq }, ctx: parent_ctx, waiting_on, site },
             );
-            st.entries[my_parent_index] = Some((color, key, my_world_rank));
-            st.arrived += 1;
-            if st.arrived == parent_size {
-                // Last to arrive: compute all groups.
-                let mut by_color: HashMap<i64, Vec<(i64, usize, usize)>> = HashMap::new();
-                for (parent_idx, e) in st.entries.iter().enumerate() {
-                    let (c, k, w) = e.expect("all entries deposited");
-                    if c >= 0 {
-                        by_color.entry(c).or_default().push((k, parent_idx, w));
-                    }
+            while st.result.is_none() {
+                if self.verify.is_aborted() {
+                    drop(st);
+                    self.verify.abort_panic(my_world_rank);
                 }
-                let mut groups = HashMap::new();
-                let mut colors: Vec<i64> = by_color.keys().copied().collect();
-                colors.sort_unstable(); // deterministic ctx assignment
-                for c in colors {
-                    let mut v = by_color.remove(&c).expect("color present");
-                    v.sort_unstable(); // by (key, parent index)
-                    let members = v.into_iter().map(|(_, _, w)| w).collect();
-                    groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members });
-                }
-                st.result = Some(Arc::new(groups));
-                self.cv_notify(&cell);
-            } else {
-                while st.result.is_none() {
-                    cell.cv.wait(&mut st);
-                }
+                st = cell.cv.wait_timeout(st, ABORT_POLL).unwrap_or_else(PoisonError::into_inner).0;
             }
-            let res = st.result.as_ref().expect("split result present").clone();
-            st.consumed += 1;
-            if st.consumed == parent_size {
-                // Everyone has read the result; free the rendezvous slot so
-                // long runs don't accumulate split state.
-                self.splits.lock().remove(&(parent_ctx, seq));
-            }
-            res
-        };
+            self.verify.clear_wait(my_world_rank);
+        }
+        let result = st
+            .result
+            .as_ref()
+            .unwrap_or_else(|| {
+                panic!("split #{seq} on ctx {parent_ctx}: woke without a result — fabric bug")
+            })
+            .clone();
+        st.consumed += 1;
+        let everyone_done = st.consumed == parent_size;
+        drop(st); // splits-map lock is taken next; never hold state across it
+        if everyone_done {
+            // Everyone has read the result; free the rendezvous slot so
+            // long runs don't accumulate split state.
+            lock_unpoisoned(&self.splits).remove(&(parent_ctx, seq));
+        }
 
         if color < 0 {
             None
         } else {
-            Some(result.get(&color).expect("own color present in split result").clone())
+            Some(
+                result
+                    .get(&color)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "split #{seq} on ctx {parent_ctx}: world rank {my_world_rank}'s \
+                             color {color} missing from the computed groups — fabric bug"
+                        )
+                    })
+                    .clone(),
+            )
         }
     }
 
-    fn cv_notify(&self, cell: &SplitCell) {
-        cell.cv.notify_all();
+    /// Abort the world: store `report`, set the abort flag, and wake every
+    /// blocked primitive so ranks tear themselves down promptly. First
+    /// abort wins; later calls are no-ops.
+    pub(crate) fn abort(&self, report: String) {
+        if !self.verify.try_set_aborted(report) {
+            return;
+        }
+        let mailboxes: Vec<Arc<Mailbox>> =
+            read_unpoisoned(&self.mailboxes).values().cloned().collect();
+        for mb in mailboxes {
+            mb.cv.notify_all();
+        }
+        let cells: Vec<Arc<SplitCell>> = lock_unpoisoned(&self.splits).values().cloned().collect();
+        for cell in cells {
+            cell.cv.notify_all();
+        }
+        self.barrier.cv.notify_all();
+    }
+
+    /// Count of messages posted but never taken, per mailbox (strict-drain
+    /// audit).
+    pub(crate) fn residual_messages(&self) -> Vec<(Ctx, usize, usize)> {
+        let map = read_unpoisoned(&self.mailboxes);
+        let mut out: Vec<(Ctx, usize, usize)> = map
+            .iter()
+            .filter_map(|(&(ctx, index), mb)| {
+                let n = lock_unpoisoned(&mb.q).len();
+                (n > 0).then_some((ctx, index, n))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    // ----- deadlock watchdog ------------------------------------------------
+
+    /// One watchdog pass over the wait registry. Returns a deadlock report
+    /// when the same non-empty set of ranks is blocked with no possible
+    /// progress for two consecutive scans (`prev` carries the candidate
+    /// set between scans as `(rank, wait-generation)` pairs).
+    ///
+    /// "Possible progress" is computed as a fixpoint: running ranks can
+    /// progress; a blocked rank whose wait already has its wake-up
+    /// condition satisfied (message queued, split result computed, barrier
+    /// generation advanced) can progress; and a blocked rank waiting on
+    /// any rank that can progress might still be served. Only ranks
+    /// outside that closure are deadlocked — so the detector never flags a
+    /// slow-but-live schedule.
+    pub(crate) fn watchdog_scan(&self, prev: &mut Option<Vec<(usize, u64)>>) -> Option<String> {
+        if self.verify.is_aborted() {
+            return None;
+        }
+        let views = self.verify.snapshot();
+        let n = views.len();
+        let mut progressable = vec![false; n];
+        let mut any_blocked = false;
+        for (r, v) in views.iter().enumerate() {
+            match &v.wait {
+                None => progressable[r] = !v.done,
+                Some(_) => any_blocked = true,
+            }
+        }
+        if !any_blocked {
+            *prev = None;
+            return None;
+        }
+        // Wake-up hints: blocked ranks whose wait condition is already met.
+        for (r, v) in views.iter().enumerate() {
+            let Some(w) = &v.wait else { continue };
+            let hinted = match &w.kind {
+                WaitKind::Recv { ctx_index, .. } => {
+                    let mb = read_unpoisoned(&self.mailboxes).get(&(w.ctx, *ctx_index)).cloned();
+                    mb.is_some_and(|mb| !lock_unpoisoned(&mb.q).is_empty())
+                }
+                WaitKind::Split { seq } => {
+                    let cell = lock_unpoisoned(&self.splits).get(&(w.ctx, *seq)).cloned();
+                    cell.is_some_and(|c| lock_unpoisoned(&c.state).result.is_some())
+                }
+                WaitKind::Barrier { generation } => {
+                    lock_unpoisoned(&self.barrier.st).generation > *generation
+                }
+            };
+            if hinted {
+                progressable[r] = true;
+            }
+        }
+        // Propagate progress potential along wait-for edges.
+        loop {
+            let mut changed = false;
+            for (r, v) in views.iter().enumerate() {
+                if progressable[r] {
+                    continue;
+                }
+                let Some(w) = &v.wait else { continue };
+                if w.waiting_on.iter().any(|&o| o < n && progressable[o]) {
+                    progressable[r] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let deadlocked: Vec<(usize, u64)> = views
+            .iter()
+            .enumerate()
+            .filter(|&(r, v)| v.wait.is_some() && !progressable[r])
+            .map(|(r, v)| (r, v.gen))
+            .collect();
+        if deadlocked.is_empty() {
+            *prev = None;
+            return None;
+        }
+        if prev.as_ref() != Some(&deadlocked) {
+            // New candidate set (or a rank re-blocked, bumping its
+            // generation): require one more stable scan before aborting.
+            *prev = Some(deadlocked);
+            return None;
+        }
+        let stuck: Vec<usize> = deadlocked.iter().map(|&(r, _)| r).collect();
+        Some(self.deadlock_report(&views, &stuck))
+    }
+
+    fn deadlock_report(&self, views: &[SlotView], stuck: &[usize]) -> String {
+        let mut report = format!(
+            "pmm-verify: deadlock detected — {} rank(s) blocked with no possible progress\n",
+            stuck.len()
+        );
+        for &r in stuck {
+            if let Some(w) = &views[r].wait {
+                report.push_str(&format!(
+                    "  rank {r}: blocked in {} on ctx {} at {}, waiting on ranks {:?}\n",
+                    w.kind, w.ctx, w.site, w.waiting_on
+                ));
+            }
+        }
+        let stuck_set: HashSet<usize> = stuck.iter().copied().collect();
+        if let Some(cycle) = wait_cycle(views, &stuck_set) {
+            let path: Vec<String> = cycle.iter().map(|r| format!("rank {r}")).collect();
+            report.push_str(&format!("wait-for cycle: {}\n", path.join(" -> ")));
+        }
+        let pending = self.verify.all_pending_collectives();
+        if !pending.is_empty() {
+            report.push_str("partially-entered collectives:\n");
+            for line in pending {
+                report.push_str(&line);
+                report.push('\n');
+            }
+        }
+        report
+    }
+}
+
+/// Walk wait-for edges inside the stuck set from its smallest member and
+/// return the first cycle found, closed (first element repeated at the
+/// end).
+fn wait_cycle(views: &[SlotView], stuck: &HashSet<usize>) -> Option<Vec<usize>> {
+    let start = *stuck.iter().min()?;
+    let mut path: Vec<usize> = vec![start];
+    let mut cur = start;
+    loop {
+        let w = views[cur].wait.as_ref()?;
+        let next = *w.waiting_on.iter().find(|o| stuck.contains(o))?;
+        if let Some(pos) = path.iter().position(|&r| r == next) {
+            let mut cycle = path[pos..].to_vec();
+            cycle.push(next);
+            return Some(cycle);
+        }
+        path.push(next);
+        cur = next;
     }
 }
 
@@ -226,15 +556,19 @@ mod tests {
     use super::*;
     use std::thread;
 
+    fn here() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    fn msg(from: usize, sent_at: f64, payload: Vec<f64>) -> Message {
+        Message { from, sent_at, payload, vclock: None }
+    }
+
     #[test]
     fn post_and_take_roundtrip() {
         let fabric = Fabric::new(1);
-        fabric.post(
-            WORLD_CTX,
-            0,
-            Message { from: 3, sent_at: 1.5, payload: vec![1.0, 2.0] },
-        );
-        let m = fabric.take_any(WORLD_CTX, 0);
+        fabric.post(WORLD_CTX, 0, msg(3, 1.5, vec![1.0, 2.0]));
+        let m = fabric.take_any(WORLD_CTX, 0, 0, 0, here());
         assert_eq!(m.from, 3);
         assert_eq!(m.sent_at, 1.5);
         assert_eq!(m.payload, vec![1.0, 2.0]);
@@ -243,21 +577,22 @@ mod tests {
     #[test]
     fn messages_between_contexts_are_isolated() {
         let fabric = Fabric::new(1);
-        fabric.post(7, 0, Message { from: 0, sent_at: 0.0, payload: vec![7.0] });
-        fabric.post(8, 0, Message { from: 0, sent_at: 0.0, payload: vec![8.0] });
-        assert_eq!(fabric.take_any(8, 0).payload, vec![8.0]);
-        assert_eq!(fabric.take_any(7, 0).payload, vec![7.0]);
+        fabric.post(7, 0, msg(0, 0.0, vec![7.0]));
+        fabric.post(8, 0, msg(0, 0.0, vec![8.0]));
+        assert_eq!(fabric.take_any(8, 0, 0, 0, here()).payload, vec![8.0]);
+        assert_eq!(fabric.take_any(7, 0, 0, 0, here()).payload, vec![7.0]);
     }
 
     #[test]
     fn split_partitions_by_color_and_orders_by_key() {
         // 4 "ranks" split into color = rank % 2, key = -rank (reverse order).
         let fabric = Arc::new(Fabric::new(4));
+        let members = [0usize, 1, 2, 3];
         let mut handles = Vec::new();
         for r in 0..4usize {
             let f = fabric.clone();
             handles.push(thread::spawn(move || {
-                f.split(WORLD_CTX, 4, 0, r, r, (r % 2) as i64, -(r as i64))
+                f.split(WORLD_CTX, &members, 0, r, r, (r % 2) as i64, -(r as i64), here())
             }));
         }
         let groups: Vec<_> = handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
@@ -275,8 +610,8 @@ mod tests {
     fn split_with_negative_color_yields_none() {
         let fabric = Arc::new(Fabric::new(2));
         let f2 = fabric.clone();
-        let h = thread::spawn(move || f2.split(WORLD_CTX, 2, 0, 1, 1, -1, 0));
-        let g0 = fabric.split(WORLD_CTX, 2, 0, 0, 0, 0, 0);
+        let h = thread::spawn(move || f2.split(WORLD_CTX, &[0, 1], 0, 1, 1, -1, 0, here()));
+        let g0 = fabric.split(WORLD_CTX, &[0, 1], 0, 0, 0, 0, 0, here());
         let g1 = h.join().unwrap();
         assert!(g1.is_none());
         assert_eq!(g0.unwrap().members, vec![0]);
@@ -286,9 +621,168 @@ mod tests {
     fn split_state_is_cleaned_up() {
         let fabric = Arc::new(Fabric::new(2));
         let f2 = fabric.clone();
-        let h = thread::spawn(move || f2.split(WORLD_CTX, 2, 5, 1, 1, 0, 0));
-        fabric.split(WORLD_CTX, 2, 5, 0, 0, 0, 0);
+        let h = thread::spawn(move || f2.split(WORLD_CTX, &[0, 1], 5, 1, 1, 0, 0, here()));
+        fabric.split(WORLD_CTX, &[0, 1], 5, 0, 0, 0, 0, here());
         h.join().unwrap();
-        assert!(fabric.splits.lock().is_empty());
+        assert!(lock_unpoisoned(&fabric.splits).is_empty());
+    }
+
+    #[test]
+    fn watchdog_scan_flags_mutual_recv_after_two_stable_scans() {
+        // Two ranks each blocked receiving from the other, nothing queued.
+        let fabric = Fabric::new(2);
+        fabric.verify.set_wait(
+            0,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 1, ctx_index: 0 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![1],
+                site: here(),
+            },
+        );
+        fabric.verify.set_wait(
+            1,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 0, ctx_index: 1 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![0],
+                site: here(),
+            },
+        );
+        let mut prev = None;
+        assert!(fabric.watchdog_scan(&mut prev).is_none(), "first scan only arms the candidate");
+        let report = fabric.watchdog_scan(&mut prev).expect("second stable scan must confirm");
+        assert!(report.contains("deadlock detected"), "{report}");
+        assert!(report.contains("rank 0"), "{report}");
+        assert!(report.contains("rank 1"), "{report}");
+        assert!(report.contains("wait-for cycle"), "{report}");
+    }
+
+    #[test]
+    fn watchdog_scan_spares_recv_with_queued_message() {
+        // Rank 0 waits on rank 1, but a message is already queued for it:
+        // rank 0 is progressable, and rank 1 (waiting on rank 0) inherits
+        // that via the fixpoint.
+        let fabric = Fabric::new(2);
+        fabric.post(WORLD_CTX, 0, msg(1, 0.0, vec![1.0]));
+        fabric.verify.set_wait(
+            0,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 1, ctx_index: 0 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![1],
+                site: here(),
+            },
+        );
+        fabric.verify.set_wait(
+            1,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 0, ctx_index: 1 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![0],
+                site: here(),
+            },
+        );
+        let mut prev = None;
+        for _ in 0..3 {
+            assert!(fabric.watchdog_scan(&mut prev).is_none());
+        }
+    }
+
+    #[test]
+    fn watchdog_scan_spares_blocked_ranks_while_any_rank_runs() {
+        // Rank 0 blocked on rank 1; rank 1 is running (no wait) — no
+        // deadlock, however many scans pass.
+        let fabric = Fabric::new(2);
+        fabric.verify.set_wait(
+            0,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 1, ctx_index: 0 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![1],
+                site: here(),
+            },
+        );
+        let mut prev = None;
+        for _ in 0..3 {
+            assert!(fabric.watchdog_scan(&mut prev).is_none());
+        }
+    }
+
+    #[test]
+    fn watchdog_scan_flags_recv_from_finished_rank() {
+        // Rank 1 exited without sending; rank 0 still waits on it.
+        let fabric = Fabric::new(2);
+        fabric.verify.set_wait(
+            0,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 1, ctx_index: 0 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![1],
+                site: here(),
+            },
+        );
+        fabric.verify.mark_done(1);
+        let mut prev = None;
+        assert!(fabric.watchdog_scan(&mut prev).is_none());
+        let report = fabric.watchdog_scan(&mut prev).expect("recv from exited rank is a deadlock");
+        assert!(report.contains("rank 0"), "{report}");
+        assert!(report.contains("waiting on ranks [1]"), "{report}");
+    }
+
+    #[test]
+    fn watchdog_requires_stability_across_generations() {
+        // The candidate set is armed, but the rank re-blocks (generation
+        // bump) before the second scan: the confirmation must start over.
+        let fabric = Fabric::new(1);
+        let block = |f: &Fabric| {
+            f.verify.set_wait(
+                0,
+                WaitInfo {
+                    kind: WaitKind::Recv { from_world: 0, ctx_index: 0 },
+                    ctx: WORLD_CTX,
+                    waiting_on: vec![0],
+                    site: here(),
+                },
+            )
+        };
+        block(&fabric);
+        let mut prev = None;
+        assert!(fabric.watchdog_scan(&mut prev).is_none());
+        block(&fabric); // same wait, new generation
+        assert!(fabric.watchdog_scan(&mut prev).is_none(), "generation changed: re-arm");
+        let report = fabric.watchdog_scan(&mut prev);
+        assert!(report.is_some(), "stable for two scans now");
+    }
+
+    #[test]
+    fn abort_wakes_blocked_take_any() {
+        let fabric = Arc::new(Fabric::new(2));
+        let f2 = fabric.clone();
+        let h = thread::spawn(move || {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f2.take_any(WORLD_CTX, 0, 0, 1, here());
+            }));
+            caught.expect_err("take_any must panic out of an aborted world")
+        });
+        // Give the receiver a moment to block, then abort.
+        thread::sleep(Duration::from_millis(20));
+        fabric.abort("test abort".to_string());
+        let payload = h.join().expect("receiver thread joins");
+        let abort = payload
+            .downcast_ref::<crate::verify::AbortPanic>()
+            .expect("panic payload is AbortPanic");
+        assert!(abort.0.contains("test abort"), "{}", abort.0);
+    }
+
+    #[test]
+    fn residual_messages_reports_undrained_mailboxes() {
+        let fabric = Fabric::new(2);
+        fabric.post(WORLD_CTX, 1, msg(0, 0.0, vec![1.0]));
+        fabric.post(WORLD_CTX, 1, msg(0, 0.0, vec![2.0]));
+        fabric.post(3, 0, msg(1, 0.0, vec![3.0]));
+        assert_eq!(fabric.residual_messages(), vec![(WORLD_CTX, 1, 2), (3, 0, 1)]);
+        fabric.take_any(3, 0, 0, 1, here());
+        assert_eq!(fabric.residual_messages(), vec![(WORLD_CTX, 1, 2)]);
     }
 }

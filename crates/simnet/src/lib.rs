@@ -47,20 +47,28 @@
 //! assert_eq!(out.total_words_sent(), 3.0);
 //! ```
 //!
-//! Deadlock note: channels are unbounded, so `send` never blocks; `recv`
-//! blocks until the matching message arrives. Programs that receive
-//! messages that were never sent block forever — as they would under MPI.
+//! Deadlock note: mailboxes are unbounded, so `send` never blocks; `recv`
+//! blocks until the matching message arrives. A program that receives a
+//! message that was never sent would block forever — as under MPI — but
+//! the [`verify`] layer turns that into a *checked* failure: in debug
+//! builds a watchdog detects the deadlock and panics with a report naming
+//! every blocked rank, its operation, communicator context, and call
+//! site, and a collective-matching lint flags mismatched collectives
+//! deterministically before they hang. See [`World::with_watchdog`] and
+//! the `verify` module docs.
 
 pub mod comm;
 pub mod fabric;
 pub mod meter;
 pub mod rank;
+pub mod verify;
 pub mod world;
 
 pub use comm::Comm;
 pub use fabric::{Ctx, Message};
 pub use meter::{MemTracker, Meter, TraceEvent};
 pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
+pub use verify::{CollectiveOp, VerifyConfig};
 pub use world::{RankReport, World, WorldResult};
 
 // Re-export the model vocabulary users need alongside the simulator.

@@ -145,15 +145,12 @@ mod tests {
     #[test]
     fn diff_subtracts_counterwise() {
         let a = Meter { words_sent: 10, words_recv: 4, msgs_sent: 2, msgs_recv: 1, flops: 5.0 };
-        let b = Meter {
-            words_sent: 25,
-            words_recv: 10,
-            msgs_sent: 5,
-            msgs_recv: 3,
-            flops: 9.0,
-        };
+        let b = Meter { words_sent: 25, words_recv: 10, msgs_sent: 5, msgs_recv: 3, flops: 9.0 };
         let d = b.diff(&a);
-        assert_eq!(d, Meter { words_sent: 15, words_recv: 6, msgs_sent: 3, msgs_recv: 2, flops: 4.0 });
+        assert_eq!(
+            d,
+            Meter { words_sent: 15, words_recv: 6, msgs_sent: 3, msgs_recv: 2, flops: 4.0 }
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The per-thread rank handle: messaging, clocks, meters, memory.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::Location;
 use std::sync::Arc;
 
 use pmm_model::MachineParams;
@@ -8,6 +9,7 @@ use pmm_model::MachineParams;
 use crate::comm::Comm;
 use crate::fabric::{Ctx, Fabric, Message, WORLD_CTX};
 use crate::meter::{MemTracker, Meter, TraceEvent};
+use crate::verify::CollectiveOp;
 
 /// Error returned by [`Rank::try_mem_acquire`] when the configured local
 /// memory `M` would be exceeded (§6.2 limited-memory scenarios).
@@ -69,6 +71,13 @@ pub struct Rank {
     /// Out-of-order stash for directed receives, keyed by (ctx, from index).
     pending: HashMap<(Ctx, usize), VecDeque<Message>>,
     trace: Option<Vec<TraceEvent>>,
+    /// Happens-before vector clock, indexed by world rank (see
+    /// `crate::verify`). Ticks on every send and receive; merged
+    /// elementwise on receive — i.e. only along communication edges.
+    vclock: Vec<u64>,
+    /// Last sender-clock value observed per (ctx, sender index), to assert
+    /// per-channel monotonicity (no duplicated or reordered delivery).
+    last_seen: HashMap<(Ctx, usize), u64>,
 }
 
 impl Rank {
@@ -80,6 +89,7 @@ impl Rank {
         mem_limit: Option<u64>,
         trace: bool,
     ) -> Rank {
+        let world_size = world_members.len();
         Rank {
             world_rank,
             world_members,
@@ -90,7 +100,49 @@ impl Rank {
             mem: MemTracker::new(mem_limit),
             pending: HashMap::new(),
             trace: if trace { Some(Vec::new()) } else { None },
+            vclock: vec![0; world_size],
+            last_seen: HashMap::new(),
         }
+    }
+
+    /// Tear this rank down if the verifier has aborted the world (called
+    /// at every communication entry point so even compute-only ranks
+    /// notice promptly once they next touch the fabric).
+    fn check_abort(&self) {
+        if self.fabric.verify.is_aborted() {
+            self.fabric.verify.abort_panic(self.world_rank);
+        }
+    }
+
+    /// Tick the local component and snapshot the clock for attachment to
+    /// an outgoing message.
+    fn vclock_stamp(&mut self) -> Arc<[u64]> {
+        self.vclock[self.world_rank] += 1;
+        self.vclock.clone().into()
+    }
+
+    /// Fold a received message's clock into ours: assert the sender's own
+    /// component strictly increased (per-channel FIFO, no duplication),
+    /// then take the elementwise max and tick our component.
+    fn vclock_observe(&mut self, ctx: Ctx, from_index: usize, sender_world: usize, msg: &Message) {
+        let Some(vc) = &msg.vclock else { return };
+        let stamp = vc[sender_world];
+        let last = self.last_seen.insert((ctx, from_index), stamp);
+        assert!(
+            last.is_none_or(|l| stamp > l),
+            "pmm-verify: happens-before violation at rank {}: sender clock {stamp} from world \
+             rank {sender_world} on ctx {ctx} did not increase (last seen {last:?})",
+            self.world_rank
+        );
+        for (mine, theirs) in self.vclock.iter_mut().zip(vc.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.vclock[self.world_rank] += 1;
+    }
+
+    /// Final happens-before clock (for [`RankReport`](crate::RankReport)).
+    pub(crate) fn final_vclock(&self) -> Vec<u64> {
+        self.vclock.clone()
     }
 
     // ----- identity --------------------------------------------------------
@@ -142,17 +194,15 @@ impl Rank {
     /// exceeded — use [`Rank::try_mem_acquire`] when overflow is an
     /// expected outcome (limited-memory experiments).
     pub fn mem_acquire(&mut self, words: u64) {
-        self.try_mem_acquire(words)
-            .unwrap_or_else(|e| panic!("rank {}: {}", self.world_rank, e));
+        self.try_mem_acquire(words).unwrap_or_else(|e| panic!("rank {}: {}", self.world_rank, e));
     }
 
     /// Fallible version of [`Rank::mem_acquire`]; on failure nothing is
     /// acquired.
     pub fn try_mem_acquire(&mut self, words: u64) -> Result<(), MemoryLimitExceeded> {
-        self.mem.acquire(words).map_err(|(requested_total, limit)| MemoryLimitExceeded {
-            requested_total,
-            limit,
-        })
+        self.mem
+            .acquire(words)
+            .map_err(|(requested_total, limit)| MemoryLimitExceeded { requested_total, limit })
     }
 
     /// Release previously acquired working memory.
@@ -189,6 +239,7 @@ impl Rank {
     /// message arrives at `send_start + α + βw`, and the receiver is busy
     /// for `α + βw` after the later of (its own readiness, the send start).
     pub fn send(&mut self, comm: &Comm, to: usize, payload: &[f64]) {
+        self.check_abort();
         assert!(to < comm.size(), "send target {to} out of communicator of size {}", comm.size());
         assert_ne!(to, comm.index(), "send to self is not allowed (use local state)");
         let w = payload.len() as u64;
@@ -197,20 +248,28 @@ impl Rank {
         self.meter.msgs_sent += 1;
         self.time += self.params.alpha + self.params.beta * w as f64;
         if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Send { ctx: comm.ctx(), to_world: comm.world_rank_of(to), words: w });
+            t.push(TraceEvent::Send {
+                ctx: comm.ctx(),
+                to_world: comm.world_rank_of(to),
+                words: w,
+            });
         }
+        let vclock = Some(self.vclock_stamp());
         self.fabric.post(
             comm.ctx,
             to,
-            Message { from: comm.index(), sent_at, payload: payload.to_vec() },
+            Message { from: comm.index(), sent_at, payload: payload.to_vec(), vclock },
         );
     }
 
     /// Blockingly receive the next message from member `from` of `comm`.
+    #[track_caller]
     pub fn recv(&mut self, comm: &Comm, from: usize) -> Message {
+        self.check_abort();
         assert!(from < comm.size(), "recv source {from} out of communicator");
         assert_ne!(from, comm.index(), "recv from self is not allowed");
-        let msg = self.match_directed(comm, from);
+        let msg = self.match_directed(comm, from, Location::caller());
+        self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
         let w = msg.payload.len() as u64;
         self.meter.words_recv += w;
         self.meter.msgs_recv += 1;
@@ -234,6 +293,7 @@ impl Rank {
     /// sides are ready — this is the §3.1 "pair of processors can exchange
     /// data with no contention" rule, and what bandwidth-optimal collectives
     /// (recursive doubling/halving, bidirectional ring) rely on.
+    #[track_caller]
     pub fn sendrecv(&mut self, comm: &Comm, partner: usize, payload: &[f64]) -> Message {
         self.exchange(comm, partner, partner, payload)
     }
@@ -245,7 +305,9 @@ impl Rank {
     /// the incoming message are ready — §3.1 allows simultaneous send and
     /// receive on the bidirectional links, and every rank is engaged in at
     /// most one send and one receive.
+    #[track_caller]
     pub fn exchange(&mut self, comm: &Comm, to: usize, from: usize, payload: &[f64]) -> Message {
+        self.check_abort();
         assert!(to < comm.size() && from < comm.size(), "exchange peer out of communicator");
         assert_ne!(to, comm.index(), "exchange send-to-self is not allowed");
         assert_ne!(from, comm.index(), "exchange recv-from-self is not allowed");
@@ -260,12 +322,14 @@ impl Rank {
                 words: ws,
             });
         }
+        let vclock = Some(self.vclock_stamp());
         self.fabric.post(
             comm.ctx,
             to,
-            Message { from: comm.index(), sent_at: start, payload: payload.to_vec() },
+            Message { from: comm.index(), sent_at: start, payload: payload.to_vec(), vclock },
         );
-        let msg = self.match_directed(comm, from);
+        let msg = self.match_directed(comm, from, Location::caller());
+        self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
         let wr = msg.payload.len() as u64;
         self.meter.words_recv += wr;
         self.meter.msgs_recv += 1;
@@ -299,10 +363,13 @@ impl Rank {
     }
 
     /// Complete a nonblocking receive (see [`Rank::irecv`]).
+    #[track_caller]
     pub fn wait(&mut self, mut req: RecvRequest, comm: &Comm) -> Message {
+        self.check_abort();
         assert_eq!(req.ctx, comm.ctx(), "wait called with a different communicator");
         req.redeemed = true;
-        let msg = self.match_directed(comm, req.from);
+        let msg = self.match_directed(comm, req.from, Location::caller());
+        self.vclock_observe(comm.ctx, req.from, comm.world_rank_of(req.from), &msg);
         let w = msg.payload.len() as u64;
         self.meter.words_recv += w;
         self.meter.msgs_recv += 1;
@@ -318,14 +385,21 @@ impl Rank {
         msg
     }
 
-    fn match_directed(&mut self, comm: &Comm, from: usize) -> Message {
+    fn match_directed(
+        &mut self,
+        comm: &Comm,
+        from: usize,
+        site: &'static Location<'static>,
+    ) -> Message {
         if let Some(q) = self.pending.get_mut(&(comm.ctx, from)) {
             if let Some(m) = q.pop_front() {
                 return m;
             }
         }
+        let from_world = comm.world_rank_of(from);
         loop {
-            let msg = self.fabric.take_any(comm.ctx, comm.index());
+            let msg =
+                self.fabric.take_any(comm.ctx, comm.index(), self.world_rank, from_world, site);
             if msg.from == from {
                 return msg;
             }
@@ -344,30 +418,87 @@ impl Rank {
     /// Splits are bookkeeping, not communication: they are **not** metered
     /// and do not advance the clock (an implementation on a real machine
     /// would piggyback the group agreement on the setup phase).
+    #[track_caller]
     pub fn split(&mut self, comm: &Comm, color: i64, key: i64) -> Option<Comm> {
+        // A split is a collective over the parent communicator: register
+        // it with the matching lint so members that issue splits in
+        // different orders (relative to other collectives) are flagged.
+        self.collective_begin(comm, CollectiveOp::Split, 0);
         let seq = comm.next_split_seq();
         let group = self.fabric.split(
             comm.ctx,
-            comm.size(),
+            comm.members(),
             seq,
             comm.index(),
             self.world_rank,
             color,
             key,
+            Location::caller(),
         )?;
-        let my_index = group
-            .members
-            .iter()
-            .position(|&w| w == self.world_rank)
-            .expect("own world rank present in split group");
+        let my_index =
+            group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
+                panic!(
+                    "world rank {} missing from its own split group (ctx {}) — fabric bug",
+                    self.world_rank, group.ctx
+                )
+            });
         Some(Comm::new(group.ctx, Arc::new(group.members), my_index))
     }
 
     /// Zero-cost synchronization of **all world ranks** (not metered). For
     /// delimiting test phases; real synchronization should use the metered
     /// barrier collective from `pmm-collectives`.
+    #[track_caller]
     pub fn hard_sync(&self) {
-        self.fabric.hard_sync();
+        self.check_abort();
+        self.fabric.hard_sync(self.world_rank, Location::caller());
+    }
+
+    // ----- communication-correctness hooks ----------------------------------
+
+    /// Register entry into a collective on `comm` with the matching lint
+    /// (see `crate::verify`): the `n`-th collective on a communicator must
+    /// agree on `op` (and on `elems`, for symmetric ops) across all
+    /// members. On disagreement the world is aborted with a report diffing
+    /// the registered descriptors — deterministically, before the mismatch
+    /// can turn into a hang or silent corruption.
+    ///
+    /// Collective implementations (e.g. `pmm-collectives`) call this once
+    /// at their entry point; user programs composed of raw sends/receives
+    /// don't need it.
+    #[track_caller]
+    pub fn collective_begin(&mut self, comm: &Comm, op: CollectiveOp, elems: u64) {
+        self.check_abort();
+        if let Err(report) = self.fabric.verify.register_collective(
+            comm.ctx,
+            comm.size(),
+            comm.index(),
+            self.world_rank,
+            op,
+            elems,
+            Location::caller(),
+        ) {
+            self.fabric.abort(report);
+            self.fabric.verify.abort_panic(self.world_rank);
+        }
+    }
+
+    /// Description of messages received but never consumed by a directed
+    /// receive (strict-drain audit), or `None` if the stash is clean.
+    pub(crate) fn undrained_stash(&self) -> Option<String> {
+        let mut leftovers: Vec<String> = self
+            .pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(ctx, from), q)| {
+                format!("{} message(s) from index {from} on ctx {ctx}", q.len())
+            })
+            .collect();
+        if leftovers.is_empty() {
+            return None;
+        }
+        leftovers.sort();
+        Some(leftovers.join(", "))
     }
 }
 
@@ -478,10 +609,7 @@ mod tests {
         assert_eq!(blocking.values[1], 200.0);
         assert_eq!(overlapped.values[1], 100.0);
         // Meters are identical either way.
-        assert_eq!(
-            blocking.reports[1].meter.words_recv,
-            overlapped.reports[1].meter.words_recv
-        );
+        assert_eq!(blocking.reports[1].meter.words_recv, overlapped.reports[1].meter.words_recv);
     }
 
     #[test]
@@ -619,16 +747,14 @@ mod tests {
 
     #[test]
     fn memory_tracking_and_limit() {
-        let out = World::new(1, bw())
-            .with_memory_limit(Some(1000))
-            .run(|rank| {
-                rank.mem_acquire(600);
-                let err = rank.try_mem_acquire(500).unwrap_err();
-                assert_eq!(err.limit, 1000);
-                rank.mem_acquire(400);
-                rank.mem_release(1000);
-                rank.mem().peak()
-            });
+        let out = World::new(1, bw()).with_memory_limit(Some(1000)).run(|rank| {
+            rank.mem_acquire(600);
+            let err = rank.try_mem_acquire(500).unwrap_err();
+            assert_eq!(err.limit, 1000);
+            rank.mem_acquire(400);
+            rank.mem_release(1000);
+            rank.mem().peak()
+        });
         assert_eq!(out.values[0], 1000);
     }
 

@@ -1,13 +1,48 @@
 //! World construction: spawn `P` rank threads, run a program, collect
 //! reports.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 use pmm_model::{Cost, MachineParams};
 
 use crate::fabric::Fabric;
 use crate::meter::{Meter, TraceEvent};
 use crate::rank::Rank;
+use crate::verify::{lock_unpoisoned, AbortPanic, VerifyConfig, VerifyState};
+
+/// Marks a rank `done` in the verify registry on scope exit — including
+/// panics — so the watchdog treats dead ranks as inert (anyone blocked on
+/// them is then provably deadlocked, not "maybe about to be served").
+struct DoneGuard<'a> {
+    verify: &'a VerifyState,
+    rank: usize,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.verify.mark_done(self.rank);
+    }
+}
+
+/// Rank threads torn down by a verifier abort die via a sentinel
+/// [`AbortPanic`] that `World::run` filters out — but each such death
+/// would also print the default "thread panicked" message and backtrace,
+/// burying the one report that matters under per-rank teardown noise.
+/// Chain a process-wide panic hook (installed once; everything that is
+/// not the sentinel is delegated to the previously installed hook) that
+/// swallows exactly that sentinel.
+fn silence_abort_teardown_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// Configuration for a simulated machine run.
 ///
@@ -23,13 +58,21 @@ pub struct World {
     mem_limit: Option<u64>,
     trace: bool,
     stack_bytes: usize,
+    verify: VerifyConfig,
 }
 
 impl World {
     /// A world of `size` ranks with machine parameters `params`.
     pub fn new(size: usize, params: MachineParams) -> World {
         assert!(size >= 1, "world size must be >= 1");
-        World { size, params, mem_limit: None, trace: false, stack_bytes: 4 << 20 }
+        World {
+            size,
+            params,
+            mem_limit: None,
+            trace: false,
+            stack_bytes: 4 << 20,
+            verify: VerifyConfig::default(),
+        }
     }
 
     /// Set a per-rank local memory capacity `M` in words (§6.2). `None`
@@ -54,6 +97,38 @@ impl World {
         self
     }
 
+    /// Run the deadlock watchdog with the given scan interval. In debug
+    /// builds (which is what `cargo test` exercises) the watchdog is on by
+    /// default with a 2 s interval; release builds opt in with this
+    /// method. A confirmed deadlock aborts the run with a report naming
+    /// every blocked rank, its operation, communicator context, and call
+    /// site — instead of hanging.
+    #[must_use]
+    pub fn with_watchdog(mut self, interval: Duration) -> World {
+        self.verify.watchdog = Some(interval);
+        self
+    }
+
+    /// Disable the deadlock watchdog (debug builds enable it by default).
+    /// A program that deadlocks in such a world blocks forever, exactly
+    /// as under MPI.
+    #[must_use]
+    pub fn without_watchdog(mut self) -> World {
+        self.verify.watchdog = None;
+        self
+    }
+
+    /// Additionally fail the run if any message was sent but never
+    /// received (undrained mailboxes or receive stashes at exit), and
+    /// verify that the meters conserve traffic globally (Σ sent = Σ
+    /// received). Off by default: programs are allowed to exit with
+    /// traffic in flight.
+    #[must_use]
+    pub fn with_strict_drain(mut self, strict: bool) -> World {
+        self.verify.strict_drain = strict;
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
@@ -62,20 +137,53 @@ impl World {
     /// Run `program` on every rank simultaneously and collect the results.
     ///
     /// Panics in any rank propagate (with the rank id) after all threads
-    /// are joined or detached.
+    /// are joined. If the verifier aborts the run (deadlock, collective
+    /// mismatch), `run` panics with the verifier's report.
     pub fn run<T, F>(&self, program: F) -> WorldResult<T>
     where
         T: Send,
         F: Fn(&mut Rank) -> T + Send + Sync,
     {
+        silence_abort_teardown_panics();
         let fabric = Arc::new(Fabric::new(self.size));
         let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
         let mut slots: Vec<Option<(T, RankReport)>> = Vec::with_capacity(self.size);
         for _ in 0..self.size {
             slots.push(None);
         }
+        let strict_drain = self.verify.strict_drain;
 
         std::thread::scope(|scope| {
+            // Stop signal for the watchdog: flag + condvar so shutdown is
+            // immediate rather than waiting out a scan interval.
+            let watchdog_stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let watchdog = self.verify.watchdog.map(|interval| {
+                let fabric = fabric.clone();
+                let stop = watchdog_stop.clone();
+                std::thread::Builder::new()
+                    .name("pmm-watchdog".to_string())
+                    .spawn_scoped(scope, move || {
+                        let (lock, cv) = &*stop;
+                        let mut candidate = None;
+                        let mut stopped = lock_unpoisoned(lock);
+                        while !*stopped {
+                            let (guard, timeout) = cv
+                                .wait_timeout(stopped, interval)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            stopped = guard;
+                            if *stopped || !timeout.timed_out() {
+                                continue;
+                            }
+                            drop(stopped);
+                            if let Some(report) = fabric.watchdog_scan(&mut candidate) {
+                                fabric.abort(report);
+                            }
+                            stopped = lock_unpoisoned(lock);
+                        }
+                    })
+                    .expect("failed to spawn watchdog thread")
+            });
+
             let mut handles = Vec::with_capacity(self.size);
             for (r, slot) in slots.iter_mut().enumerate() {
                 let fabric = fabric.clone();
@@ -89,36 +197,94 @@ impl World {
                     .stack_size(self.stack_bytes);
                 let handle = builder
                     .spawn_scoped(scope, move || {
+                        let _done = DoneGuard { verify: &fabric.verify, rank: r };
                         let mut rank =
-                            Rank::new(r, members, fabric, params, mem_limit, trace);
+                            Rank::new(r, members, fabric.clone(), params, mem_limit, trace);
                         let value = program(&mut rank);
+                        if strict_drain {
+                            if let Some(desc) = rank.undrained_stash() {
+                                panic!(
+                                    "pmm-verify: rank {r} finished with undrained receive \
+                                     stash: {desc}"
+                                );
+                            }
+                        }
                         let report = RankReport {
                             meter: rank.meter(),
                             time: rank.time(),
                             peak_mem_words: rank.mem().peak(),
                             trace: rank.take_trace(),
+                            final_vclock: rank.final_vclock(),
                         };
                         *slot = Some((value, report));
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
+
             let mut first_panic = None;
+            let mut abort_note: Option<String> = None;
             for (r, h) in handles.into_iter().enumerate() {
                 if let Err(payload) = h.join() {
-                    first_panic.get_or_insert((r, payload));
+                    // Ranks torn down by a verifier abort carry an
+                    // AbortPanic; the report is raised once, below. Any
+                    // other panic is the program's own and wins.
+                    match payload.downcast_ref::<AbortPanic>() {
+                        Some(AbortPanic(note)) => {
+                            abort_note.get_or_insert_with(|| note.clone());
+                        }
+                        None => {
+                            first_panic.get_or_insert((r, payload));
+                        }
+                    }
                 }
             }
+
+            // All ranks are done; retire the watchdog before deciding the
+            // run's fate so it cannot fire on a finished world.
+            if let Some(h) = watchdog {
+                *lock_unpoisoned(&watchdog_stop.0) = true;
+                watchdog_stop.1.notify_all();
+                h.join().expect("watchdog thread panicked");
+            }
+
             if let Some((r, payload)) = first_panic {
                 eprintln!("pmm-simnet: rank {r} panicked");
                 std::panic::resume_unwind(payload);
             }
+            if fabric.verify.is_aborted() {
+                let report =
+                    fabric.verify.report_text().or(abort_note).unwrap_or_else(|| {
+                        "pmm-verify: world aborted with no stored report".into()
+                    });
+                panic!("{report}");
+            }
         });
 
-        let (values, reports): (Vec<T>, Vec<RankReport>) = slots
-            .into_iter()
-            .map(|s| s.expect("rank completed without panicking"))
-            .unzip();
+        if strict_drain {
+            let residual = fabric.residual_messages();
+            assert!(
+                residual.is_empty(),
+                "pmm-verify: world finished with {} undrained mailbox(es) \
+                 [(ctx, member, messages)]: {residual:?}",
+                residual.len()
+            );
+        }
+
+        let (values, reports): (Vec<T>, Vec<RankReport>) =
+            slots.into_iter().map(|s| s.expect("rank completed without panicking")).unzip();
+
+        if strict_drain {
+            let sent: u64 = reports.iter().map(|r| r.meter.words_sent).sum();
+            let recv: u64 = reports.iter().map(|r| r.meter.words_recv).sum();
+            let msent: u64 = reports.iter().map(|r| r.meter.msgs_sent).sum();
+            let mrecv: u64 = reports.iter().map(|r| r.meter.msgs_recv).sum();
+            assert!(
+                sent == recv && msent == mrecv,
+                "pmm-verify: meter conservation violated: {sent} words sent vs {recv} received, \
+                 {msent} messages sent vs {mrecv} received"
+            );
+        }
         WorldResult { params: self.params, values, reports }
     }
 }
@@ -134,6 +300,9 @@ pub struct RankReport {
     pub peak_mem_words: u64,
     /// Communication trace, if enabled.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Final happens-before vector clock, indexed by world rank (see
+    /// `crate::verify`).
+    pub final_vclock: Vec<u64>,
 }
 
 /// Results of a [`World::run`]: per-rank return values and reports, plus

@@ -18,8 +18,7 @@ struct Schedule {
 fn schedule() -> impl Strategy<Value = Schedule> {
     (2usize..7).prop_flat_map(|p| {
         let round = proptest::collection::vec((0usize..p, 0usize..16), p);
-        proptest::collection::vec(round, 1..5)
-            .prop_map(move |rounds| Schedule { p, rounds })
+        proptest::collection::vec(round, 1..5).prop_map(move |rounds| Schedule { p, rounds })
     })
 }
 

@@ -1,0 +1,180 @@
+//! Integration tests for the communication-correctness verifier: the
+//! deadlock watchdog, the collective-matching lint, and strict-drain
+//! checks, exercised through the public `World` API exactly as user
+//! programs hit them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use pmm_simnet::{CollectiveOp, MachineParams, World};
+
+/// Extract the panic message from a `catch_unwind` payload.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("panic payload is not a string");
+    }
+}
+
+const WATCHDOG: Duration = Duration::from_millis(50);
+
+#[test]
+fn circular_recv_terminates_with_cycle_report() {
+    // Every rank receives from its right neighbor before anyone sends:
+    // a 3-cycle in the wait-for graph. Under MPI this hangs forever; the
+    // watchdog must abort with a report naming the cycle.
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::new(3, MachineParams::BANDWIDTH_ONLY).with_watchdog(WATCHDOG).run(|rank| {
+            let wc = rank.world_comm();
+            let from = (rank.world_rank() + 1) % 3;
+            rank.recv(&wc, from);
+        });
+    }));
+    let report = panic_text(result.expect_err("a circular wait must abort the world"));
+    assert!(report.contains("deadlock detected"), "missing headline: {report}");
+    assert!(report.contains("wait-for cycle"), "missing cycle: {report}");
+    assert!(report.contains("recv"), "missing op kind: {report}");
+    for r in 0..3 {
+        assert!(report.contains(&format!("rank {r}")), "missing rank {r}: {report}");
+    }
+    // "Terminates within the watchdog window": a couple of scan periods,
+    // not the multi-second hang a wedged test would produce.
+    assert!(start.elapsed() < Duration::from_secs(10), "took {:?}", start.elapsed());
+}
+
+#[test]
+fn recv_from_finished_rank_is_reported() {
+    // Rank 0 exits without sending; rank 1 waits for it forever. Not a
+    // cycle — a wait on a rank that can no longer act — but just as dead.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::new(2, MachineParams::BANDWIDTH_ONLY).with_watchdog(WATCHDOG).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 1 {
+                rank.recv(&wc, 0);
+            }
+        });
+    }));
+    let report = panic_text(result.expect_err("waiting on a finished rank must abort"));
+    assert!(report.contains("deadlock detected"), "missing headline: {report}");
+    assert!(report.contains("rank 1"), "missing blocked rank: {report}");
+}
+
+#[test]
+fn mismatched_collective_op_aborts_with_diff() {
+    // Rank 0 enters an all-gather while everyone else enters a split on
+    // the same communicator: the matching lint must flag the round
+    // without waiting for the resulting hang to mature.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::new(4, MachineParams::BANDWIDTH_ONLY).with_watchdog(WATCHDOG).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                rank.collective_begin(&wc, CollectiveOp::AllGather, 8);
+            } else {
+                rank.split(&wc, 0, 0);
+            }
+        });
+    }));
+    let report = panic_text(result.expect_err("a mismatched collective must abort"));
+    assert!(report.contains("collective mismatch"), "missing headline: {report}");
+    assert!(report.contains("all_gather"), "missing first op: {report}");
+    assert!(report.contains("split"), "missing second op: {report}");
+}
+
+#[test]
+fn uniform_count_skew_aborts_with_diff() {
+    // Same op everywhere, but one rank disagrees on the element count of
+    // a count-uniform collective (all-reduce).
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::new(3, MachineParams::BANDWIDTH_ONLY).with_watchdog(WATCHDOG).run(|rank| {
+            let wc = rank.world_comm();
+            let elems = if rank.world_rank() == 2 { 7 } else { 64 };
+            rank.collective_begin(&wc, CollectiveOp::AllReduce, elems);
+        });
+    }));
+    let report = panic_text(result.expect_err("skewed counts must abort"));
+    assert!(report.contains("collective mismatch"), "missing headline: {report}");
+    assert!(report.contains("64"), "missing majority count: {report}");
+    assert!(report.contains("7"), "missing skewed count: {report}");
+}
+
+#[test]
+fn strict_drain_flags_unreceived_traffic() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::new(2, MachineParams::BANDWIDTH_ONLY).with_strict_drain(true).run(|rank| {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                rank.send(&wc, 1, &[1.0, 2.0]);
+            }
+        });
+    }));
+    let report = panic_text(result.expect_err("strict drain must flag the lost message"));
+    assert!(report.contains("undrained"), "missing drain report: {report}");
+}
+
+#[test]
+fn matching_program_runs_clean_under_full_verification() {
+    // The flip side: a correct program must pass with the watchdog AND
+    // strict drain on — no false positives from the verifier.
+    let out = World::new(4, MachineParams::BANDWIDTH_ONLY)
+        .with_watchdog(WATCHDOG)
+        .with_strict_drain(true)
+        .run(|rank| {
+            let wc = rank.world_comm();
+            rank.collective_begin(&wc, CollectiveOp::AllReduce, 4);
+            let partner = rank.world_rank() ^ 1;
+            let msg = rank.exchange(&wc, partner, partner, &[rank.world_rank() as f64]);
+            rank.hard_sync();
+            msg.payload[0]
+        });
+    for (r, v) in out.values.iter().enumerate() {
+        assert_eq!(*v, (r ^ 1) as f64);
+    }
+}
+
+mod split_order {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One rank issues its world-communicator collectives in a different
+    /// order (split first vs. barrier-style registration first). Detection
+    /// must not depend on thread scheduling: registration happens
+    /// synchronously on entry, so whichever side reaches the skewed round
+    /// first, the round holds conflicting descriptors and the lint fires.
+    fn run_skewed(p: usize, skew: usize) -> String {
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            World::new(p, MachineParams::BANDWIDTH_ONLY).with_watchdog(WATCHDOG).run(move |rank| {
+                let wc = rank.world_comm();
+                if rank.world_rank() == skew {
+                    // Skewed issue order: the collective that the rest
+                    // of the world issues *second* comes first here, so
+                    // this rank's split_seq for the split is 1, not 0.
+                    rank.collective_begin(&wc, CollectiveOp::Barrier, 0);
+                    rank.split(&wc, 0, 0);
+                } else {
+                    rank.split(&wc, 0, 0);
+                    rank.collective_begin(&wc, CollectiveOp::Barrier, 0);
+                }
+            });
+        }));
+        panic_text(result.expect_err("skewed split order must abort"))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn skewed_split_seq_is_flagged_deterministically(p in 2usize..6, skew_raw in 0usize..6) {
+            let skew = skew_raw % p;
+            let report = run_skewed(p, skew);
+            // Same detection on every run regardless of interleaving:
+            // round 0 mixes a split with a barrier registration.
+            prop_assert!(report.contains("collective mismatch"), "{}", report);
+            prop_assert!(report.contains("split"), "{}", report);
+            prop_assert!(report.contains("barrier"), "{}", report);
+        }
+    }
+}

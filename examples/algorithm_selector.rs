@@ -24,7 +24,11 @@ fn main() {
     for (label, m_words, params) in [
         ("ample memory, bandwidth-bound", f64::INFINITY, MachineParams::BANDWIDTH_ONLY),
         ("ample memory, latency-heavy", f64::INFINITY, MachineParams::new(1e5, 1.0, 0.0)),
-        ("tight memory (1.5x the minimum)", 1.5 * 3.0 * 512.0 * 512.0 / 64.0, MachineParams::BANDWIDTH_ONLY),
+        (
+            "tight memory (1.5x the minimum)",
+            1.5 * 3.0 * 512.0 * 512.0 / 64.0,
+            MachineParams::BANDWIDTH_ONLY,
+        ),
     ] {
         println!("--- {label} ---");
         let recs = recommend(dims, p, m_words, params);

@@ -32,7 +32,10 @@ fn main() {
     );
     for p in [16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0] {
         if min_memory_words(dims, p) > m_words {
-            println!("{p:>7} {:>6} {:>16} {:>16} {:>12}", "-", "infeasible: M can't hold 1/P of the data", "", "");
+            println!(
+                "{p:>7} {:>6} {:>16} {:>16} {:>12}",
+                "-", "infeasible: M can't hold 1/P of the data", "", ""
+            );
             continue;
         }
         let rep = limited_memory_report(dims, p, m_words);

@@ -17,12 +17,16 @@ fn main() {
     // --- 1. the lower bound -------------------------------------------------
     let report = lower_bound(dims, p as f64);
     println!("problem   : {dims} on P = {p}");
-    println!("case      : {} (thresholds: m/n = {}, mn/k² = {})",
+    println!(
+        "case      : {} (thresholds: m/n = {}, mn/k² = {})",
         report.case,
         dims.sorted().threshold_1d_2d(),
-        dims.sorted().threshold_2d_3d());
-    println!("bound     : {:.1} words/processor (= {} × {:.1} leading − {:.1} offset)",
-        report.bound, report.constant, report.leading_term, report.offset);
+        dims.sorted().threshold_2d_3d()
+    );
+    println!(
+        "bound     : {:.1} words/processor (= {} × {:.1} leading − {:.1} offset)",
+        report.bound, report.constant, report.leading_term, report.offset
+    );
 
     // --- 2. the optimal processor grid (§5.2) --------------------------------
     let choice = best_grid(dims, p);

@@ -1,0 +1,224 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Benchmarks double as smoke tests: each registered closure runs a
+//! small number of warm-up + timed iterations and one `name … ns/iter`
+//! line is printed per benchmark. There is no statistical analysis,
+//! HTML report, or outlier rejection — set `PMM_BENCH_ITERS` to a
+//! larger iteration count when a rough comparison is wanted.
+//!
+//! `cargo test` builds `harness = false` bench targets and runs them in
+//! test mode; the shim keeps that cheap (3 timed iterations by default)
+//! so a hang or panic in bench code fails the suite quickly without
+//! making it slow.
+
+use std::time::Instant;
+
+fn iters_from_env() -> u64 {
+    std::env::var("PMM_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Benchmark registry and runner (shim of `criterion::Criterion`).
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { iters: iters_from_env() }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.iters, report: None };
+        f(&mut b);
+        b.print(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count comes
+    /// from `PMM_BENCH_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: self.criterion.iters, report: None };
+        f(&mut b);
+        b.print(&format!("{}/{}", self.name, id.label()));
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: self.criterion.iters, report: None };
+        f(&mut b, input);
+        b.print(&format!("{}/{}", self.name, id.label()));
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: Some(function.into()), parameter: parameter.to_string() }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: None, parameter: parameter.to_string() }
+    }
+
+    fn label(&self) -> String {
+        match &self.function {
+            Some(f) => format!("{f}/{}", self.parameter),
+            None => self.parameter.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId::from_parameter(s)
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    report: Option<(u64, u128)>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count (after one
+    /// warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.report = Some((self.iters, start.elapsed().as_nanos()));
+    }
+
+    fn print(&self, name: &str) {
+        match self.report {
+            Some((iters, nanos)) if iters > 0 => {
+                eprintln!("bench {name:<50} {:>12} ns/iter ({iters} iters)", nanos / iters as u128);
+            }
+            _ => eprintln!("bench {name:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Shim of `criterion::criterion_group!`: defines a function running the
+/// listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Shim of `criterion::criterion_main!`: a `main` that runs the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        let mut c = Criterion { iters: 2 };
+        c.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // one warm-up + two timed iterations
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion { iters: 1 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &x| {
+            b.iter(|| x * 2);
+            ran = true;
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| ()));
+        group.finish();
+        assert!(ran);
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+    }
+}

@@ -1,0 +1,496 @@
+//! Offline shim for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   multiple `#[test] fn name(pat in strategy, ...) { body }` items;
+//! * [`Strategy`] with range strategies over primitive numeric types,
+//!   tuple strategies, [`Strategy::prop_map`],
+//!   [`Strategy::prop_flat_map`], [`Just`], and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the case number and the
+//!   `Debug` rendering of every generated input, then panics;
+//! * **deterministic, name-derived seeding** — each test's RNG stream is
+//!   derived from the test function's name, so failures reproduce across
+//!   runs and machines without a `proptest-regressions` persistence file
+//!   (any committed persistence files are ignored);
+//! * `prop_assume!` skips the remainder of the case without counting it
+//!   separately — the configured case count is an upper bound on work,
+//!   not a guarantee of satisfied-assumption cases.
+
+use std::fmt::Debug;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Lower than upstream's 256: the shim does not shrink, so large
+        // case counts only buy runtime, not better counterexamples.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG driving generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG stream for a named test; the name (not wall-clock or a global
+    /// seed file) determines the stream.
+    pub fn for_test(test_name: &str) -> TestRng {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        // Avoid the all-zeros fixed point of a raw hash of "".
+        TestRng { state: h.finish() ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `span` (rejection sampling, no modulo bias).
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % span;
+            }
+        }
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Unlike real proptest there is no value tree: a strategy simply draws
+/// a value from the RNG. `prop_map`/`prop_flat_map` compose by function
+/// application.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns for
+    /// it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn StrategyObject<Value = T>>);
+
+trait StrategyObject {
+    type Value: Debug;
+    fn generate_obj(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> StrategyObject for S {
+    type Value = S::Value;
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: either exact or a half-open
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "vec length range is empty");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.size.min..self.size.max).generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Explicit case failure/rejection, mirroring upstream's
+/// `test_runner::TestCaseError`. Property bodies may `return
+/// Ok(())`/`Err(...)`; the [`proptest!`] expansion wraps plain `()` bodies
+/// so both styles compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated for these inputs.
+    Fail(String),
+    /// The inputs don't satisfy the property's assumptions (the shim does
+    /// not resample; the case is simply skipped).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+/// Outcome bookkeeping for one generated case; used by the [`proptest!`]
+/// expansion, not meant to be called directly.
+#[doc(hidden)]
+pub fn run_case(
+    test_name: &str,
+    case: u32,
+    inputs: &str,
+    body: impl FnOnce() -> Result<(), TestCaseError> + std::panic::UnwindSafe,
+) {
+    let diagnose = || {
+        eprintln!(
+            "proptest shim: test `{test_name}` failed at case {case} with inputs:\n{inputs}\n\
+             (deterministic: rerun reproduces this case; no shrinking is attempted)"
+        );
+    };
+    match std::panic::catch_unwind(body) {
+        Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+        Ok(Err(e @ TestCaseError::Fail(_))) => {
+            diagnose();
+            panic!("proptest shim: {e}");
+        }
+        Err(payload) => {
+            diagnose();
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Property-test entry macro; see the crate docs for the supported
+/// grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let mut inputs = String::new();
+                    $(
+                        let value = $crate::Strategy::generate(&($strat), &mut rng);
+                        inputs.push_str(&format!("    {} = {:?}\n", stringify!($pat), value));
+                        let $pat = value;
+                    )+
+                    $crate::run_case(
+                        stringify!($name),
+                        case,
+                        &inputs,
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body;
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` inside a property body (no early-return semantics needed in
+/// the shim — a failure panics and is reported with the case inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the remainder of this case when `cond` is false.
+///
+/// Expands to an early return from the case closure (a `Reject`, which
+/// the runner skips), so it must be used at the statement level of the
+/// property body (as upstream recommends anyway).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges_respect_bounds");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(1u64..200), &mut rng);
+            assert!((1..200).contains(&v));
+            let f = Strategy::generate(&(0.0f64..1e6), &mut rng);
+            assert!((0.0..1e6).contains(&f));
+            let i = Strategy::generate(&(-5i64..6), &mut rng);
+            assert!((-5..6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::for_test("vec_strategy_lengths");
+        let s = crate::collection::vec(0usize..10, 3..7);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(0usize..10, 4usize);
+        assert_eq!(Strategy::generate(&exact, &mut rng).len(), 4);
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::for_test("map_and_flat_map_compose");
+        let s = (2usize..7)
+            .prop_flat_map(|p| crate::collection::vec(0usize..p, p).prop_map(move |v| (p, v)));
+        for _ in 0..50 {
+            let (p, v) = Strategy::generate(&s, &mut rng);
+            assert_eq!(v.len(), p);
+            assert!(v.iter().all(|&x| x < p));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let mut c = TestRng::for_test("different");
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        assert_eq!(xs, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(xs, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_destructures((a, b) in (0u64..50, 0u64..50), c in 1usize..4) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert!((1..4).contains(&c));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_works(x in 0i64..5) {
+            prop_assert!((0..5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline shim for the `rayon` crate (see `shims/README.md`).
+//!
+//! Implements the one parallel-iterator chain the workspace uses —
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — with real
+//! parallelism: chunks are distributed round-robin over
+//! `std::thread::available_parallelism()` scoped threads. There is no
+//! work stealing; for the regular, equally-sized stripes the dense
+//! kernels produce, static round-robin is within noise of rayon.
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Mutable parallel chunking of slices (shim of
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `chunk_size` elements (last may
+    /// be shorter), processable in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { chunks: self.chunks }
+    }
+
+    /// Apply `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct ParEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> ParEnumerate<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let items: Vec<(usize, &mut [T])> = self.chunks.into_iter().enumerate().collect();
+        if items.len() <= 1 || n_workers == 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        // Round-robin assignment of chunks to workers; each worker owns
+        // its items, so no synchronization is needed beyond the scope join.
+        let n_buckets = n_workers.min(items.len());
+        let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+            (0..n_buckets).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            per_worker[i % n_buckets].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for batch in per_worker {
+                scope.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_exactly_once() {
+        let mut v = vec![0u64; 1003];
+        v.as_mut_slice().par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u64;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, 1 + (j / 64) as u64, "element {j}");
+        }
+    }
+
+    #[test]
+    fn last_chunk_may_be_short() {
+        let mut v = vec![1i64; 10];
+        let lens: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+        v.as_mut_slice().par_chunks_mut(4).for_each(|c| {
+            lens.lock().expect("collector mutex").push(c.len());
+        });
+        let mut lens = lens.into_inner().expect("collector mutex");
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut v = vec![0u8; 3];
+        v.as_mut_slice().par_chunks_mut(100).enumerate().for_each(|(i, c)| {
+            assert_eq!(i, 0);
+            c.fill(9);
+        });
+        assert_eq!(v, vec![9, 9, 9]);
+    }
+}

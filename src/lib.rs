@@ -62,8 +62,8 @@ pub use pmm_simnet as simnet;
 pub mod prelude {
     pub use pmm_algs::{
         alg1, alg1_streamed, assemble_c, assemble_from_blocks, cannon, carma, carma_assemble_c,
-        carma_cost_words, carma_shares, summa, twofived,
-        Alg1Config, Alg1Output, Assembly, CannonConfig, SummaConfig, TwoFiveDConfig,
+        carma_cost_words, carma_shares, summa, twofived, Alg1Config, Alg1Output, Assembly,
+        CannonConfig, SummaConfig, TwoFiveDConfig,
     };
     pub use pmm_collectives::{
         all_gather, all_reduce, bcast, reduce_scatter, AllGatherAlgo, AllReduceAlgo, BcastAlgo,

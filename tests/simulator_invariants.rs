@@ -57,14 +57,10 @@ fn collectives_compose_on_grid_fibers() {
     let out = World::new(12, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
         let world = rank.world_comm();
         let coord = grid.coord_of(rank.world_rank());
-        let axis0 = rank
-            .split(&world, grid.fiber_color(coord, 0) as i64, coord[0] as i64)
-            .unwrap();
+        let axis0 = rank.split(&world, grid.fiber_color(coord, 0) as i64, coord[0] as i64).unwrap();
         let sum = all_reduce(rank, &axis0, &[coord[0] as f64 + 1.0], AllReduceAlgo::Auto);
         // fiber along axis 0 has coords {0,1,2} → sum = 6.
-        let axis2 = rank
-            .split(&world, grid.fiber_color(coord, 2) as i64, coord[2] as i64)
-            .unwrap();
+        let axis2 = rank.split(&world, grid.fiber_color(coord, 2) as i64, coord[2] as i64).unwrap();
         let got = bcast(rank, &axis2, &sum, 0, BcastAlgo::Binomial);
         got[0]
     });

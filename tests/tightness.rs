@@ -8,7 +8,8 @@ use pmm::prelude::*;
 /// critical-path words.
 fn measure(dims: MatMulDims, grid: [usize; 3]) -> f64 {
     let g = Grid3::from_dims(grid);
-    let cfg = Alg1Config { dims, grid: g, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+    let cfg =
+        Alg1Config { dims, grid: g, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
     let out = World::new(g.size(), MachineParams::BANDWIDTH_ONLY).run(move |rank| {
         let a = random_int_matrix(n1, n2, -2..3, 1);

@@ -1,0 +1,214 @@
+//! Workspace automation. `cargo xtask check` is the static-analysis gate
+//! run by CI (see `.github/workflows/ci.yml`):
+//!
+//! 1. `cargo fmt --all --check` — formatting.
+//! 2. `cargo clippy --workspace --all-targets` with `-D warnings` plus the
+//!    `[workspace.lints]` policy from the root manifest.
+//! 3. `cargo clippy --workspace --lib --bins` additionally denying
+//!    `clippy::unwrap_used`: library and binary code must use `expect()`
+//!    with a message naming the violated invariant (tests are exempt via
+//!    `clippy.toml`'s `allow-unwrap-in-tests`).
+//! 4. An unsafe-code audit: the workspace denies the `unsafe_code` lint
+//!    and is expected to contain zero such tokens; the audit greps every
+//!    workspace `.rs` file (comments excluded) so even `#[allow]`-escaped
+//!    blocks are caught.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(),
+        Some("fmt") => run_steps(&[fmt_step()]),
+        Some("clippy") => run_steps(&[clippy_step(), unwrap_step()]),
+        Some("audit") => {
+            if unsafe_audit(&workspace_root()) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask <command>\n\n\
+                 commands:\n\
+                 \x20 check   run the full static-analysis gate (fmt, clippy, unwrap\n\
+                 \x20         policy, keyword audit)\n\
+                 \x20 fmt     formatting check only\n\
+                 \x20 clippy  clippy passes only\n\
+                 \x20 audit   scan sources for the forbidden keyword only"
+            );
+            if other.is_none() {
+                ExitCode::FAILURE
+            } else {
+                eprintln!("\nunknown command: {}", other.unwrap_or_default());
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+struct Step {
+    name: &'static str,
+    args: Vec<&'static str>,
+}
+
+fn fmt_step() -> Step {
+    Step { name: "rustfmt", args: vec!["fmt", "--all", "--check"] }
+}
+
+fn clippy_step() -> Step {
+    Step {
+        name: "clippy (all targets)",
+        args: vec!["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"],
+    }
+}
+
+fn unwrap_step() -> Step {
+    Step {
+        name: "clippy (unwrap policy, lib/bin code)",
+        args: vec![
+            "clippy",
+            "--workspace",
+            "--lib",
+            "--bins",
+            "--",
+            "-D",
+            "warnings",
+            "-D",
+            "clippy::unwrap_used",
+        ],
+    }
+}
+
+fn check() -> ExitCode {
+    let root = workspace_root();
+    let mut ok = run_steps(&[fmt_step(), clippy_step(), unwrap_step()]) == ExitCode::SUCCESS;
+    eprintln!("xtask: keyword audit");
+    ok &= unsafe_audit(&root);
+    if ok {
+        eprintln!("xtask: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_steps(steps: &[Step]) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    for step in steps {
+        eprintln!("xtask: {}", step.name);
+        let status = Command::new(&cargo).args(&step.args).current_dir(&root).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask: step '{}' failed with {s}", step.name);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask: could not launch '{}': {e}", step.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask; CARGO_MANIFEST_DIR is compiled in.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask crate sits directly under the workspace root")
+        .to_path_buf()
+}
+
+/// Scan all workspace `.rs` sources for `unsafe` tokens. The workspace
+/// policy is zero unsafe code; this backstops the `unsafe_code` lint
+/// against `#[allow]` escapes. Returns true when clean.
+fn unsafe_audit(root: &Path) -> bool {
+    // Built from parts so the audit does not flag its own source.
+    let needle: String = ["un", "safe"].concat();
+    let mut violations = Vec::new();
+    for dir in ["src", "crates", "shims", "xtask"] {
+        scan_dir(&root.join(dir), &needle, &mut violations);
+    }
+    if violations.is_empty() {
+        return true;
+    }
+    eprintln!("xtask: {} `{needle}` token(s) found (policy: none allowed):", violations.len());
+    for (path, line_no, line) in &violations {
+        eprintln!("  {}:{line_no}: {}", path.display(), line.trim());
+    }
+    false
+}
+
+fn scan_dir(dir: &Path, needle: &str, violations: &mut Vec<(PathBuf, usize, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            scan_dir(&path, needle, violations);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            for (i, line) in text.lines().enumerate() {
+                // Comment lines are prose, not code: a commented-out token
+                // cannot compile, so it is not a policy violation.
+                if line.trim_start().starts_with("//") {
+                    continue;
+                }
+                if has_word(line, needle) {
+                    violations.push((path.clone(), i + 1, line.to_string()));
+                }
+            }
+        }
+    }
+}
+
+/// Word-boundary match: `needle` not embedded in a larger identifier.
+fn has_word(line: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(ident);
+        let after_ok = !line[at + needle.len()..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_match_respects_identifier_boundaries() {
+        // The needle is spelled in parts everywhere so the audit (which
+        // scans this file too) does not flag its own test fixtures.
+        let needle = ["un", "safe"].concat();
+        assert!(has_word(&format!("let x = {needle} {{ 1 }};"), &needle));
+        assert!(has_word(&format!("{needle} fn f() {{}}"), &needle));
+        assert!(has_word(&format!("call({needle}-audit)"), &needle));
+        assert!(!has_word(&format!("deny_{needle}_code_everywhere()"), &needle));
+        assert!(!has_word(&format!("let {needle}ty = 1;"), &needle));
+        assert!(!has_word("totally safe code", &needle));
+    }
+
+    #[test]
+    fn workspace_root_contains_the_root_manifest() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+}
