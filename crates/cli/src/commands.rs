@@ -10,7 +10,7 @@ use pmm_core::memlimit::{limited_memory_report, min_memory_words, Dominant};
 use pmm_core::theorem3::lower_bound;
 use pmm_dense::{gemm, random_int_matrix, Kernel};
 use pmm_model::{Grid3, MachineParams, MatMulDims};
-use pmm_simnet::World;
+use pmm_simnet::{seed_from_env, World};
 
 /// `pmm bound`.
 pub fn bound(dims: MatMulDims, procs: f64, memory: Option<f64>) -> String {
@@ -133,11 +133,15 @@ pub fn simulate(dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: 
     assert_eq!(g.size(), procs, "grid {} has {} processors but --procs is {procs}", g, g.size());
     let cfg = Alg1Config::new(dims, g);
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
-    let out = World::new(procs, MachineParams::BANDWIDTH_ONLY).run(move |rank| {
-        let a = random_int_matrix(n1, n2, -3..4, seed);
-        let b = random_int_matrix(n2, n3, -3..4, seed + 1);
-        alg1(rank, &cfg, &a, &b)
-    });
+    // The data seed also seeds the schedule (overridable via PMM_SEED),
+    // so a reported run replays rank interleaving and all.
+    let sched_seed = seed_from_env(seed);
+    let out =
+        World::new(procs, MachineParams::BANDWIDTH_ONLY).with_seed(sched_seed).run(move |rank| {
+            let a = random_int_matrix(n1, n2, -3..4, seed);
+            let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+            alg1(rank, &cfg, &a, &b)
+        });
     let a = random_int_matrix(n1, n2, -3..4, seed);
     let b = random_int_matrix(n2, n3, -3..4, seed + 1);
     let want = gemm(&a, &b, Kernel::Tiled);
@@ -149,6 +153,12 @@ pub fn simulate(dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: 
     let bound = lower_bound(dims, procs as f64).bound;
     let mut s = String::new();
     let _ = writeln!(s, "simulated {dims} on grid {g} ({procs} ranks, seed {seed})");
+    let _ = writeln!(
+        s,
+        "schedule     : deterministic, seed {sched_seed} (replay with PMM_SEED={sched_seed}; \
+         {} events)",
+        out.schedule_trace.as_ref().map_or(0, |t| t.events.len())
+    );
     let _ = writeln!(s, "product      : {}", if correct { "correct ✓" } else { "WRONG ✗" });
     let _ = writeln!(s, "measured     : {measured:.3} words/processor (critical path)");
     let _ = writeln!(s, "eq.(3) model : {predicted:.3}");

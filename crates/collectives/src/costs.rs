@@ -177,6 +177,29 @@ pub fn all_to_all_cost(_algo: AllToAllAlgo, p: usize, w: usize) -> Cost {
     Cost { messages: (p - 1) as f64, words: ((p - 1) * w) as f64, flops: 0.0 }
 }
 
+/// Cost of [`scan`](crate::scan) of `w` words per rank (Hillis–Steele
+/// doubling): critical path `⌈log2 p⌉·(α + w·β)` plus `⌈log2 p⌉·w`
+/// reduction flops.
+///
+/// The last rank attains this exactly — it receives in every one of the
+/// `⌈log2 p⌉` rounds (and never sends); every other rank communicates in
+/// a subset of the rounds, so this is the per-rank maximum the
+/// critical-path clock accrues.
+pub fn scan_cost(p: usize, w: usize) -> Cost {
+    if p <= 1 {
+        return Cost::ZERO;
+    }
+    let d = ceil_log2(p) as f64;
+    Cost { messages: d, words: d * w as f64, flops: d * w as f64 }
+}
+
+/// Cost of [`exscan`](crate::exscan): identical to [`scan_cost`] — the
+/// exclusive prefix is derived from the inclusive one locally, with no
+/// extra communication.
+pub fn exscan_cost(p: usize, w: usize) -> Cost {
+    scan_cost(p, w)
+}
+
 /// Cost of [`barrier`](crate::barrier) (dissemination): `⌈log2 p⌉·α`.
 pub fn barrier_cost(p: usize) -> Cost {
     if p <= 1 {
@@ -238,6 +261,18 @@ mod tests {
         assert_eq!(rd.words, 240.0); // 3·80
         assert!(rab.words < rd.words);
         assert!(rab.messages > rd.messages);
+    }
+
+    #[test]
+    fn scan_is_logarithmic_and_exscan_is_free_on_top() {
+        let c = scan_cost(8, 5);
+        assert_eq!(c.messages, 3.0);
+        assert_eq!(c.words, 15.0);
+        assert_eq!(c.flops, 15.0);
+        // Non-power-of-two p rounds up.
+        assert_eq!(scan_cost(5, 2).messages, 3.0);
+        assert_eq!(exscan_cost(8, 5), scan_cost(8, 5));
+        assert_eq!(scan_cost(1, 100), Cost::ZERO);
     }
 
     #[test]

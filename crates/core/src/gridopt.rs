@@ -16,7 +16,7 @@
 //! continuous solution, and the right tool when `P` or the dimensions
 //! don't divide nicely).
 
-use pmm_model::{Case, Grid3, MatMulDims, SortedDims};
+use pmm_model::{alg1_prediction, Case, Grid3, MatMulDims, SortedDims};
 
 /// A chosen processor grid with its predicted Algorithm 1 cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,11 +42,9 @@ impl GridChoice {
 /// Algorithm 1 on `grid` — the exact eq. (3), including the `(1 − 1/p)`
 /// collective factors. Exact when the grid divides the dimensions.
 pub fn alg1_cost_words(dims: MatMulDims, grid: [usize; 3]) -> f64 {
-    let [p1, p2, p3] = grid.map(|x| x as f64);
-    let (n1, n2, n3) = (dims.n1 as f64, dims.n2 as f64, dims.n3 as f64);
-    (1.0 - 1.0 / p3) * n1 * n2 / (p1 * p2)
-        + (1.0 - 1.0 / p1) * n2 * n3 / (p2 * p3)
-        + (1.0 - 1.0 / p2) * n1 * n3 / (p1 * p3)
+    // Delegates to the per-phase eq. 3 evaluation in `pmm-model`, so the
+    // grid optimizer and the conformance oracles share one formula.
+    alg1_prediction(dims, grid).total()
 }
 
 /// The continuous (possibly fractional) optimal grid in **sorted order**

@@ -21,7 +21,9 @@
 pub mod cost;
 pub mod dims;
 pub mod grid;
+pub mod predict;
 
 pub use cost::{Cost, MachineParams};
 pub use dims::{Case, MatMulDims, MatrixId, SortedDims};
 pub use grid::{divisors, Coord3, Grid3};
+pub use predict::{alg1_prediction, Alg1Prediction};

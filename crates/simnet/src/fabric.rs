@@ -31,10 +31,13 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::Duration;
 
-use crate::verify::{lock_unpoisoned, SlotView, VerifyState, WaitInfo, WaitKind};
+use crate::trace::{repro_hint, BlockPoint, SchedEvent, ScheduleTrace};
+use crate::verify::{lock_unpoisoned, CollectiveOp, SlotView, VerifyState, WaitInfo, WaitKind};
 
 /// Identifier of a communicator context. Every communicator created during
 /// a run has a distinct context, so traffic on different communicators can
@@ -111,6 +114,53 @@ struct BarrierCell {
     cv: Condvar,
 }
 
+/// SplitMix64 step — the scheduler's tie-breaking PRNG. Tiny, seedable,
+/// and fully deterministic, which is all the scheduler needs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A rank's state in the deterministic scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankStatus {
+    /// Thread not yet started; nobody runs until all ranks attach.
+    NotAttached,
+    /// Runnable (or currently running, when it also holds the baton).
+    Ready,
+    /// Parked at a blocking point whose condition was unmet when checked.
+    Blocked,
+    /// Program finished (normally or by unwinding).
+    Done,
+}
+
+struct SchedInner {
+    /// SplitMix64 state, seeded from the schedule seed.
+    rng: u64,
+    status: Vec<RankStatus>,
+    attached: usize,
+    /// The rank holding the execution baton, if any.
+    current: Option<usize>,
+    /// Totally-ordered event log (appended under this mutex).
+    events: Vec<SchedEvent>,
+}
+
+/// Seeded cooperative scheduler: present iff the world was built with
+/// [`World::with_seed`](crate::World::with_seed). Exactly one rank runs
+/// at a time; the baton changes hands at every blocking point and at
+/// every send / collective entry, with ties among runnable ranks broken
+/// by [`splitmix64`]. All scheduling decisions and fabric events are
+/// appended to `events` under one mutex, so the log is totally ordered
+/// and identical `(program, seed)` pairs replay byte-identically.
+struct DetState {
+    seed: u64,
+    st: Mutex<SchedInner>,
+    cv: Condvar,
+}
+
 /// The shared fabric. One per [`World`](crate::world::World); ranks hold it
 /// behind an `Arc`.
 pub struct Fabric {
@@ -123,6 +173,8 @@ pub struct Fabric {
     /// Communication-correctness state (wait registry, collective ledger,
     /// abort flag).
     pub(crate) verify: VerifyState,
+    /// Deterministic scheduler; `None` in free-running (default) mode.
+    det: Option<DetState>,
 }
 
 impl Fabric {
@@ -140,6 +192,209 @@ impl Fabric {
                 cv: Condvar::new(),
             },
             verify: VerifyState::new(world_size),
+            det: None,
+        }
+    }
+
+    /// Switch this fabric into deterministic scheduling mode. Must be
+    /// called before any rank thread starts (the world does this between
+    /// constructing the fabric and spawning ranks).
+    pub(crate) fn enable_det(&mut self, seed: u64) {
+        let n = self.verify.world_size();
+        self.det = Some(DetState {
+            seed,
+            st: Mutex::new(SchedInner {
+                rng: seed,
+                status: vec![RankStatus::NotAttached; n],
+                attached: 0,
+                current: None,
+                events: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+    }
+
+    /// Extract the recorded schedule trace (deterministic mode only).
+    pub(crate) fn take_sched_trace(&self) -> Option<ScheduleTrace> {
+        let det = self.det.as_ref()?;
+        let mut st = lock_unpoisoned(&det.st);
+        Some(ScheduleTrace { seed: det.seed, events: std::mem::take(&mut st.events) })
+    }
+
+    // ----- deterministic scheduler ------------------------------------------
+
+    /// Rank start barrier: register this rank with the scheduler and wait
+    /// for the baton. The last rank to attach triggers the first pick, so
+    /// no program code runs before every rank is registered. No-op in
+    /// free-running mode.
+    pub(crate) fn sched_attach(&self, r: usize) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        st.status[r] = RankStatus::Ready;
+        st.attached += 1;
+        if st.attached == st.status.len() {
+            Self::sched_pick_locked(det, &mut st);
+        }
+        self.sched_wait_for_baton(det, st, r);
+    }
+
+    /// Release the baton at a blocking point whose condition is unmet;
+    /// returns once this rank is picked again (the caller then re-checks
+    /// its condition and re-blocks if still unmet). Detects deadlock
+    /// synchronously: if no rank is runnable while some rank is blocked,
+    /// every blocked rank has re-checked its condition since the last
+    /// progress event (each progress event re-readies all blocked ranks),
+    /// so no wake-up can ever come — abort with a deadlock report.
+    fn sched_block(&self, r: usize, point: BlockPoint) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        st.status[r] = RankStatus::Blocked;
+        st.events.push(SchedEvent::Block { rank: r, point });
+        if st.current == Some(r) {
+            st.current = None;
+        }
+        if !Self::sched_pick_locked(det, &mut st) {
+            let stuck: Vec<usize> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (s == RankStatus::Blocked).then_some(i))
+                .collect();
+            drop(st);
+            let views = self.verify.snapshot();
+            let mut report = self.deadlock_report(&views, &stuck);
+            report.push_str(&format!(
+                "deterministic schedule seed: {} — {}\n",
+                det.seed,
+                repro_hint(det.seed)
+            ));
+            self.abort(report);
+            self.verify.abort_panic(r);
+        }
+        self.sched_wait_for_baton(det, st, r);
+    }
+
+    /// Re-ready every blocked rank after a progress event (message post,
+    /// split result, barrier release). The caller keeps the baton; the
+    /// re-readied ranks re-check their conditions when next picked.
+    fn sched_unblock_all(&self) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        for s in st.status.iter_mut() {
+            if *s == RankStatus::Blocked {
+                *s = RankStatus::Ready;
+            }
+        }
+    }
+
+    /// Record a message post in the schedule trace and yield the baton
+    /// (the sender stays runnable and may be re-picked immediately).
+    pub(crate) fn sched_post_event(
+        &self,
+        from_world: usize,
+        ctx: Ctx,
+        to_world: usize,
+        words: u64,
+    ) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        st.events.push(SchedEvent::Post { from_world, ctx, to_world, words });
+        Self::sched_pick_locked(det, &mut st);
+        self.sched_wait_for_baton(det, st, from_world);
+    }
+
+    /// Record a collective entry in the schedule trace and yield the
+    /// baton, exactly like [`Fabric::sched_post_event`].
+    pub(crate) fn sched_collective_event(
+        &self,
+        rank: usize,
+        ctx: Ctx,
+        op: CollectiveOp,
+        elems: u64,
+    ) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        st.events.push(SchedEvent::Collective { rank, ctx, op, elems });
+        Self::sched_pick_locked(det, &mut st);
+        self.sched_wait_for_baton(det, st, rank);
+    }
+
+    /// Retire this rank from the scheduler (called from the world's rank
+    /// teardown guard, so it also runs when the program unwinds). If the
+    /// departing rank held the baton and everyone left is blocked, that
+    /// is a deadlock — abort so the blocked ranks tear down instead of
+    /// waiting on a rank that no longer exists.
+    pub(crate) fn sched_finish(&self, r: usize) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        st.status[r] = RankStatus::Done;
+        st.events.push(SchedEvent::Done { rank: r });
+        if st.current == Some(r) {
+            st.current = None;
+            if self.verify.is_aborted() {
+                det.cv.notify_all();
+            } else if !Self::sched_pick_locked(det, &mut st) {
+                let stuck: Vec<usize> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &s)| (s == RankStatus::Blocked).then_some(i))
+                    .collect();
+                drop(st);
+                let views = self.verify.snapshot();
+                let mut report = self.deadlock_report(&views, &stuck);
+                report.push_str(&format!(
+                    "deterministic schedule seed: {} — {}\n",
+                    det.seed,
+                    repro_hint(det.seed)
+                ));
+                // No abort_panic here: this may run inside a Drop while the
+                // rank is already unwinding. The blocked ranks observe the
+                // abort flag in their baton waits and tear themselves down.
+                self.abort(report);
+            }
+        }
+    }
+
+    /// Hand the baton to a pseudo-randomly chosen runnable rank. Returns
+    /// `false` on a provable deadlock: nobody runnable, nobody still
+    /// attaching, but at least one rank blocked.
+    fn sched_pick_locked(det: &DetState, st: &mut SchedInner) -> bool {
+        // `ready` is ascending by construction, so the seeded draw below
+        // is a deterministic function of (status vector, rng state).
+        let ready: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &s)| (s == RankStatus::Ready).then_some(r))
+            .collect();
+        if ready.is_empty() {
+            st.current = None;
+            let any_blocked = st.status.contains(&RankStatus::Blocked);
+            let any_unattached = st.status.contains(&RankStatus::NotAttached);
+            return !any_blocked || any_unattached;
+        }
+        let r = ready[(splitmix64(&mut st.rng) % ready.len() as u64) as usize];
+        st.current = Some(r);
+        st.events.push(SchedEvent::Pick { rank: r });
+        det.cv.notify_all();
+        true
+    }
+
+    /// Park until the scheduler hands this rank the baton (or the world
+    /// aborts). The timeout only bounds abort-observation latency —
+    /// hand-offs are condvar-notified.
+    fn sched_wait_for_baton(&self, det: &DetState, mut st: MutexGuard<'_, SchedInner>, r: usize) {
+        loop {
+            if self.verify.is_aborted() {
+                drop(st);
+                self.verify.abort_panic(r);
+            }
+            if st.current == Some(r) {
+                st.status[r] = RankStatus::Ready;
+                return;
+            }
+            st = det.cv.wait_timeout(st, ABORT_POLL).unwrap_or_else(PoisonError::into_inner).0;
         }
     }
 
@@ -168,6 +423,9 @@ impl Fabric {
         let mb = self.mailbox(ctx, to);
         lock_unpoisoned(&mb.q).push_back(msg);
         mb.cv.notify_all();
+        // A delivery is a progress event: re-ready blocked ranks so the
+        // deterministic scheduler lets them re-check their conditions.
+        self.sched_unblock_all();
     }
 
     /// Blockingly take the next message from member `index`'s mailbox on
@@ -196,6 +454,19 @@ impl Fabric {
                 site,
             },
         );
+        if self.det.is_some() {
+            // Deterministic mode: yield the baton instead of sleeping on
+            // the mailbox condvar; re-check after every re-pick.
+            loop {
+                drop(q);
+                self.sched_block(me_world, BlockPoint::Recv { ctx, index });
+                q = lock_unpoisoned(&mb.q);
+                if let Some(m) = q.pop_front() {
+                    self.verify.clear_wait(me_world);
+                    return m;
+                }
+            }
+        }
         loop {
             if self.verify.is_aborted() {
                 drop(q);
@@ -225,6 +496,7 @@ impl Fabric {
             st.arrived.iter_mut().for_each(|a| *a = false);
             st.generation += 1;
             self.barrier.cv.notify_all();
+            self.sched_unblock_all();
             return;
         }
         let waiting_on: Vec<usize> =
@@ -238,6 +510,15 @@ impl Fabric {
                 site,
             },
         );
+        if self.det.is_some() {
+            while st.generation == entered_gen {
+                drop(st);
+                self.sched_block(me_world, BlockPoint::Barrier { generation: entered_gen });
+                st = lock_unpoisoned(&self.barrier.st);
+            }
+            self.verify.clear_wait(me_world);
+            return;
+        }
         while st.generation == entered_gen {
             if self.verify.is_aborted() {
                 drop(st);
@@ -326,6 +607,7 @@ impl Fabric {
             }
             st.result = Some(Arc::new(groups));
             cell.cv.notify_all();
+            self.sched_unblock_all();
         } else {
             let waiting_on: Vec<usize> = parent_members
                 .iter()
@@ -336,12 +618,24 @@ impl Fabric {
                 my_world_rank,
                 WaitInfo { kind: WaitKind::Split { seq }, ctx: parent_ctx, waiting_on, site },
             );
-            while st.result.is_none() {
-                if self.verify.is_aborted() {
+            if self.det.is_some() {
+                while st.result.is_none() {
                     drop(st);
-                    self.verify.abort_panic(my_world_rank);
+                    self.sched_block(my_world_rank, BlockPoint::Split { ctx: parent_ctx, seq });
+                    st = lock_unpoisoned(&cell.state);
                 }
-                st = cell.cv.wait_timeout(st, ABORT_POLL).unwrap_or_else(PoisonError::into_inner).0;
+            } else {
+                while st.result.is_none() {
+                    if self.verify.is_aborted() {
+                        drop(st);
+                        self.verify.abort_panic(my_world_rank);
+                    }
+                    st = cell
+                        .cv
+                        .wait_timeout(st, ABORT_POLL)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
             }
             self.verify.clear_wait(my_world_rank);
         }
@@ -395,6 +689,9 @@ impl Fabric {
             cell.cv.notify_all();
         }
         self.barrier.cv.notify_all();
+        if let Some(det) = &self.det {
+            det.cv.notify_all();
+        }
     }
 
     /// Count of messages posted but never taken, per mailbox (strict-drain

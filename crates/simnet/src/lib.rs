@@ -56,11 +56,20 @@
 //! site, and a collective-matching lint flags mismatched collectives
 //! deterministically before they hang. See [`World::with_watchdog`] and
 //! the `verify` module docs.
+//!
+//! Reproducibility note: by default ranks free-run on OS threads, so
+//! interleavings differ between runs. [`World::with_seed`] switches to a
+//! seeded cooperative scheduler that serializes rank progress at every
+//! blocking point and records a byte-identical [`ScheduleTrace`] — see
+//! the [`trace`] module for golden-trace replay
+//! ([`ScheduleTrace::assert_matches`]), the [`fuzz_schedules`] harness,
+//! and the `PMM_SEED` replay knob ([`seed_from_env`]).
 
 pub mod comm;
 pub mod fabric;
 pub mod meter;
 pub mod rank;
+pub mod trace;
 pub mod verify;
 pub mod world;
 
@@ -68,6 +77,9 @@ pub use comm::Comm;
 pub use fabric::{Ctx, Message};
 pub use meter::{MemTracker, Meter, TraceEvent};
 pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
+pub use trace::{
+    fuzz_schedules, seed_from_env, BlockPoint, SchedEvent, ScheduleDivergence, ScheduleTrace,
+};
 pub use verify::{CollectiveOp, VerifyConfig};
 pub use world::{RankReport, World, WorldResult};
 

@@ -260,6 +260,8 @@ impl Rank {
             to,
             Message { from: comm.index(), sent_at, payload: payload.to_vec(), vclock },
         );
+        // Deterministic mode: record the post and yield the baton.
+        self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), w);
     }
 
     /// Blockingly receive the next message from member `from` of `comm`.
@@ -328,6 +330,7 @@ impl Rank {
             to,
             Message { from: comm.index(), sent_at: start, payload: payload.to_vec(), vclock },
         );
+        self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), ws);
         let msg = self.match_directed(comm, from, Location::caller());
         self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
         let wr = msg.payload.len() as u64;
@@ -481,6 +484,9 @@ impl Rank {
             self.fabric.abort(report);
             self.fabric.verify.abort_panic(self.world_rank);
         }
+        // Deterministic mode: collective entries are trace events and
+        // yield points, so schedules interleave across collectives too.
+        self.fabric.sched_collective_event(self.world_rank, comm.ctx(), op, elems);
     }
 
     /// Description of messages received but never consumed by a directed

@@ -1,0 +1,367 @@
+//! Deterministic-schedule event traces: recording, canonical rendering,
+//! golden-trace replay assertions, and a schedule fuzzer.
+//!
+//! When a [`World`] is built with [`World::with_seed`], the fabric runs a
+//! cooperative seeded scheduler (see `fabric.rs`): exactly one rank
+//! executes at a time, the baton is handed over at every blocking point
+//! (mailbox receive, split rendezvous, barrier) and at every send /
+//! collective entry, and ties among runnable ranks are broken with a
+//! seeded PRNG. Every scheduling decision and every fabric event is
+//! appended to a totally-ordered log — the [`ScheduleTrace`] returned in
+//! [`WorldResult::schedule_trace`] — so identical `(program, seed)` pairs
+//! produce **byte-identical** traces ([`ScheduleTrace::render`]).
+//!
+//! On top of that this module provides:
+//!
+//! * [`ScheduleTrace::assert_matches`] — golden-trace replay: assert a
+//!   re-run reproduced a recorded schedule, reporting the first
+//!   divergence with seed and repro command on failure;
+//! * [`fuzz_schedules`] — re-run one program under N seeds and diff the
+//!   final values and [`RankReport`] accounting, catching
+//!   schedule-dependent results;
+//! * [`seed_from_env`] — the `PMM_SEED` environment knob every
+//!   deterministic test reads, so a failure printed by one run can be
+//!   replayed exactly by the next.
+//!
+//! [`World`]: crate::World
+//! [`World::with_seed`]: crate::World::with_seed
+//! [`WorldResult::schedule_trace`]: crate::WorldResult
+//! [`RankReport`]: crate::RankReport
+
+use std::fmt::Write as _;
+
+use crate::fabric::Ctx;
+use crate::rank::Rank;
+use crate::verify::CollectiveOp;
+use crate::world::World;
+
+/// Environment variable consulted by [`seed_from_env`].
+pub const SEED_ENV: &str = "PMM_SEED";
+
+/// The blocking point a rank yielded the scheduler baton at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockPoint {
+    /// Blocked in a directed mailbox receive.
+    Recv {
+        /// Communicator context of the receive.
+        ctx: Ctx,
+        /// This rank's mailbox index within the communicator.
+        index: usize,
+    },
+    /// Blocked in a communicator-split rendezvous.
+    Split {
+        /// Parent communicator context.
+        ctx: Ctx,
+        /// Per-parent split sequence number.
+        seq: u64,
+    },
+    /// Blocked in the zero-cost world barrier.
+    Barrier {
+        /// Barrier generation the rank entered on.
+        generation: u64,
+    },
+}
+
+/// One event of a deterministic schedule, in global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// The scheduler handed the baton to `rank`.
+    Pick {
+        /// World rank now running.
+        rank: usize,
+    },
+    /// `rank` released the baton at a blocking point.
+    Block {
+        /// World rank that blocked.
+        rank: usize,
+        /// Where it blocked.
+        point: BlockPoint,
+    },
+    /// A message was posted (and the sender yielded the baton).
+    Post {
+        /// Sender's world rank.
+        from_world: usize,
+        /// Communicator context the message travels on.
+        ctx: Ctx,
+        /// Receiver's world rank.
+        to_world: usize,
+        /// Message size in words.
+        words: u64,
+    },
+    /// A rank entered a collective (hook at every collective entry point).
+    Collective {
+        /// World rank entering.
+        rank: usize,
+        /// Communicator context of the collective.
+        ctx: Ctx,
+        /// Operation kind.
+        op: CollectiveOp,
+        /// Element count the rank brought.
+        elems: u64,
+    },
+    /// `rank`'s program finished (normally or by panic).
+    Done {
+        /// World rank that finished.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for SchedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedEvent::Pick { rank } => write!(f, "pick r{rank}"),
+            SchedEvent::Block { rank, point } => match point {
+                BlockPoint::Recv { ctx, index } => {
+                    write!(f, "block r{rank} recv ctx{ctx} idx{index}")
+                }
+                BlockPoint::Split { ctx, seq } => {
+                    write!(f, "block r{rank} split ctx{ctx} seq{seq}")
+                }
+                BlockPoint::Barrier { generation } => {
+                    write!(f, "block r{rank} barrier gen{generation}")
+                }
+            },
+            SchedEvent::Post { from_world, ctx, to_world, words } => {
+                write!(f, "post r{from_world}->r{to_world} ctx{ctx} w{words}")
+            }
+            SchedEvent::Collective { rank, ctx, op, elems } => {
+                write!(f, "coll r{rank} ctx{ctx} {op}[{elems}]")
+            }
+            SchedEvent::Done { rank } => write!(f, "done r{rank}"),
+        }
+    }
+}
+
+/// The totally-ordered event log of one deterministic run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// The scheduler seed the run used.
+    pub seed: u64,
+    /// Events in global schedule order.
+    pub events: Vec<SchedEvent>,
+}
+
+impl ScheduleTrace {
+    /// Canonical text rendering: a seed header plus one line per event.
+    /// Two runs of the same `(program, seed)` pair render to identical
+    /// bytes — the determinism contract tests compare these strings.
+    pub fn render(&self) -> String {
+        let mut out =
+            format!("# schedule seed {:#018x} ({} events)\n", self.seed, self.events.len());
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+
+    /// Index of the first event where `self` and `other` differ, or the
+    /// shorter length on a prefix match, or `None` when identical.
+    pub fn first_divergence(&self, other: &ScheduleTrace) -> Option<usize> {
+        let n = self.events.len().min(other.events.len());
+        (0..n)
+            .find(|&i| self.events[i] != other.events[i])
+            .or((self.events.len() != other.events.len()).then_some(n))
+    }
+
+    /// Golden-trace replay assertion: panic with the first divergence
+    /// (and a seed repro command) unless `replay` reproduced this trace
+    /// event for event.
+    #[track_caller]
+    pub fn assert_matches(&self, replay: &ScheduleTrace) {
+        assert_eq!(
+            self.seed,
+            replay.seed,
+            "golden-trace replay compared runs with different seeds; {}",
+            repro_hint(self.seed)
+        );
+        if let Some(i) = self.first_divergence(replay) {
+            let show = |t: &ScheduleTrace| {
+                t.events.get(i).map_or("<end of trace>".to_string(), |e| e.to_string())
+            };
+            panic!(
+                "schedule replay diverged from the golden trace at event {i}:\n  \
+                 golden: {}\n  replay: {}\n\
+                 golden has {} events, replay has {}; {}",
+                show(self),
+                show(replay),
+                self.events.len(),
+                replay.events.len(),
+                repro_hint(self.seed)
+            );
+        }
+    }
+}
+
+/// One-line repro command for a failing seed — printed in every
+/// deterministic-mode failure message.
+pub fn repro_hint(seed: u64) -> String {
+    format!("re-run with {SEED_ENV}={seed} to replay this schedule")
+}
+
+/// Read the schedule seed from the `PMM_SEED` environment variable
+/// (decimal, or hex with an `0x` prefix), falling back to `default`.
+/// Deterministic tests use this so a failure report's seed can be pinned
+/// on the next run without editing code.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var(SEED_ENV) {
+        Err(_) => default,
+        Ok(s) => {
+            let t = s.trim();
+            let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => t.parse(),
+            };
+            parsed.unwrap_or_else(|_| {
+                panic!("{SEED_ENV}={s:?} is not a u64 (decimal or 0x-prefixed hex)")
+            })
+        }
+    }
+}
+
+/// A schedule-dependent result found by [`fuzz_schedules`]: the program
+/// produced different values or accounting under two seeds.
+#[derive(Debug)]
+pub struct ScheduleDivergence {
+    /// The first seed run (the baseline every other seed is diffed against).
+    pub baseline_seed: u64,
+    /// The seed whose run diverged from the baseline.
+    pub failing_seed: u64,
+    /// Human-readable description of the first difference.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ScheduleDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule-dependent result: seed {} disagrees with baseline seed {}: {}\n\
+             [{} vs {}]",
+            self.failing_seed,
+            self.baseline_seed,
+            self.detail,
+            repro_hint(self.baseline_seed),
+            repro_hint(self.failing_seed)
+        )
+    }
+}
+
+impl std::error::Error for ScheduleDivergence {}
+
+/// Schedule fuzzer: run `program` on (a clone of) `world` once per seed
+/// and diff the final per-rank values, meters, clocks, and memory peaks
+/// against the first seed's run. A correct program's *results* must not
+/// depend on the schedule even though its event trace does; any
+/// divergence is returned with the failing seed and a repro command.
+pub fn fuzz_schedules<T, F>(
+    world: &World,
+    seeds: &[u64],
+    program: F,
+) -> Result<(), ScheduleDivergence>
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: Fn(&mut Rank) -> T + Send + Sync,
+{
+    assert!(!seeds.is_empty(), "fuzz_schedules needs at least one seed");
+    let mut baseline: Option<(u64, crate::world::WorldResult<T>)> = None;
+    for &seed in seeds {
+        let out = world.clone().with_seed(seed).run(&program);
+        let Some((seed0, base)) = &baseline else {
+            baseline = Some((seed, out));
+            continue;
+        };
+        let fail = |detail: String| ScheduleDivergence {
+            baseline_seed: *seed0,
+            failing_seed: seed,
+            detail,
+        };
+        for r in 0..out.values.len() {
+            if out.values[r] != base.values[r] {
+                return Err(fail(format!(
+                    "rank {r} value {:?} vs baseline {:?}",
+                    out.values[r], base.values[r]
+                )));
+            }
+            let (a, b) = (&out.reports[r], &base.reports[r]);
+            if a.meter != b.meter {
+                return Err(fail(format!(
+                    "rank {r} meter [{}] vs baseline [{}]",
+                    a.meter, b.meter
+                )));
+            }
+            if a.time != b.time {
+                return Err(fail(format!("rank {r} clock {} vs baseline {}", a.time, b.time)));
+            }
+            if a.peak_mem_words != b.peak_mem_words {
+                return Err(fail(format!(
+                    "rank {r} peak memory {} vs baseline {} words",
+                    a.peak_mem_words, b.peak_mem_words
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seed: u64, events: Vec<SchedEvent>) -> ScheduleTrace {
+        ScheduleTrace { seed, events }
+    }
+
+    #[test]
+    fn render_is_one_line_per_event_with_seed_header() {
+        let t = trace(
+            7,
+            vec![
+                SchedEvent::Pick { rank: 0 },
+                SchedEvent::Post { from_world: 0, ctx: 2, to_world: 3, words: 16 },
+                SchedEvent::Block { rank: 1, point: BlockPoint::Recv { ctx: 0, index: 1 } },
+                SchedEvent::Collective { rank: 2, ctx: 1, op: CollectiveOp::AllGather, elems: 5 },
+                SchedEvent::Done { rank: 0 },
+            ],
+        );
+        let s = t.render();
+        assert!(s.starts_with("# schedule seed 0x0000000000000007 (5 events)\n"), "{s}");
+        assert!(s.contains("pick r0\n"), "{s}");
+        assert!(s.contains("post r0->r3 ctx2 w16\n"), "{s}");
+        assert!(s.contains("block r1 recv ctx0 idx1\n"), "{s}");
+        assert!(s.contains("coll r2 ctx1 all_gather[5]\n"), "{s}");
+        assert!(s.contains("done r0\n"), "{s}");
+    }
+
+    #[test]
+    fn first_divergence_finds_edits_and_length_changes() {
+        let a = trace(1, vec![SchedEvent::Pick { rank: 0 }, SchedEvent::Done { rank: 0 }]);
+        assert_eq!(a.first_divergence(&a), None);
+        let edited = trace(1, vec![SchedEvent::Pick { rank: 1 }, SchedEvent::Done { rank: 0 }]);
+        assert_eq!(a.first_divergence(&edited), Some(0));
+        let truncated = trace(1, vec![SchedEvent::Pick { rank: 0 }]);
+        assert_eq!(a.first_divergence(&truncated), Some(1));
+    }
+
+    #[test]
+    fn assert_matches_panics_with_seed_and_divergence() {
+        let golden = trace(9, vec![SchedEvent::Pick { rank: 0 }]);
+        let replay = trace(9, vec![SchedEvent::Pick { rank: 2 }]);
+        let err = std::panic::catch_unwind(|| golden.assert_matches(&replay))
+            .expect_err("diverging replay must panic");
+        let msg = err.downcast_ref::<String>().expect("panic message is a String");
+        assert!(msg.contains("event 0"), "{msg}");
+        assert!(msg.contains("PMM_SEED=9"), "{msg}");
+    }
+
+    #[test]
+    fn divergence_display_names_both_seeds() {
+        let d = ScheduleDivergence {
+            baseline_seed: 3,
+            failing_seed: 11,
+            detail: "rank 0 value 1 vs baseline 2".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("seed 11"), "{s}");
+        assert!(s.contains("PMM_SEED=3"), "{s}");
+        assert!(s.contains("PMM_SEED=11"), "{s}");
+    }
+}

@@ -9,6 +9,7 @@ use pmm_model::{Cost, MachineParams};
 use crate::fabric::Fabric;
 use crate::meter::{Meter, TraceEvent};
 use crate::rank::Rank;
+use crate::trace::{repro_hint, ScheduleTrace};
 use crate::verify::{lock_unpoisoned, AbortPanic, VerifyConfig, VerifyState};
 
 /// Marks a rank `done` in the verify registry on scope exit — including
@@ -22,6 +23,20 @@ struct DoneGuard<'a> {
 impl Drop for DoneGuard<'_> {
     fn drop(&mut self) {
         self.verify.mark_done(self.rank);
+    }
+}
+
+/// Retires a rank from the deterministic scheduler on scope exit —
+/// including panics — so the baton is handed on (or a deadlock among the
+/// survivors is reported) when a rank dies. No-op in free-running mode.
+struct SchedGuard<'a> {
+    fabric: &'a Fabric,
+    rank: usize,
+}
+
+impl Drop for SchedGuard<'_> {
+    fn drop(&mut self) {
+        self.fabric.sched_finish(self.rank);
     }
 }
 
@@ -52,6 +67,7 @@ fn silence_abort_teardown_panics() {
 ///     .run(|rank| rank.world_rank() * 2);
 /// assert_eq!(result.values[3], 6);
 /// ```
+#[derive(Clone)]
 pub struct World {
     size: usize,
     params: MachineParams,
@@ -59,6 +75,7 @@ pub struct World {
     trace: bool,
     stack_bytes: usize,
     verify: VerifyConfig,
+    seed: Option<u64>,
 }
 
 impl World {
@@ -72,7 +89,23 @@ impl World {
             trace: false,
             stack_bytes: 4 << 20,
             verify: VerifyConfig::default(),
+            seed: None,
         }
+    }
+
+    /// Run under the seeded deterministic scheduler: rank progress is
+    /// serialized at every blocking point (mailbox receive, split
+    /// rendezvous, barrier) and at every send / collective entry, with
+    /// ties among runnable ranks broken by a PRNG seeded with `seed`.
+    /// Identical `(program, seed)` pairs produce byte-identical schedule
+    /// traces ([`WorldResult::schedule_trace`]); failure reports name the
+    /// seed and a `PMM_SEED=` repro command. See also
+    /// [`seed_from_env`](crate::trace::seed_from_env) and
+    /// [`fuzz_schedules`](crate::trace::fuzz_schedules).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> World {
+        self.seed = Some(seed);
+        self
     }
 
     /// Set a per-rank local memory capacity `M` in words (§6.2). `None`
@@ -145,7 +178,11 @@ impl World {
         F: Fn(&mut Rank) -> T + Send + Sync,
     {
         silence_abort_teardown_panics();
-        let fabric = Arc::new(Fabric::new(self.size));
+        let mut fabric = Fabric::new(self.size);
+        if let Some(seed) = self.seed {
+            fabric.enable_det(seed);
+        }
+        let fabric = Arc::new(fabric);
         let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
         let mut slots: Vec<Option<(T, RankReport)>> = Vec::with_capacity(self.size);
         for _ in 0..self.size {
@@ -198,6 +235,8 @@ impl World {
                 let handle = builder
                     .spawn_scoped(scope, move || {
                         let _done = DoneGuard { verify: &fabric.verify, rank: r };
+                        let _sched = SchedGuard { fabric: &fabric, rank: r };
+                        fabric.sched_attach(r);
                         let mut rank =
                             Rank::new(r, members, fabric.clone(), params, mem_limit, trace);
                         let value = program(&mut rank);
@@ -248,8 +287,16 @@ impl World {
                 h.join().expect("watchdog thread panicked");
             }
 
+            // Every failure path names the schedule seed (or its absence)
+            // so a failing interleaving can be replayed exactly.
+            let seed_note = || match self.seed {
+                Some(seed) => format!("schedule seed {seed}; {}", repro_hint(seed)),
+                None => "nondeterministic schedule (no seed); use World::with_seed(..) \
+                         to make this run replayable"
+                    .to_string(),
+            };
             if let Some((r, payload)) = first_panic {
-                eprintln!("pmm-simnet: rank {r} panicked");
+                eprintln!("pmm-simnet: rank {r} panicked [{}]", seed_note());
                 std::panic::resume_unwind(payload);
             }
             if fabric.verify.is_aborted() {
@@ -257,7 +304,7 @@ impl World {
                     fabric.verify.report_text().or(abort_note).unwrap_or_else(|| {
                         "pmm-verify: world aborted with no stored report".into()
                     });
-                panic!("{report}");
+                panic!("{report}\n[{}]", seed_note());
             }
         });
 
@@ -285,7 +332,12 @@ impl World {
                  {msent} messages sent vs {mrecv} received"
             );
         }
-        WorldResult { params: self.params, values, reports }
+        WorldResult {
+            params: self.params,
+            values,
+            reports,
+            schedule_trace: fabric.take_sched_trace(),
+        }
     }
 }
 
@@ -315,6 +367,10 @@ pub struct WorldResult<T> {
     pub values: Vec<T>,
     /// Per-rank reports, indexed by world rank.
     pub reports: Vec<RankReport>,
+    /// The recorded schedule trace; `Some` iff the world ran under
+    /// [`World::with_seed`]. Byte-identical across runs of the same
+    /// `(program, seed)` pair — see [`ScheduleTrace::render`].
+    pub schedule_trace: Option<ScheduleTrace>,
 }
 
 impl<T> WorldResult<T> {
@@ -416,5 +472,69 @@ mod tests {
             r.time()
         });
         assert_eq!(out.values, vec![0.0; 4], "hard_sync is not metered");
+    }
+
+    /// An all-to-one program with enough concurrency for schedules to
+    /// actually differ between seeds.
+    fn gather_program(rank: &mut Rank) -> f64 {
+        let wc = rank.world_comm();
+        if rank.world_rank() == 0 {
+            (1..wc.size()).map(|from| rank.recv(&wc, from).payload[0]).sum()
+        } else {
+            rank.send(&wc, 0, &[rank.world_rank() as f64]);
+            0.0
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_byte_identical_traces() {
+        let run = || World::new(6, MachineParams::BANDWIDTH_ONLY).with_seed(42).run(gather_program);
+        let (a, b) = (run(), run());
+        let ta = a.schedule_trace.expect("seeded run records a trace");
+        let tb = b.schedule_trace.expect("seeded run records a trace");
+        assert!(!ta.events.is_empty());
+        assert_eq!(ta.render(), tb.render(), "same (program, seed) must replay byte-identically");
+        ta.assert_matches(&tb);
+    }
+
+    #[test]
+    fn different_seeds_change_the_schedule_but_not_the_result() {
+        let run = |s| World::new(6, MachineParams::BANDWIDTH_ONLY).with_seed(s).run(gather_program);
+        let outs: Vec<_> = (0u64..8).map(run).collect();
+        assert!(
+            outs.windows(2).any(|w| {
+                let (x, y) = (w[0].schedule_trace.as_ref(), w[1].schedule_trace.as_ref());
+                x.expect("trace").events != y.expect("trace").events
+            }),
+            "8 seeds on a 6-rank gather should exercise more than one schedule"
+        );
+        for o in &outs {
+            assert_eq!(o.values[0], 15.0, "result must not depend on the schedule");
+        }
+    }
+
+    #[test]
+    fn unseeded_runs_record_no_trace() {
+        let out = World::new(2, MachineParams::BANDWIDTH_ONLY).run(gather_program);
+        assert!(out.schedule_trace.is_none());
+    }
+
+    #[test]
+    fn det_mode_detects_deadlock_synchronously_and_names_the_seed() {
+        // Rank 0 receives from rank 1, which never sends: in deterministic
+        // mode the scheduler proves the deadlock at pick time — no
+        // watchdog interval has to elapse.
+        let err = std::panic::catch_unwind(|| {
+            World::new(2, MachineParams::BANDWIDTH_ONLY).without_watchdog().with_seed(7).run(|r| {
+                let wc = r.world_comm();
+                if r.world_rank() == 0 {
+                    r.recv(&wc, 1);
+                }
+            })
+        })
+        .expect_err("deadlocked deterministic run must abort");
+        let msg = err.downcast_ref::<String>().expect("panic message is a String");
+        assert!(msg.contains("deadlock detected"), "{msg}");
+        assert!(msg.contains("PMM_SEED=7"), "{msg}");
     }
 }

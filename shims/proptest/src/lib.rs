@@ -17,7 +17,10 @@
 //! * **deterministic, name-derived seeding** — each test's RNG stream is
 //!   derived from the test function's name, so failures reproduce across
 //!   runs and machines without a `proptest-regressions` persistence file
-//!   (any committed persistence files are ignored);
+//!   (any committed persistence files are ignored). Setting
+//!   `PMM_PROPTEST_SEED=<u64>` (decimal or `0x`-hex) overrides the
+//!   name-derived seed for every test in the process — failure reports
+//!   print the effective seed together with that exact repro command;
 //! * `prop_assume!` skips the remainder of the case without counting it
 //!   separately — the configured case count is an upper bound on work,
 //!   not a guarantee of satisfied-assumption cases.
@@ -61,14 +64,36 @@ pub struct TestRng {
     state: u64,
 }
 
+/// Environment variable overriding the name-derived seed (decimal or
+/// `0x`-prefixed hex). Failure reports name it so any failing stream
+/// replays with one env var.
+pub const SEED_ENV: &str = "PMM_PROPTEST_SEED";
+
 impl TestRng {
     /// RNG stream for a named test; the name (not wall-clock or a global
-    /// seed file) determines the stream.
+    /// seed file) determines the stream, unless [`SEED_ENV`] overrides
+    /// it.
     pub fn for_test(test_name: &str) -> TestRng {
+        if let Ok(raw) = std::env::var(SEED_ENV) {
+            let parsed = match raw.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => raw.parse(),
+            };
+            let state = parsed
+                .unwrap_or_else(|_| panic!("{SEED_ENV}={raw:?} is not a u64 (decimal or 0x-hex)"));
+            return TestRng { state };
+        }
         let mut h = DefaultHasher::new();
         test_name.hash(&mut h);
         // Avoid the all-zeros fixed point of a raw hash of "".
         TestRng { state: h.finish() ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// The current stream state. Read immediately after [`TestRng::for_test`]
+    /// this is the effective seed: `PMM_PROPTEST_SEED=<it>` replays the
+    /// stream exactly.
+    pub fn seed(&self) -> u64 {
+        self.state
     }
 
     /// Next 64 uniform bits.
@@ -318,14 +343,17 @@ impl std::fmt::Display for TestCaseError {
 #[doc(hidden)]
 pub fn run_case(
     test_name: &str,
+    seed: u64,
     case: u32,
     inputs: &str,
     body: impl FnOnce() -> Result<(), TestCaseError> + std::panic::UnwindSafe,
 ) {
     let diagnose = || {
         eprintln!(
-            "proptest shim: test `{test_name}` failed at case {case} with inputs:\n{inputs}\n\
-             (deterministic: rerun reproduces this case; no shrinking is attempted)"
+            "proptest shim: test `{test_name}` failed at case {case} (seed {seed}) with \
+             inputs:\n{inputs}\
+             re-run with {SEED_ENV}={seed} to replay this stream \
+             (deterministic; no shrinking is attempted)"
         );
     };
     match std::panic::catch_unwind(body) {
@@ -357,6 +385,7 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::for_test(stringify!($name));
+                let seed = rng.seed();
                 for case in 0..config.cases {
                     let mut inputs = String::new();
                     $(
@@ -366,6 +395,7 @@ macro_rules! proptest {
                     )+
                     $crate::run_case(
                         stringify!($name),
+                        seed,
                         case,
                         &inputs,
                         ::std::panic::AssertUnwindSafe(
@@ -457,6 +487,17 @@ mod tests {
             assert_eq!(v.len(), p);
             assert!(v.iter().all(|&x| x < p));
         }
+    }
+
+    #[test]
+    fn seed_is_the_initial_state_and_replays_the_stream() {
+        let mut a = TestRng::for_test("seeded");
+        let seed = a.seed();
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        // PMM_PROPTEST_SEED=<seed> constructs exactly this state; emulate
+        // the override without mutating the process environment.
+        let mut b = TestRng { state: seed };
+        assert_eq!(xs, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
     }
 
     #[test]

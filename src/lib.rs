@@ -79,6 +79,11 @@ pub mod prelude {
     pub use pmm_core::prior::{MemDependentBound, PriorBound};
     pub use pmm_core::theorem3::{corollary4, lower_bound, BoundReport};
     pub use pmm_dense::{gemm, random_int_matrix, random_matrix, Kernel, Matrix};
-    pub use pmm_model::{Case, Cost, Grid3, MachineParams, MatMulDims, MatrixId, SortedDims};
-    pub use pmm_simnet::{Comm, Meter, Rank, World, WorldResult};
+    pub use pmm_model::{
+        alg1_prediction, Alg1Prediction, Case, Cost, Grid3, MachineParams, MatMulDims, MatrixId,
+        SortedDims,
+    };
+    pub use pmm_simnet::{
+        fuzz_schedules, seed_from_env, Comm, Meter, Rank, ScheduleTrace, World, WorldResult,
+    };
 }

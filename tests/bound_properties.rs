@@ -18,6 +18,49 @@ fn instance() -> impl Strategy<Value = (u64, u64, u64, f64)> {
     })
 }
 
+/// Instances pinned relative to the two Lemma 2 regime thresholds
+/// `P = m/n` and `P = mn/k²`: dimensions are built as `n = k·a`,
+/// `m = n·b` so the thresholds are exactly the integers `b` and `a²b`,
+/// and `which` selects a point strictly inside each regime or exactly
+/// *on* each boundary — the KKT corner cases a uniform random `P` almost
+/// never hits.
+fn regime_pinned_instance() -> impl Strategy<Value = (u64, u64, u64, f64)> {
+    (1u64..12, 2u64..8, 2u64..8, 0usize..5, 1u64..1000).prop_map(|(k, a, b, which, extra)| {
+        let n = k * a;
+        let m = n * b;
+        let p = match which {
+            // Strictly inside 1D: 1 ≤ P < b.
+            0 => 1 + extra % (b - 1),
+            // Exactly on the boundary P = m/n.
+            1 => b,
+            // Strictly inside 2D: b < P < a²b (a ≥ 2 keeps it non-empty).
+            2 => b + 1 + extra % (a * a * b - b - 1),
+            // Exactly on the boundary P = mn/k².
+            3 => a * a * b,
+            // Strictly inside 3D.
+            _ => a * a * b + 1 + extra,
+        };
+        (m, n, k, p as f64)
+    })
+}
+
+/// The Lemma 2 properties one stale `proptest-regressions` entry used to
+/// pin: the fully degenerate instance `(1, 1, 1, P = 2)`, where all three
+/// lower bounds are active and the objective is flat. Kept as an explicit
+/// unit case (the shimmed proptest derives streams from test names and
+/// ignores persistence files).
+#[test]
+fn regression_degenerate_unit_problem() {
+    let prob = OptProblem::new(1.0, 1.0, 1.0, 2.0);
+    let sol = prob.solve();
+    assert!(prob.feasible(sol.x, 1e-9), "infeasible: {:?}", sol.x);
+    let report = verify_kkt(&prob, sol.x, certificate_for(&prob), 1e-7);
+    assert!(report.holds(1e-7), "KKT fails: {report:?}");
+    let d = sol.objective();
+    let (_, obj) = solve_numeric(&prob, 8);
+    assert!((obj - d).abs() <= 1e-4 * d, "numeric {obj} vs analytic {d}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -38,6 +81,24 @@ proptest! {
         let (_, obj) = solve_numeric(&prob, 6);
         prop_assert!(obj >= d * (1.0 - 1e-9), "numeric {obj} beats analytic {d}");
         prop_assert!(obj <= d * (1.0 + 1e-3), "numeric {obj} far above analytic {d}");
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_in_every_regime_and_on_both_boundaries(
+        (m, n, k, p) in regime_pinned_instance()
+    ) {
+        let prob = OptProblem::new(m as f64, n as f64, k as f64, p);
+        let sol = prob.solve();
+        prop_assert!(prob.feasible(sol.x, 1e-9), "({m},{n},{k},{p}): infeasible {:?}", sol.x);
+        let report = verify_kkt(&prob, sol.x, certificate_for(&prob), 1e-7);
+        prop_assert!(report.holds(1e-7), "({m},{n},{k},{p}): KKT fails on boundary: {report:?}");
+        let d = sol.objective();
+        let (x, obj) = solve_numeric(&prob, 8);
+        prop_assert!(
+            (obj - d).abs() <= 1e-4 * d,
+            "({m},{n},{k},{p}): numeric {obj} vs analytic {d} (x = {x:?})"
+        );
+        prop_assert!(obj >= d * (1.0 - 1e-9), "({m},{n},{k},{p}): numeric beats analytic");
     }
 
     #[test]

@@ -12,9 +12,19 @@
 //!    and is expected to contain zero such tokens; the audit greps every
 //!    workspace `.rs` file (comments excluded) so even `#[allow]`-escaped
 //!    blocks are caught.
+//!
+//! Two further CI entry points exercise the deterministic scheduler:
+//!
+//! * `cargo xtask conformance` — the `tests/conformance.rs` sweep under a
+//!   pinned matrix of schedule seeds (each seed exported as `PMM_SEED`);
+//! * `cargo xtask fuzz-schedules [budget-secs]` — keeps running the
+//!   schedule-fuzz entry test with fresh base seeds until the wall-clock
+//!   budget (default 60 s) runs out, printing the failing `PMM_SEED` on
+//!   the first divergence.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,15 +39,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("conformance") => conformance(),
+        Some("fuzz-schedules") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(60);
+            fuzz_schedules(Duration::from_secs(budget))
+        }
         other => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
                  commands:\n\
-                 \x20 check   run the full static-analysis gate (fmt, clippy, unwrap\n\
-                 \x20         policy, keyword audit)\n\
-                 \x20 fmt     formatting check only\n\
-                 \x20 clippy  clippy passes only\n\
-                 \x20 audit   scan sources for the forbidden keyword only"
+                 \x20 check           run the full static-analysis gate (fmt, clippy,\n\
+                 \x20                 unwrap policy, keyword audit)\n\
+                 \x20 fmt             formatting check only\n\
+                 \x20 clippy          clippy passes only\n\
+                 \x20 audit           scan sources for the forbidden keyword only\n\
+                 \x20 conformance     run tests/conformance.rs under a pinned matrix\n\
+                 \x20                 of schedule seeds (PMM_SEED)\n\
+                 \x20 fuzz-schedules  [budget-secs] run the schedule fuzzer with fresh\n\
+                 \x20                 seeds until the budget (default 60 s) is spent"
             );
             if other.is_none() {
                 ExitCode::FAILURE
@@ -94,6 +116,63 @@ fn check() -> ExitCode {
         eprintln!("xtask: FAILED");
         ExitCode::FAILURE
     }
+}
+
+/// The pinned seed matrix of the conformance job: arbitrary but fixed, so
+/// CI failures replay locally with the printed `PMM_SEED`.
+const CONFORMANCE_SEEDS: [u64; 3] = [0x00C0_FFEE, 1, 0xDEAD_BEEF];
+
+/// Run one test binary via `cargo test` with `PMM_SEED` exported.
+/// Returns true on success.
+fn run_seeded_test(test: &str, seed: u64, filter: &[&str]) -> bool {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(&cargo)
+        .args(["test", "--release", "--test", test, "--"])
+        .args(filter)
+        .env("PMM_SEED", seed.to_string())
+        .current_dir(workspace_root())
+        .status();
+    match status {
+        Ok(s) => s.success(),
+        Err(e) => {
+            eprintln!("xtask: could not launch cargo test: {e}");
+            false
+        }
+    }
+}
+
+fn conformance() -> ExitCode {
+    for seed in CONFORMANCE_SEEDS {
+        eprintln!("xtask: conformance sweep, PMM_SEED={seed}");
+        if !run_seeded_test("conformance", seed, &[]) {
+            eprintln!("xtask: conformance sweep FAILED — replay with PMM_SEED={seed}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask: conformance sweep passed under {} seeds", CONFORMANCE_SEEDS.len());
+    ExitCode::SUCCESS
+}
+
+fn fuzz_schedules(budget: Duration) -> ExitCode {
+    // Each round runs the fuzz entry test (which itself fans a base seed
+    // out over several schedules) with a fresh base; rounds stop when the
+    // budget is exhausted. The round stride leaves room for the fan-out.
+    let start = Instant::now();
+    let mut base: u64 = 0x5EED_0000;
+    let mut rounds = 0u32;
+    while start.elapsed() < budget {
+        if !run_seeded_test("determinism", base, &["schedule_fuzz_smoke", "--exact"]) {
+            eprintln!("xtask: schedule fuzz FAILED — replay with PMM_SEED={base}");
+            return ExitCode::FAILURE;
+        }
+        rounds += 1;
+        base += 0x100;
+    }
+    eprintln!(
+        "xtask: schedule fuzz passed {rounds} round(s) in {:.1}s with no divergence",
+        start.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
 }
 
 fn run_steps(steps: &[Step]) -> ExitCode {
