@@ -37,15 +37,23 @@ impl PhaseMeter {
 /// Every world rank must call this exactly once, and the world size must
 /// equal the grid size.
 pub fn fiber_comms(rank: &mut Rank, grid: Grid3) -> [Comm; 3] {
-    assert_eq!(rank.world_size(), grid.size(), "world size must equal grid size");
     let world = rank.world_comm();
-    let coord = grid.coord_of(rank.world_rank());
+    fiber_comms_on(rank, &world, grid)
+}
+
+/// [`fiber_comms`] generalized to an arbitrary base communicator: this
+/// rank's grid coordinate is derived from its index *in `base`*, whose
+/// size must equal the grid size. This is what failure recovery needs —
+/// after a rank dies, the survivors' communicator is no longer the world,
+/// and the shrunken grid is laid out over it.
+pub fn fiber_comms_on(rank: &mut Rank, base: &Comm, grid: Grid3) -> [Comm; 3] {
+    assert_eq!(base.size(), grid.size(), "base communicator size must equal grid size");
+    let coord = grid.coord_of(base.index());
     let make = |rank: &mut Rank, axis: usize| {
         let color = grid.fiber_color(coord, axis) as i64;
         let key = coord[axis] as i64;
-        let comm = rank
-            .split(&world, color, key)
-            .expect("non-negative color always yields a communicator");
+        let comm =
+            rank.split(base, color, key).expect("non-negative color always yields a communicator");
         assert_eq!(comm.size(), grid.dims()[axis]);
         assert_eq!(comm.index(), coord[axis]);
         comm

@@ -30,11 +30,12 @@
 use pmm_collectives::{
     all_gather_v, all_to_all, reduce_scatter_v, AllGatherAlgo, AllToAllAlgo, ReduceScatterAlgo,
 };
+use pmm_core::gridopt::best_grid;
 use pmm_dense::{block_range, chunk_of_block, gemm, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};
-use pmm_simnet::Rank;
+use pmm_simnet::{Comm, Rank, RankFailed};
 
-use crate::common::{fiber_comms, flatten_block, PhaseMeter};
+use crate::common::{fiber_comms_on, flatten_block, PhaseMeter};
 
 /// How the partial products `D` are combined into `C` (line 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,6 +113,22 @@ pub fn owned_c_range(dims: MatMulDims, grid: Grid3, coord: [usize; 3]) -> std::o
 /// closure only as a convenient source of this rank's owned chunks — the
 /// algorithm reads nothing else from them).
 pub fn alg1(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -> Alg1Output {
+    let world = rank.world_comm();
+    alg1_on(rank, &world, cfg, a, b)
+}
+
+/// [`alg1`] generalized to an arbitrary base communicator (whose size
+/// must equal the grid size): this rank's grid position is its index in
+/// `base`, and all three fiber communicators are split from `base`. This
+/// is the entry point failure recovery uses to re-run the multiplication
+/// on the surviving ranks — see [`alg1_with_recovery`].
+pub fn alg1_on(
+    rank: &mut Rank,
+    base: &Comm,
+    cfg: &Alg1Config,
+    a: &Matrix,
+    b: &Matrix,
+) -> Alg1Output {
     let dims = cfg.dims;
     let grid = cfg.grid;
     assert_eq!(
@@ -120,8 +137,8 @@ pub fn alg1(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -> Alg1Ou
         "global inputs disagree with dims"
     );
     let [p1, p2, p3] = grid.dims();
-    let coord = grid.coord_of(rank.world_rank());
-    let comms = fiber_comms(rank, grid);
+    let coord = grid.coord_of(base.index());
+    let comms = fiber_comms_on(rank, base, grid);
 
     // ----- owned input chunks (initial distribution) -----------------------
     let a_own = owned_a_chunk(dims, grid, coord, a);
@@ -178,6 +195,88 @@ pub fn alg1(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -> Alg1Ou
     rank.mem_release((a_block_words + b_block_words + c_block_words) as u64);
 
     Alg1Output { c_chunk, phases: [ph_a, ph_b, ph_c] }
+}
+
+/// Result of a fault-tolerant [`alg1_with_recovery`] run on one survivor.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutput {
+    /// The successful attempt's per-rank output (chunk + phase meters).
+    /// The chunk belongs to position `survivors.index_of(me)` of `grid`.
+    pub output: Alg1Output,
+    /// The grid of the successful attempt (§5.2-optimal for the survivor
+    /// count).
+    pub grid: Grid3,
+    /// World ranks alive at the successful attempt, ascending. The rank
+    /// at grid position `g` is `survivors[g]`.
+    pub survivors: Vec<usize>,
+    /// Grids of every attempt, first to last (the last one succeeded).
+    /// Feed to `pmm_model::recovery_prediction` for the analytic cost of
+    /// the whole recovered computation.
+    pub attempt_grids: Vec<[usize; 3]>,
+}
+
+impl RecoveryOutput {
+    /// Number of attempts the run took (1 = no failure observed).
+    pub fn attempts(&self) -> usize {
+        self.attempt_grids.len()
+    }
+}
+
+/// Run Algorithm 1 with rank-failure recovery: on each attempt the
+/// survivors lay the §5.2-optimal grid for their count over their ranks
+/// and multiply; if the fault plan kills a rank mid-attempt, every
+/// survivor abandons the attempt (via [`Rank::catch_failures`]), rallies
+/// at a fault-aware barrier, rebuilds a communicator over the survivors
+/// ([`Rank::recovery_split`]), and retries. Inputs are re-extracted from
+/// the global `a`/`b` on each attempt — the simulation analogue of
+/// re-loading lost chunks from a checkpoint.
+///
+/// Returns `Err` on the killed rank (which must stop communicating) and
+/// `Ok` on every survivor once an attempt completes with no new deaths.
+/// Kills placed after the final attempt completes are not handled here —
+/// they surface wherever the program communicates next.
+pub fn alg1_with_recovery(
+    rank: &mut Rank,
+    dims: MatMulDims,
+    kernel: Kernel,
+    assembly: Assembly,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<RecoveryOutput, RankFailed> {
+    let world_size = rank.world_size();
+    let mut attempt_grids = Vec::new();
+    let mut round: u64 = 0;
+    loop {
+        let dead = rank.dead_ranks();
+        let survivors: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
+        let base = if dead.is_empty() { rank.world_comm() } else { rank.recovery_split(round) };
+        debug_assert_eq!(base.members(), &survivors[..]);
+        let choice = best_grid(dims, survivors.len());
+        let grid = Grid3::from_dims(choice.grid);
+        attempt_grids.push(choice.grid);
+        let cfg = Alg1Config { dims, grid, kernel, assembly };
+        let completed = match rank.catch_failures(|r| alg1_on(r, &base, &cfg, a, b)) {
+            // This rank is the casualty: it must fall silent — the
+            // survivors' barrier already counts it as arrived.
+            Err(failed) if failed.rank == rank.world_rank() => return Err(failed),
+            Err(_) => None,
+            Ok(output) => Some(output),
+        };
+        // Rally every survivor (the barrier counts dead ranks as arrived)
+        // so all of them observe the same post-attempt dead set and make
+        // the same retry-or-return decision.
+        rank.hard_sync();
+        round += 1;
+        if let Some(output) = completed {
+            if rank.dead_ranks() == dead {
+                return Ok(RecoveryOutput { output, grid, survivors, attempt_grids });
+            }
+            // A rank died during the attempt: even ranks whose own
+            // collectives happened to complete must discard the result
+            // (their peers may hold no consistent counterpart) and rerun
+            // on the shrunken grid.
+        }
+    }
 }
 
 /// Reduce-scatter semantics via All-to-All + local summation (the

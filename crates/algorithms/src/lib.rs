@@ -36,9 +36,14 @@ pub mod summa;
 pub mod twofived;
 
 pub use cannon::{cannon, CannonConfig, CannonOutput};
-pub use common::{assemble_from_blocks, fiber_comms, PhaseMeter};
-pub use grid3d::{alg1, assemble_c, Alg1Config, Alg1Output, Assembly};
+pub use common::{assemble_from_blocks, fiber_comms, fiber_comms_on, PhaseMeter};
+pub use grid3d::{
+    alg1, alg1_on, alg1_with_recovery, assemble_c, Alg1Config, Alg1Output, Assembly, RecoveryOutput,
+};
 pub use recursive::{carma, carma_assemble_c, carma_cost_words, carma_shares};
 pub use streamed::alg1_streamed;
-pub use summa::{summa, SummaConfig, SummaOutput};
+pub use summa::{
+    near_square_factors, summa, summa_on, summa_with_recovery, SummaConfig, SummaOutput,
+    SummaRecovery,
+};
 pub use twofived::{twofived, TwoFiveDConfig, TwoFiveDOutput};

@@ -18,7 +18,7 @@
 
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::Rank;
+use pmm_simnet::{Comm, Rank, RankFailed};
 
 use pmm_collectives::{bcast, BcastAlgo};
 
@@ -55,16 +55,31 @@ fn lcm(a: usize, b: usize) -> usize {
 /// Run SUMMA. `a`/`b` are the global inputs, read only for this rank's
 /// owned panels.
 pub fn summa(rank: &mut Rank, cfg: &SummaConfig, a: &Matrix, b: &Matrix) -> SummaOutput {
+    let world = rank.world_comm();
+    summa_on(rank, &world, cfg, a, b)
+}
+
+/// [`summa`] generalized to an arbitrary base communicator of size
+/// `pr·pc`: this rank's grid position is its index in `base`, and the
+/// row/column communicators are split from `base`. Failure recovery uses
+/// this to re-run SUMMA on the surviving ranks — see
+/// [`summa_with_recovery`].
+pub fn summa_on(
+    rank: &mut Rank,
+    base: &Comm,
+    cfg: &SummaConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> SummaOutput {
     let (pr, pc) = (cfg.pr, cfg.pc);
-    assert_eq!(rank.world_size(), pr * pc, "world size must be pr·pc");
+    assert_eq!(base.size(), pr * pc, "base communicator size must be pr·pc");
     let dims = cfg.dims;
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
-    let me = rank.world_rank();
+    let me = base.index();
     let (i, j) = (me / pc, me % pc);
 
-    let world = rank.world_comm();
-    let row = rank.split(&world, i as i64, j as i64).expect("row comm");
-    let col = rank.split(&world, (pr + j) as i64, i as i64).expect("col comm");
+    let row = rank.split(base, i as i64, j as i64).expect("row comm");
+    let col = rank.split(base, (pr + j) as i64, i as i64).expect("col comm");
 
     let s = lcm(pr, pc);
     let my_rows = block_range(n1, pr, i).len();
@@ -103,6 +118,76 @@ pub fn summa(rank: &mut Rank, cfg: &SummaConfig, a: &Matrix, b: &Matrix) -> Summ
     }
 
     SummaOutput { c_block: c }
+}
+
+/// The most-square `pr × pc` factorization of `p` (`pr ≤ pc`, `pr·pc =
+/// p`): the grid shape recovery lays over an arbitrary survivor count.
+pub fn near_square_factors(p: usize) -> (usize, usize) {
+    assert!(p >= 1);
+    let mut pr = 1;
+    let mut d = 1;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            pr = d;
+        }
+        d += 1;
+    }
+    (pr, p / pr)
+}
+
+/// Result of a fault-tolerant [`summa_with_recovery`] run on one
+/// survivor.
+#[derive(Debug, Clone)]
+pub struct SummaRecovery {
+    /// The successful attempt's output. The block belongs to position
+    /// `survivors.index_of(me)` of the `pr × pc` grid (row-major).
+    pub output: SummaOutput,
+    /// Process-grid shape of the successful attempt (near-square for the
+    /// survivor count).
+    pub pr: usize,
+    /// Process-grid columns of the successful attempt.
+    pub pc: usize,
+    /// World ranks alive at the successful attempt, ascending.
+    pub survivors: Vec<usize>,
+    /// Number of attempts the run took (1 = no failure observed).
+    pub attempts: usize,
+}
+
+/// Run SUMMA with rank-failure recovery: each attempt lays the
+/// near-square grid for the survivor count over the surviving ranks; a
+/// kill mid-attempt makes every survivor abandon the attempt, rally, and
+/// retry on the shrunken grid (same protocol as
+/// `grid3d::alg1_with_recovery` — see its docs for the contract).
+pub fn summa_with_recovery(
+    rank: &mut Rank,
+    dims: MatMulDims,
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<SummaRecovery, RankFailed> {
+    let world_size = rank.world_size();
+    let mut attempts = 0;
+    let mut round: u64 = 0;
+    loop {
+        let dead = rank.dead_ranks();
+        let survivors: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
+        let base = if dead.is_empty() { rank.world_comm() } else { rank.recovery_split(round) };
+        let (pr, pc) = near_square_factors(survivors.len());
+        let cfg = SummaConfig { dims, pr, pc, kernel };
+        attempts += 1;
+        let completed = match rank.catch_failures(|r| summa_on(r, &base, &cfg, a, b)) {
+            Err(failed) if failed.rank == rank.world_rank() => return Err(failed),
+            Err(_) => None,
+            Ok(output) => Some(output),
+        };
+        rank.hard_sync();
+        round += 1;
+        if let Some(output) = completed {
+            if rank.dead_ranks() == dead {
+                return Ok(SummaRecovery { output, pr, pc, survivors, attempts });
+            }
+        }
+    }
 }
 
 fn bcast_panel(rank: &mut Rank, comm: &pmm_simnet::Comm, data: &[f64], root: usize) -> Vec<f64> {

@@ -6,6 +6,7 @@
 use std::fmt;
 
 use pmm_model::MatMulDims;
+use pmm_simnet::FaultPlan;
 
 /// A fully parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,8 +24,15 @@ pub enum Command {
         beta: f64,
         gamma: f64,
     },
-    /// `pmm simulate --dims AxBxC --procs P [--grid AxBxC] [--seed S]`
-    Simulate { dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: u64 },
+    /// `pmm simulate --dims AxBxC --procs P [--grid AxBxC] [--seed S]
+    /// [--faults SPEC]`
+    Simulate {
+        dims: MatMulDims,
+        procs: usize,
+        grid: Option<[usize; 3]>,
+        seed: u64,
+        faults: Option<FaultPlan>,
+    },
     /// `pmm sweep --dims AxBxC --procs P1,P2,…`
     Sweep { dims: MatMulDims, procs: Vec<f64> },
     /// `pmm help` / `-h` / `--help`
@@ -167,7 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         }
         "simulate" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["dims", "procs", "grid", "seed"])?;
+            flags.reject_unknown(&["dims", "procs", "grid", "seed", "faults"])?;
             let procs = flags
                 .require("procs")?
                 .parse::<usize>()
@@ -177,7 +185,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 None => 42,
                 Some(v) => v.parse::<u64>().map_err(|_| err("--seed expects an integer"))?,
             };
-            Ok(Command::Simulate { dims: parse_dims(flags.require("dims")?)?, procs, grid, seed })
+            let faults = flags
+                .get("faults")
+                .map(|s| FaultPlan::parse(s).map_err(|e| err(format!("--faults: {e}"))))
+                .transpose()?;
+            Ok(Command::Simulate {
+                dims: parse_dims(flags.require("dims")?)?,
+                procs,
+                grid,
+                seed,
+                faults,
+            })
         }
         "sweep" => {
             let flags = Flags::parse(rest)?;
@@ -213,8 +231,15 @@ USAGE:
                [--alpha A] [--beta B] [--gamma G]
       Rank execution strategies by predicted time on an α-β-γ machine.
   pmm simulate --dims N1xN2xN3 --procs P [--grid AxBxC] [--seed S]
+               [--faults SPEC]
       Run Algorithm 1 on the simulated machine, verify the product, and
-      report measured communication vs the bound.
+      report measured communication vs the bound. --faults injects
+      seeded message faults and rank failures (recovered by re-running
+      on the surviving grid); SPEC is comma-separated key=value pairs:
+      drop/dup/corrupt/delay (rates), timeout, cap, retries,
+      seed (fault seed), kill=RANK@OP, slow=RANKxFACTOR — e.g.
+      --faults drop=0.05,kill=2@5,seed=0xFA. Exits nonzero if the
+      product is wrong or a failure is not recovered.
   pmm sweep    --dims N1xN2xN3 --procs P1,P2,...
       Bound/case/grid table over a list of processor counts.
   pmm help
@@ -258,9 +283,30 @@ mod tests {
                 dims: MatMulDims::new(96, 24, 6),
                 procs: 4,
                 grid: Some([4, 1, 1]),
-                seed: 7
+                seed: 7,
+                faults: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_simulate_faults_spec() {
+        let c = parse_args(&argv(
+            "simulate --dims 24x24x24 --procs 9 --faults drop=0.05,kill=4@5,seed=0xFA",
+        ))
+        .unwrap();
+        match c {
+            Command::Simulate { faults: Some(plan), .. } => {
+                assert_eq!(plan.drop, 0.05);
+                assert_eq!(plan.seed, Some(0xFA));
+                assert_eq!(plan.kills.len(), 1);
+                assert_eq!((plan.kills[0].rank, plan.kills[0].at_op), (4, 5));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // A bad spec is a parse error, not a panic downstream.
+        assert!(parse_args(&argv("simulate --dims 8x8x8 --procs 2 --faults bogus")).is_err());
+        assert!(parse_args(&argv("simulate --dims 8x8x8 --procs 2 --faults drop=x")).is_err());
     }
 
     #[test]

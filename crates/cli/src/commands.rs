@@ -3,14 +3,14 @@
 
 use std::fmt::Write as _;
 
-use pmm_algs::{alg1, assemble_c, Alg1Config};
+use pmm_algs::{alg1, alg1_with_recovery, assemble_c, Alg1Config, Assembly};
 use pmm_core::advisor::{recommend, Strategy};
 use pmm_core::gridopt::{alg1_cost_words, best_grid, continuous_grid};
 use pmm_core::memlimit::{limited_memory_report, min_memory_words, Dominant};
 use pmm_core::theorem3::lower_bound;
 use pmm_dense::{gemm, random_int_matrix, Kernel};
-use pmm_model::{Grid3, MachineParams, MatMulDims};
-use pmm_simnet::{seed_from_env, World};
+use pmm_model::{alg1_prediction, Grid3, MachineParams, MatMulDims};
+use pmm_simnet::{seed_from_env, FaultPlan, World};
 
 /// `pmm bound`.
 pub fn bound(dims: MatMulDims, procs: f64, memory: Option<f64>) -> String {
@@ -126,8 +126,34 @@ pub fn advise(
     out
 }
 
-/// `pmm simulate`.
+/// `pmm simulate` (fault-free form): output only, for callers that don't
+/// care about the process exit code.
 pub fn simulate(dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: u64) -> String {
+    simulate_run(dims, procs, grid, seed, None).0
+}
+
+/// `pmm simulate`, full form: returns the report and the process exit
+/// code (`0` = product verified, `1` = wrong product or a fault the run
+/// could not recover from).
+pub fn simulate_run(
+    dims: MatMulDims,
+    procs: usize,
+    grid: Option<[usize; 3]>,
+    seed: u64,
+    faults: Option<FaultPlan>,
+) -> (String, u8) {
+    match faults {
+        None => simulate_clean(dims, procs, grid, seed),
+        Some(plan) => simulate_faulty(dims, procs, seed, plan),
+    }
+}
+
+fn simulate_clean(
+    dims: MatMulDims,
+    procs: usize,
+    grid: Option<[usize; 3]>,
+    seed: u64,
+) -> (String, u8) {
     let grid = grid.unwrap_or_else(|| best_grid(dims, procs).grid);
     let g = Grid3::from_dims(grid);
     assert_eq!(g.size(), procs, "grid {} has {} processors but --procs is {procs}", g, g.size());
@@ -164,7 +190,76 @@ pub fn simulate(dims: MatMulDims, procs: usize, grid: Option<[usize; 3]>, seed: 
     let _ = writeln!(s, "eq.(3) model : {predicted:.3}");
     let _ = writeln!(s, "lower bound  : {bound:.3}");
     let _ = writeln!(s, "peak memory  : {} words/rank (max)", out.max_peak_mem_words());
-    s
+    (s, u8::from(!correct))
+}
+
+fn simulate_faulty(dims: MatMulDims, procs: usize, seed: u64, plan: FaultPlan) -> (String, u8) {
+    let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
+    let sched_seed = seed_from_env(seed);
+    // Recovery re-picks the §5.2 grid per attempt from the survivor
+    // count, so no --grid applies here. An unrecoverable run (e.g.
+    // retransmissions exhausted, or every rank killed) aborts the world
+    // with a report; surface it as output + exit 1, not a panic.
+    let world = World::new(procs, MachineParams::BANDWIDTH_ONLY)
+        .with_seed(sched_seed)
+        .with_faults(plan.clone());
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        world.run(move |rank| {
+            let a = random_int_matrix(n1, n2, -3..4, seed);
+            let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+            alg1_with_recovery(rank, dims, Kernel::Tiled, Assembly::ReduceScatter, &a, &b)
+        })
+    }));
+    let mut s = String::new();
+    let _ = writeln!(s, "simulated {dims} on {procs} ranks under faults [{plan}] (seed {seed})");
+    let out = match run {
+        Ok(out) => out,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic payload".into());
+            let _ = writeln!(s, "UNRECOVERED  : {detail}");
+            return (s, 1);
+        }
+    };
+    let _ = writeln!(
+        s,
+        "schedule     : deterministic, seed {sched_seed} (replay with PMM_SEED={sched_seed})"
+    );
+    let Some(ok) = out.values.iter().find_map(|v| v.as_ref().ok()) else {
+        let _ = writeln!(s, "UNRECOVERED  : no rank survived the fault plan");
+        return (s, 1);
+    };
+    for v in &out.values {
+        if let Err(failed) = v {
+            let _ = writeln!(s, "rank failure : {failed}");
+        }
+    }
+    let grid = ok.grid;
+    let survivors = ok.survivors.clone();
+    let _ = writeln!(
+        s,
+        "recovery     : {} attempt(s); survivors {:?} on grid {}",
+        ok.attempts(),
+        survivors,
+        grid
+    );
+    let chunks: Vec<_> = survivors
+        .iter()
+        .map(|&w| out.values[w].as_ref().expect("survivor").output.c_chunk.clone())
+        .collect();
+    let a = random_int_matrix(n1, n2, -3..4, seed);
+    let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+    let correct = assemble_c(dims, grid, &chunks) == gemm(&a, &b, Kernel::Tiled);
+    let _ = writeln!(s, "product      : {}", if correct { "correct ✓" } else { "WRONG ✗" });
+    let pred = alg1_prediction(dims, grid.dims()).total();
+    let goodput = out.reports[survivors[0]].meter.words_sent;
+    let retry: u64 = out.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
+    let _ = writeln!(s, "goodput      : {goodput} words on rank {} (all attempts)", survivors[0]);
+    let _ = writeln!(s, "eq.(3) model : {pred:.3} words/processor (final grid, one attempt)");
+    let _ = writeln!(s, "retry waste  : {retry} words total across ranks (separate from goodput)");
+    (s, u8::from(!correct))
 }
 
 /// `pmm sweep`.

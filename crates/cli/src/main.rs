@@ -14,8 +14,12 @@ fn main() {
         Ok(Command::Advise { dims, procs, memory, alpha, beta, gamma }) => {
             print!("{}", commands::advise(dims, procs, memory, alpha, beta, gamma));
         }
-        Ok(Command::Simulate { dims, procs, grid, seed }) => {
-            print!("{}", commands::simulate(dims, procs, grid, seed));
+        Ok(Command::Simulate { dims, procs, grid, seed, faults }) => {
+            let (report, code) = commands::simulate_run(dims, procs, grid, seed, faults);
+            print!("{report}");
+            if code != 0 {
+                std::process::exit(code.into());
+            }
         }
         Ok(Command::Sweep { dims, procs }) => print!("{}", commands::sweep(dims, &procs)),
         Err(e) => {

@@ -1,0 +1,79 @@
+//! End-to-end smoke tests of the `pmm` binary: exit codes are part of
+//! the CLI contract (scripts and CI gate on them), so they are asserted
+//! here against the real executable, not the library functions.
+
+use std::process::{Command, Output};
+
+fn pmm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pmm")).args(args).output().expect("pmm binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn simulate_verified_product_exits_zero() {
+    let out = pmm(&["simulate", "--dims", "24x12x18", "--procs", "4", "--seed", "3"]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit: {:?}\n{text}", out.status);
+    assert!(text.contains("correct ✓"), "{text}");
+}
+
+#[test]
+fn simulate_with_faults_recovers_and_exits_zero() {
+    let out = pmm(&[
+        "simulate",
+        "--dims",
+        "24x24x24",
+        "--procs",
+        "9",
+        "--seed",
+        "7",
+        "--faults",
+        "drop=0.05,kill=4@5,seed=0xFA",
+    ]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit: {:?}\n{text}", out.status);
+    assert!(text.contains("correct ✓"), "{text}");
+    assert!(text.contains("rank 4"), "must report the killed rank: {text}");
+    assert!(text.contains("kill=4@5"), "must name the fault-plan entry: {text}");
+}
+
+#[test]
+fn simulate_unrecoverable_fault_exits_nonzero() {
+    // Zero retransmissions under heavy drop: the first lost copy
+    // exhausts the sender's budget and the run must fail with a report
+    // naming the message and plan, not hang or exit 0.
+    let out = pmm(&[
+        "simulate",
+        "--dims",
+        "12x12x12",
+        "--procs",
+        "4",
+        "--faults",
+        "drop=0.95,retries=0,seed=1",
+    ]);
+    let text = stdout(&out);
+    assert!(!out.status.success(), "a hopeless fault plan must fail\n{text}");
+    assert!(text.contains("UNRECOVERED"), "{text}");
+    assert!(text.contains("exhausted"), "must report retry exhaustion: {text}");
+}
+
+#[test]
+fn bad_faults_spec_exits_two() {
+    let out = pmm(&["simulate", "--dims", "8x8x8", "--procs", "2", "--faults", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2), "parse errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--faults"), "{err}");
+}
+
+#[test]
+fn help_covers_every_command_and_exits_zero() {
+    let out = pmm(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["bound", "grid", "advise", "simulate", "sweep", "--faults"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}

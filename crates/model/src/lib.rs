@@ -26,4 +26,4 @@ pub mod predict;
 pub use cost::{Cost, MachineParams};
 pub use dims::{Case, MatMulDims, MatrixId, SortedDims};
 pub use grid::{divisors, Coord3, Grid3};
-pub use predict::{alg1_prediction, Alg1Prediction};
+pub use predict::{alg1_prediction, recovery_prediction, Alg1Prediction, RecoveryPrediction};

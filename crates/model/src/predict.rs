@@ -59,6 +59,45 @@ pub fn alg1_prediction(dims: MatMulDims, grid: [usize; 3]) -> Alg1Prediction {
     }
 }
 
+/// Predicted goodput cost of a rank-failure recovery run of Algorithm 1:
+/// one eq. (3) evaluation per attempt (each attempt re-runs the whole
+/// multiplication on the grid its survivors chose; abandoned attempts
+/// are *upper-bounded* by their full eq. (3) term, since a kill truncates
+/// them partway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPrediction {
+    /// Per-attempt phase predictions, first to last. The last entry is
+    /// the successful attempt, and its phases are exact (on divisible
+    /// grids) for the surviving ranks' goodput meters.
+    pub attempts: Vec<Alg1Prediction>,
+}
+
+impl RecoveryPrediction {
+    /// The successful (final) attempt's prediction.
+    pub fn last(&self) -> &Alg1Prediction {
+        self.attempts.last().expect("recovery has at least one attempt")
+    }
+
+    /// Upper bound on total per-processor goodput words across all
+    /// attempts (abandoned attempts counted in full).
+    pub fn total_upper_bound(&self) -> f64 {
+        self.attempts.iter().map(Alg1Prediction::total).sum()
+    }
+}
+
+/// Evaluate eq. (3) for every attempt of a recovery run. `attempt_grids`
+/// is the grid each attempt used, first to last — the caller (which knows
+/// the survivor counts and its grid optimizer) supplies them; e.g.
+/// `pmm_algs::RecoveryOutput::attempt_grids` records exactly this.
+///
+/// Panics if `attempt_grids` is empty.
+pub fn recovery_prediction(dims: MatMulDims, attempt_grids: &[[usize; 3]]) -> RecoveryPrediction {
+    assert!(!attempt_grids.is_empty(), "recovery has at least one attempt");
+    RecoveryPrediction {
+        attempts: attempt_grids.iter().map(|&g| alg1_prediction(dims, g)).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,7 @@ use std::sync::{
 };
 use std::time::Duration;
 
+use crate::fault::{FaultKick, FaultPlan, FaultState, MsgMeta};
 use crate::trace::{repro_hint, BlockPoint, SchedEvent, ScheduleTrace};
 use crate::verify::{lock_unpoisoned, CollectiveOp, SlotView, VerifyState, WaitInfo, WaitKind};
 
@@ -73,6 +74,9 @@ pub struct Message {
     /// Sender's vector clock at send time (happens-before audit; see
     /// `crate::verify`).
     pub(crate) vclock: Option<Arc<[u64]>>,
+    /// Reliable-delivery metadata (sequence number + checksum); present
+    /// iff the world runs with a fault plan.
+    pub(crate) meta: Option<MsgMeta>,
 }
 
 struct Mailbox {
@@ -91,9 +95,12 @@ pub(crate) struct SplitGroup {
 struct SplitState {
     /// `(color, key, world_rank)` per parent index; `None` until deposited.
     entries: Vec<Option<(i64, i64, usize)>>,
+    /// Parent communicator's world ranks (so the fault layer can count
+    /// which members are still alive).
+    parent_members: Vec<usize>,
     arrived: usize,
     consumed: usize,
-    /// color -> group; populated by the last rank to arrive.
+    /// color -> group; populated by the last live rank to arrive.
     result: Option<Arc<HashMap<i64, SplitGroup>>>,
 }
 
@@ -114,9 +121,10 @@ struct BarrierCell {
     cv: Condvar,
 }
 
-/// SplitMix64 step — the scheduler's tie-breaking PRNG. Tiny, seedable,
-/// and fully deterministic, which is all the scheduler needs.
-fn splitmix64(state: &mut u64) -> u64 {
+/// SplitMix64 step — the scheduler's tie-breaking PRNG, also the mixer
+/// behind every fault-injection decision (see [`crate::fault`]). Tiny,
+/// seedable, and fully deterministic, which is all either client needs.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -175,6 +183,10 @@ pub struct Fabric {
     pub(crate) verify: VerifyState,
     /// Deterministic scheduler; `None` in free-running (default) mode.
     det: Option<DetState>,
+    /// Fault-injection state; `None` when the world has no fault plan
+    /// (the default), in which case every fault hook is a no-op and the
+    /// fabric behaves byte-identically to the pre-fault-layer code.
+    fault: Option<FaultState>,
 }
 
 impl Fabric {
@@ -193,7 +205,103 @@ impl Fabric {
             },
             verify: VerifyState::new(world_size),
             det: None,
+            fault: None,
         }
+    }
+
+    /// Attach a fault plan (validated) with its resolved decision seed.
+    /// Like [`Fabric::enable_det`], must run before any rank starts.
+    pub(crate) fn enable_faults(&mut self, plan: FaultPlan, seed: u64) {
+        plan.validate();
+        self.fault = Some(FaultState::new(plan, seed, self.verify.world_size()));
+    }
+
+    /// The attached fault state, if any.
+    pub(crate) fn fault(&self) -> Option<&FaultState> {
+        self.fault.as_ref()
+    }
+
+    /// Current fault epoch (0 when no plan is attached or nobody died).
+    pub(crate) fn fault_epoch(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultState::epoch)
+    }
+
+    /// World ranks killed so far (empty without a plan).
+    pub(crate) fn dead_ranks(&self) -> Vec<usize> {
+        self.fault.as_ref().map_or_else(Vec::new, FaultState::dead_ranks)
+    }
+
+    fn is_dead_rank(&self, world_rank: usize) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.is_dead(world_rank))
+    }
+
+    /// Record the death of `world_rank` and propagate it: note it for the
+    /// failure report, bump the fault epoch, count the corpse as arrived
+    /// in the world barrier, complete any split rendezvous that was only
+    /// waiting on dead ranks, and wake every blocked primitive so
+    /// survivors re-check their conditions (and observe the new epoch).
+    pub(crate) fn mark_rank_dead(&self, world_rank: usize, note: String) {
+        let Some(fault) = &self.fault else { return };
+        if !fault.mark_dead(world_rank) {
+            return;
+        }
+        self.verify.note_rank_failure(note);
+        {
+            let mut st = lock_unpoisoned(&self.barrier.st);
+            self.barrier_sweep_dead_locked(&mut st);
+        }
+        let cells: Vec<Arc<SplitCell>> = lock_unpoisoned(&self.splits).values().cloned().collect();
+        for cell in cells {
+            let mut st = lock_unpoisoned(&cell.state);
+            self.split_try_complete(&mut st);
+        }
+        self.wake_all_primitives();
+        self.sched_unblock_all();
+    }
+
+    /// Mark every dead, not-yet-arrived rank as arrived in the current
+    /// barrier generation; release the barrier if that completes it.
+    /// No-op without a fault plan.
+    fn barrier_sweep_dead_locked(&self, st: &mut BarrierState) {
+        let Some(fault) = &self.fault else { return };
+        let n = st.arrived.len();
+        for r in 0..n {
+            if !st.arrived[r] && fault.is_dead(r) {
+                st.arrived[r] = true;
+                st.count += 1;
+            }
+        }
+        if st.count == n && n > 0 {
+            st.count = 0;
+            st.arrived.iter_mut().for_each(|a| *a = false);
+            st.generation += 1;
+            self.barrier.cv.notify_all();
+        }
+    }
+
+    /// Notify every fabric condvar (blocked receives, split rendezvous,
+    /// the barrier, the scheduler baton) so parked ranks re-check state.
+    fn wake_all_primitives(&self) {
+        let mailboxes: Vec<Arc<Mailbox>> =
+            read_unpoisoned(&self.mailboxes).values().cloned().collect();
+        for mb in mailboxes {
+            mb.cv.notify_all();
+        }
+        let cells: Vec<Arc<SplitCell>> = lock_unpoisoned(&self.splits).values().cloned().collect();
+        for cell in cells {
+            cell.cv.notify_all();
+        }
+        self.barrier.cv.notify_all();
+        if let Some(det) = &self.det {
+            det.cv.notify_all();
+        }
+    }
+
+    /// Whether a rank inside a failure-catching scope (watching from
+    /// `watch`) should be kicked out of a blocking wait because the fault
+    /// epoch moved under it.
+    fn fault_kicked(&self, fault_watch: Option<u64>) -> bool {
+        fault_watch.is_some_and(|watch| self.fault_epoch() > watch)
     }
 
     /// Switch this fabric into deterministic scheduling mode. Must be
@@ -212,6 +320,12 @@ impl Fabric {
             }),
             cv: Condvar::new(),
         });
+    }
+
+    /// The deterministic schedule seed, if deterministic mode is on —
+    /// used by fault reports to print a one-line replay recipe.
+    pub(crate) fn sched_seed(&self) -> Option<u64> {
+        self.det.as_ref().map(|det| det.seed)
     }
 
     /// Extract the recorded schedule trace (deterministic mode only).
@@ -432,6 +546,12 @@ impl Fabric {
     /// context `ctx` (in arrival order; directed matching is done by the
     /// rank's stash). `from_world` is the world rank of the sender the
     /// caller is ultimately waiting for (deadlock-report metadata).
+    ///
+    /// `fault_watch` is the caller's fault-epoch watermark when it is
+    /// inside a failure-catching scope: if a rank dies while we wait
+    /// (epoch moves past the watermark) the wait returns `None` — after
+    /// draining anything already queued — so the caller can surface a
+    /// typed failure instead of hanging on a corpse.
     pub(crate) fn take_any(
         &self,
         ctx: Ctx,
@@ -439,11 +559,15 @@ impl Fabric {
         me_world: usize,
         from_world: usize,
         site: &'static Location<'static>,
-    ) -> Message {
+        fault_watch: Option<u64>,
+    ) -> Option<Message> {
         let mb = self.mailbox(ctx, index);
         let mut q = lock_unpoisoned(&mb.q);
         if let Some(m) = q.pop_front() {
-            return m;
+            return Some(m);
+        }
+        if self.fault_kicked(fault_watch) {
+            return None;
         }
         self.verify.set_wait(
             me_world,
@@ -463,7 +587,11 @@ impl Fabric {
                 q = lock_unpoisoned(&mb.q);
                 if let Some(m) = q.pop_front() {
                     self.verify.clear_wait(me_world);
-                    return m;
+                    return Some(m);
+                }
+                if self.fault_kicked(fault_watch) {
+                    self.verify.clear_wait(me_world);
+                    return None;
                 }
             }
         }
@@ -474,7 +602,11 @@ impl Fabric {
             }
             if let Some(m) = q.pop_front() {
                 self.verify.clear_wait(me_world);
-                return m;
+                return Some(m);
+            }
+            if self.fault_kicked(fault_watch) {
+                self.verify.clear_wait(me_world);
+                return None;
             }
             q = mb.cv.wait_timeout(q, ABORT_POLL).unwrap_or_else(PoisonError::into_inner).0;
         }
@@ -484,10 +616,13 @@ impl Fabric {
     /// phase-delimiting use only).
     pub(crate) fn hard_sync(&self, me_world: usize, site: &'static Location<'static>) {
         let world_size = self.verify.world_size();
-        if world_size <= 1 {
+        if world_size <= 1 || self.is_dead_rank(me_world) {
             return;
         }
         let mut st = lock_unpoisoned(&self.barrier.st);
+        // Dead ranks can never arrive; count them so survivors are not
+        // stuck waiting for a corpse (no-op without a fault plan).
+        self.barrier_sweep_dead_locked(&mut st);
         let entered_gen = st.generation;
         st.arrived[me_world] = true;
         st.count += 1;
@@ -534,6 +669,46 @@ impl Fabric {
         self.verify.clear_wait(me_world);
     }
 
+    /// Complete a split rendezvous if every still-alive parent member has
+    /// deposited (with at least one deposit): partition the deposited
+    /// entries into groups and allocate their contexts. Without a fault
+    /// plan "every alive member" is "every member", which is exactly the
+    /// pre-fault-layer completion rule. Notifies waiters on completion.
+    fn split_try_complete(&self, st: &mut SplitState) {
+        if st.result.is_some() {
+            return;
+        }
+        let all_live_arrived = st
+            .parent_members
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| st.entries[i].is_some() || self.is_dead_rank(w));
+        if st.arrived == 0 || !all_live_arrived {
+            return;
+        }
+        let mut by_color: HashMap<i64, Vec<(i64, usize, usize)>> = HashMap::new();
+        for (parent_idx, e) in st.entries.iter().enumerate() {
+            // Entries of dead members stay `None` and simply do not join
+            // any group — the survivors' groups shrink around them.
+            let Some((c, k, w)) = *e else { continue };
+            if c >= 0 {
+                by_color.entry(c).or_default().push((k, parent_idx, w));
+            }
+        }
+        let mut groups = HashMap::new();
+        let mut colors: Vec<i64> = by_color.keys().copied().collect();
+        colors.sort_unstable(); // deterministic ctx assignment
+        for c in colors {
+            let mut v = by_color.remove(&c).unwrap_or_else(|| {
+                panic!("split rendezvous: color {c} vanished while grouping — fabric bug")
+            });
+            v.sort_unstable(); // by (key, parent index)
+            let members = v.into_iter().map(|(_, _, w)| w).collect();
+            groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members });
+        }
+        st.result = Some(Arc::new(groups));
+    }
+
     /// Collective communicator split. Called by every member of the parent
     /// context; `seq` is the caller's per-parent split sequence number
     /// (all members must call splits in the same order). `parent_members`
@@ -541,6 +716,9 @@ impl Fabric {
     ///
     /// `color < 0` means "no new communicator for me" (MPI_UNDEFINED).
     /// Returns the group for `color`, or `None` for negative colors.
+    /// `fault_watch` works as in [`Fabric::take_any`]: `Err(FaultKick)`
+    /// means a rank died mid-rendezvous while the caller was inside a
+    /// failure-catching scope.
     #[allow(clippy::too_many_arguments)] // a rendezvous genuinely needs all of these
     pub(crate) fn split(
         &self,
@@ -552,8 +730,8 @@ impl Fabric {
         color: i64,
         key: i64,
         site: &'static Location<'static>,
-    ) -> Option<SplitGroup> {
-        let parent_size = parent_members.len();
+        fault_watch: Option<u64>,
+    ) -> Result<Option<SplitGroup>, FaultKick> {
         let cell = {
             let mut splits = lock_unpoisoned(&self.splits);
             splits
@@ -561,7 +739,8 @@ impl Fabric {
                 .or_insert_with(|| {
                     Arc::new(SplitCell {
                         state: Mutex::new(SplitState {
-                            entries: vec![None; parent_size],
+                            entries: vec![None; parent_members.len()],
+                            parent_members: parent_members.to_vec(),
                             arrived: 0,
                             consumed: 0,
                             result: None,
@@ -583,29 +762,8 @@ impl Fabric {
         }
         st.entries[my_parent_index] = Some((color, key, my_world_rank));
         st.arrived += 1;
-        if st.arrived == parent_size {
-            // Last to arrive: compute all groups.
-            let mut by_color: HashMap<i64, Vec<(i64, usize, usize)>> = HashMap::new();
-            for (parent_idx, e) in st.entries.iter().enumerate() {
-                let (c, k, w) = e.unwrap_or_else(|| {
-                    panic!("split #{seq} on ctx {parent_ctx}: entry {parent_idx} missing after full rendezvous")
-                });
-                if c >= 0 {
-                    by_color.entry(c).or_default().push((k, parent_idx, w));
-                }
-            }
-            let mut groups = HashMap::new();
-            let mut colors: Vec<i64> = by_color.keys().copied().collect();
-            colors.sort_unstable(); // deterministic ctx assignment
-            for c in colors {
-                let mut v = by_color.remove(&c).unwrap_or_else(|| {
-                    panic!("split #{seq} on ctx {parent_ctx}: color {c} vanished while grouping")
-                });
-                v.sort_unstable(); // by (key, parent index)
-                let members = v.into_iter().map(|(_, _, w)| w).collect();
-                groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members });
-            }
-            st.result = Some(Arc::new(groups));
+        self.split_try_complete(&mut st);
+        if st.result.is_some() {
             cell.cv.notify_all();
             self.sched_unblock_all();
         } else {
@@ -620,6 +778,10 @@ impl Fabric {
             );
             if self.det.is_some() {
                 while st.result.is_none() {
+                    if self.fault_kicked(fault_watch) {
+                        self.verify.clear_wait(my_world_rank);
+                        return Err(FaultKick);
+                    }
                     drop(st);
                     self.sched_block(my_world_rank, BlockPoint::Split { ctx: parent_ctx, seq });
                     st = lock_unpoisoned(&cell.state);
@@ -629,6 +791,10 @@ impl Fabric {
                     if self.verify.is_aborted() {
                         drop(st);
                         self.verify.abort_panic(my_world_rank);
+                    }
+                    if self.fault_kicked(fault_watch) {
+                        self.verify.clear_wait(my_world_rank);
+                        return Err(FaultKick);
                     }
                     st = cell
                         .cv
@@ -647,7 +813,12 @@ impl Fabric {
             })
             .clone();
         st.consumed += 1;
-        let everyone_done = st.consumed == parent_size;
+        // Once the result is set no further deposits are accepted, so
+        // `arrived` is frozen and "everyone who deposited has read it" is
+        // the cleanup condition (equal to the old `== parent size` rule in
+        // fault-free worlds). A member kicked out mid-wait never consumes;
+        // its cell is left behind, which only an injected death can cause.
+        let everyone_done = st.consumed == st.arrived;
         drop(st); // splits-map lock is taken next; never hold state across it
         if everyone_done {
             // Everyone has read the result; free the rendezvous slot so
@@ -656,9 +827,9 @@ impl Fabric {
         }
 
         if color < 0 {
-            None
+            Ok(None)
         } else {
-            Some(
+            Ok(Some(
                 result
                     .get(&color)
                     .unwrap_or_else(|| {
@@ -668,7 +839,7 @@ impl Fabric {
                         )
                     })
                     .clone(),
-            )
+            ))
         }
     }
 
@@ -679,19 +850,7 @@ impl Fabric {
         if !self.verify.try_set_aborted(report) {
             return;
         }
-        let mailboxes: Vec<Arc<Mailbox>> =
-            read_unpoisoned(&self.mailboxes).values().cloned().collect();
-        for mb in mailboxes {
-            mb.cv.notify_all();
-        }
-        let cells: Vec<Arc<SplitCell>> = lock_unpoisoned(&self.splits).values().cloned().collect();
-        for cell in cells {
-            cell.cv.notify_all();
-        }
-        self.barrier.cv.notify_all();
-        if let Some(det) = &self.det {
-            det.cv.notify_all();
-        }
+        self.wake_all_primitives();
     }
 
     /// Count of messages posted but never taken, per mailbox (strict-drain
@@ -799,10 +958,30 @@ impl Fabric {
     }
 
     fn deadlock_report(&self, views: &[SlotView], stuck: &[usize]) -> String {
-        let mut report = format!(
-            "pmm-verify: deadlock detected — {} rank(s) blocked with no possible progress\n",
-            stuck.len()
-        );
+        // When the fault plan killed a rank, blocked survivors are the
+        // *consequence* of that injected failure, not a communication bug:
+        // report the rank failure (naming the plan entry and replay seed)
+        // and never the word "deadlock" or a wait-for cycle.
+        let failures = self.verify.rank_failures();
+        let mut report = if failures.is_empty() {
+            format!(
+                "pmm-verify: deadlock detected — {} rank(s) blocked with no possible progress\n",
+                stuck.len()
+            )
+        } else {
+            let mut r = format!(
+                "pmm-verify: rank failure — {} rank(s) killed by the fault plan; {} surviving \
+                 rank(s) blocked on communication that can never complete\n",
+                failures.len(),
+                stuck.len()
+            );
+            for line in &failures {
+                r.push_str("  ");
+                r.push_str(line);
+                r.push('\n');
+            }
+            r
+        };
         for &r in stuck {
             if let Some(w) = &views[r].wait {
                 report.push_str(&format!(
@@ -811,10 +990,12 @@ impl Fabric {
                 ));
             }
         }
-        let stuck_set: HashSet<usize> = stuck.iter().copied().collect();
-        if let Some(cycle) = wait_cycle(views, &stuck_set) {
-            let path: Vec<String> = cycle.iter().map(|r| format!("rank {r}")).collect();
-            report.push_str(&format!("wait-for cycle: {}\n", path.join(" -> ")));
+        if failures.is_empty() {
+            let stuck_set: HashSet<usize> = stuck.iter().copied().collect();
+            if let Some(cycle) = wait_cycle(views, &stuck_set) {
+                let path: Vec<String> = cycle.iter().map(|r| format!("rank {r}")).collect();
+                report.push_str(&format!("wait-for cycle: {}\n", path.join(" -> ")));
+            }
         }
         let pending = self.verify.all_pending_collectives();
         if !pending.is_empty() {
@@ -858,14 +1039,14 @@ mod tests {
     }
 
     fn msg(from: usize, sent_at: f64, payload: Vec<f64>) -> Message {
-        Message { from, sent_at, payload, vclock: None }
+        Message { from, sent_at, payload, vclock: None, meta: None }
     }
 
     #[test]
     fn post_and_take_roundtrip() {
         let fabric = Fabric::new(1);
         fabric.post(WORLD_CTX, 0, msg(3, 1.5, vec![1.0, 2.0]));
-        let m = fabric.take_any(WORLD_CTX, 0, 0, 0, here());
+        let m = fabric.take_any(WORLD_CTX, 0, 0, 0, here(), None).unwrap();
         assert_eq!(m.from, 3);
         assert_eq!(m.sent_at, 1.5);
         assert_eq!(m.payload, vec![1.0, 2.0]);
@@ -876,8 +1057,8 @@ mod tests {
         let fabric = Fabric::new(1);
         fabric.post(7, 0, msg(0, 0.0, vec![7.0]));
         fabric.post(8, 0, msg(0, 0.0, vec![8.0]));
-        assert_eq!(fabric.take_any(8, 0, 0, 0, here()).payload, vec![8.0]);
-        assert_eq!(fabric.take_any(7, 0, 0, 0, here()).payload, vec![7.0]);
+        assert_eq!(fabric.take_any(8, 0, 0, 0, here(), None).unwrap().payload, vec![8.0]);
+        assert_eq!(fabric.take_any(7, 0, 0, 0, here(), None).unwrap().payload, vec![7.0]);
     }
 
     #[test]
@@ -889,10 +1070,11 @@ mod tests {
         for r in 0..4usize {
             let f = fabric.clone();
             handles.push(thread::spawn(move || {
-                f.split(WORLD_CTX, &members, 0, r, r, (r % 2) as i64, -(r as i64), here())
+                f.split(WORLD_CTX, &members, 0, r, r, (r % 2) as i64, -(r as i64), here(), None)
             }));
         }
-        let groups: Vec<_> = handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
+        let groups: Vec<_> =
+            handles.into_iter().map(|h| h.join().unwrap().unwrap().unwrap()).collect();
         // ranks 0 and 2 share color 0; members sorted by key (descending rank)
         assert_eq!(groups[0].members, vec![2, 0]);
         assert_eq!(groups[2].members, vec![2, 0]);
@@ -907,9 +1089,9 @@ mod tests {
     fn split_with_negative_color_yields_none() {
         let fabric = Arc::new(Fabric::new(2));
         let f2 = fabric.clone();
-        let h = thread::spawn(move || f2.split(WORLD_CTX, &[0, 1], 0, 1, 1, -1, 0, here()));
-        let g0 = fabric.split(WORLD_CTX, &[0, 1], 0, 0, 0, 0, 0, here());
-        let g1 = h.join().unwrap();
+        let h = thread::spawn(move || f2.split(WORLD_CTX, &[0, 1], 0, 1, 1, -1, 0, here(), None));
+        let g0 = fabric.split(WORLD_CTX, &[0, 1], 0, 0, 0, 0, 0, here(), None).unwrap();
+        let g1 = h.join().unwrap().unwrap();
         assert!(g1.is_none());
         assert_eq!(g0.unwrap().members, vec![0]);
     }
@@ -918,9 +1100,9 @@ mod tests {
     fn split_state_is_cleaned_up() {
         let fabric = Arc::new(Fabric::new(2));
         let f2 = fabric.clone();
-        let h = thread::spawn(move || f2.split(WORLD_CTX, &[0, 1], 5, 1, 1, 0, 0, here()));
-        fabric.split(WORLD_CTX, &[0, 1], 5, 0, 0, 0, 0, here());
-        h.join().unwrap();
+        let h = thread::spawn(move || f2.split(WORLD_CTX, &[0, 1], 5, 1, 1, 0, 0, here(), None));
+        fabric.split(WORLD_CTX, &[0, 1], 5, 0, 0, 0, 0, here(), None).unwrap();
+        h.join().unwrap().unwrap();
         assert!(lock_unpoisoned(&fabric.splits).is_empty());
     }
 
@@ -1058,7 +1240,7 @@ mod tests {
         let f2 = fabric.clone();
         let h = thread::spawn(move || {
             let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                f2.take_any(WORLD_CTX, 0, 0, 1, here());
+                f2.take_any(WORLD_CTX, 0, 0, 1, here(), None);
             }));
             caught.expect_err("take_any must panic out of an aborted world")
         });
@@ -1079,7 +1261,68 @@ mod tests {
         fabric.post(WORLD_CTX, 1, msg(0, 0.0, vec![2.0]));
         fabric.post(3, 0, msg(1, 0.0, vec![3.0]));
         assert_eq!(fabric.residual_messages(), vec![(WORLD_CTX, 1, 2), (3, 0, 1)]);
-        fabric.take_any(3, 0, 0, 1, here());
+        fabric.take_any(3, 0, 0, 1, here(), None);
         assert_eq!(fabric.residual_messages(), vec![(WORLD_CTX, 1, 2)]);
+    }
+
+    #[test]
+    fn dead_rank_completes_pending_split_with_survivors_only() {
+        // Three ranks; rank 2 dies after ranks 0 and 1 have deposited.
+        let mut fabric = Fabric::new(3);
+        fabric.enable_faults(FaultPlan::none(), 0);
+        let fabric = Arc::new(fabric);
+        let members = [0usize, 1, 2];
+        let mut handles = Vec::new();
+        for r in 0..2usize {
+            let f = fabric.clone();
+            handles.push(thread::spawn(move || {
+                f.split(WORLD_CTX, &members, 0, r, r, 0, r as i64, here(), None)
+            }));
+        }
+        thread::sleep(Duration::from_millis(20));
+        fabric.mark_rank_dead(2, "rank 2 killed by fault-plan entry kill=2@1".to_string());
+        for h in handles {
+            let group = h.join().unwrap().unwrap().unwrap();
+            assert_eq!(group.members, vec![0, 1], "dead member must be excluded");
+        }
+    }
+
+    #[test]
+    fn fault_kick_interrupts_blocked_take_any() {
+        let mut fabric = Fabric::new(2);
+        fabric.enable_faults(FaultPlan::none(), 0);
+        let fabric = Arc::new(fabric);
+        let f2 = fabric.clone();
+        let watch = Some(fabric.fault_epoch());
+        let h = thread::spawn(move || f2.take_any(WORLD_CTX, 0, 0, 1, here(), watch));
+        thread::sleep(Duration::from_millis(20));
+        fabric.mark_rank_dead(1, "rank 1 killed by fault-plan entry kill=1@1".to_string());
+        assert!(h.join().unwrap().is_none(), "wait must be kicked, not served");
+    }
+
+    #[test]
+    fn deadlock_report_with_rank_failure_names_the_kill_not_a_cycle() {
+        let fabric = Fabric::new(2);
+        fabric.verify.note_rank_failure(
+            "rank 1 killed by fault-plan entry kill=1@3 (replay: PMM_SEED=7)".to_string(),
+        );
+        fabric.verify.set_wait(
+            0,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world: 1, ctx_index: 0 },
+                ctx: WORLD_CTX,
+                waiting_on: vec![1],
+                site: here(),
+            },
+        );
+        fabric.verify.mark_done(1);
+        let mut prev = None;
+        assert!(fabric.watchdog_scan(&mut prev).is_none());
+        let report = fabric.watchdog_scan(&mut prev).expect("stuck survivor is reported");
+        assert!(report.contains("rank failure"), "{report}");
+        assert!(report.contains("kill=1@3"), "{report}");
+        assert!(report.contains("PMM_SEED=7"), "{report}");
+        assert!(!report.contains("deadlock detected"), "{report}");
+        assert!(!report.contains("wait-for cycle"), "{report}");
     }
 }

@@ -64,9 +64,19 @@
 //! the [`trace`] module for golden-trace replay
 //! ([`ScheduleTrace::assert_matches`]), the [`fuzz_schedules`] harness,
 //! and the `PMM_SEED` replay knob ([`seed_from_env`]).
+//!
+//! Robustness note: [`World::with_faults`] attaches a seeded [`FaultPlan`]
+//! that drops, duplicates, corrupts, or delays messages (absorbed by a
+//! sequence-numbered, checksummed reliable-delivery layer whose
+//! retransmissions are metered separately from goodput), slows ranks into
+//! stragglers, or kills ranks outright — with killed ranks surfacing as
+//! typed [`RankFailed`] errors via [`Rank::catch_failures`] so programs
+//! can rebuild a communicator over the survivors
+//! ([`Rank::recovery_split`]) and recompute. See the [`fault`] module.
 
 pub mod comm;
 pub mod fabric;
+pub mod fault;
 pub mod meter;
 pub mod rank;
 pub mod trace;
@@ -75,6 +85,7 @@ pub mod world;
 
 pub use comm::Comm;
 pub use fabric::{Ctx, Message};
+pub use fault::{FaultPlan, KillSpec, RankFailed, Straggler};
 pub use meter::{MemTracker, Meter, TraceEvent};
 pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
 pub use trace::{

@@ -28,6 +28,17 @@ pub struct Meter {
     pub msgs_recv: u64,
     /// Scalar operations this rank has performed.
     pub flops: f64,
+    /// Retransmitted words charged to this sender by the reliable-delivery
+    /// layer (dropped, corrupted, or duplicated copies) — fault-injection
+    /// overhead on top of the goodput in `words_sent`.
+    pub retry_words_sent: u64,
+    /// Retransmitted messages charged to this sender.
+    pub retry_msgs_sent: u64,
+    /// Words received and then discarded (stale sequence number or failed
+    /// checksum) — never counted in `words_recv`.
+    pub retry_words_recv: u64,
+    /// Messages received and then discarded.
+    pub retry_msgs_recv: u64,
 }
 
 impl Meter {
@@ -38,7 +49,11 @@ impl Meter {
             self.words_sent >= earlier.words_sent
                 && self.words_recv >= earlier.words_recv
                 && self.msgs_sent >= earlier.msgs_sent
-                && self.msgs_recv >= earlier.msgs_recv,
+                && self.msgs_recv >= earlier.msgs_recv
+                && self.retry_words_sent >= earlier.retry_words_sent
+                && self.retry_msgs_sent >= earlier.retry_msgs_sent
+                && self.retry_words_recv >= earlier.retry_words_recv
+                && self.retry_msgs_recv >= earlier.retry_msgs_recv,
             "meter snapshots out of order"
         );
         Meter {
@@ -47,6 +62,10 @@ impl Meter {
             msgs_sent: self.msgs_sent - earlier.msgs_sent,
             msgs_recv: self.msgs_recv - earlier.msgs_recv,
             flops: self.flops - earlier.flops,
+            retry_words_sent: self.retry_words_sent - earlier.retry_words_sent,
+            retry_msgs_sent: self.retry_msgs_sent - earlier.retry_msgs_sent,
+            retry_words_recv: self.retry_words_recv - earlier.retry_words_recv,
+            retry_msgs_recv: self.retry_msgs_recv - earlier.retry_msgs_recv,
         }
     }
 
@@ -58,8 +77,19 @@ impl Meter {
     }
 
     /// Total words moved in either direction.
+    ///
+    /// Goodput only: retransmissions live in the `retry_*` counters, so
+    /// this (and [`Meter::duplex_words`]) stays the quantity the eq. (3)
+    /// prediction and the Theorem 3 lower bounds talk about.
     pub fn total_words(&self) -> u64 {
         self.words_sent + self.words_recv
+    }
+
+    /// Total fault-injection overhead words (retransmitted plus
+    /// received-and-discarded) — the price of reliability on top of the
+    /// goodput that [`Meter::total_words`] reports.
+    pub fn retry_overhead_words(&self) -> u64 {
+        self.retry_words_sent + self.retry_words_recv
     }
 }
 
@@ -69,7 +99,20 @@ impl fmt::Display for Meter {
             f,
             "sent {}w/{}m, recv {}w/{}m, {} flops",
             self.words_sent, self.msgs_sent, self.words_recv, self.msgs_recv, self.flops
-        )
+        )?;
+        // Only fault-injected runs mention retries, so fault-free output
+        // stays byte-identical to the pre-fault-layer format.
+        if self.retry_overhead_words() > 0 || self.retry_msgs_sent > 0 || self.retry_msgs_recv > 0 {
+            write!(
+                f,
+                ", retry sent {}w/{}m recv {}w/{}m",
+                self.retry_words_sent,
+                self.retry_msgs_sent,
+                self.retry_words_recv,
+                self.retry_msgs_recv
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -144,13 +187,49 @@ mod tests {
 
     #[test]
     fn diff_subtracts_counterwise() {
-        let a = Meter { words_sent: 10, words_recv: 4, msgs_sent: 2, msgs_recv: 1, flops: 5.0 };
-        let b = Meter { words_sent: 25, words_recv: 10, msgs_sent: 5, msgs_recv: 3, flops: 9.0 };
+        let a = Meter {
+            words_sent: 10,
+            words_recv: 4,
+            msgs_sent: 2,
+            msgs_recv: 1,
+            flops: 5.0,
+            retry_words_sent: 3,
+            retry_msgs_sent: 1,
+            ..Meter::default()
+        };
+        let b = Meter {
+            words_sent: 25,
+            words_recv: 10,
+            msgs_sent: 5,
+            msgs_recv: 3,
+            flops: 9.0,
+            retry_words_sent: 7,
+            retry_msgs_sent: 2,
+            ..Meter::default()
+        };
         let d = b.diff(&a);
         assert_eq!(
             d,
-            Meter { words_sent: 15, words_recv: 6, msgs_sent: 3, msgs_recv: 2, flops: 4.0 }
+            Meter {
+                words_sent: 15,
+                words_recv: 6,
+                msgs_sent: 3,
+                msgs_recv: 2,
+                flops: 4.0,
+                retry_words_sent: 4,
+                retry_msgs_sent: 1,
+                ..Meter::default()
+            }
         );
+    }
+
+    #[test]
+    fn display_mentions_retries_only_when_nonzero() {
+        let clean = Meter { words_sent: 4, msgs_sent: 1, ..Meter::default() };
+        assert!(!clean.to_string().contains("retry"), "{clean}");
+        let retried = Meter { retry_words_recv: 8, retry_msgs_recv: 1, ..clean };
+        assert!(retried.to_string().contains("retry sent 0w/0m recv 8w/1m"), "{retried}");
+        assert_eq!(retried.retry_overhead_words(), 8);
     }
 
     #[test]

@@ -8,8 +8,14 @@ use pmm_model::MachineParams;
 
 use crate::comm::Comm;
 use crate::fabric::{Ctx, Fabric, Message, WORLD_CTX};
+use crate::fault::{self, FaultAction, FaultKick, FaultPanic, MsgMeta, RankFailed};
 use crate::meter::{MemTracker, Meter, TraceEvent};
 use crate::verify::CollectiveOp;
+
+/// Base sequence number of [`Rank::recovery_split`] rendezvous, far above
+/// any per-communicator split counter a program could reach, so recovery
+/// splits can never collide with a rendezvous abandoned at a kill.
+const RECOVERY_SPLIT_SEQ_BASE: u64 = 1 << 32;
 
 /// Error returned by [`Rank::try_mem_acquire`] when the configured local
 /// memory `M` would be exceeded (§6.2 limited-memory scenarios).
@@ -78,6 +84,22 @@ pub struct Rank {
     /// Last sender-clock value observed per (ctx, sender index), to assert
     /// per-channel monotonicity (no duplicated or reordered delivery).
     last_seen: HashMap<(Ctx, usize), u64>,
+    /// Operation index at which the fault plan kills this rank, if any.
+    kill_at: Option<u64>,
+    /// Straggler factor from the fault plan (1.0 = full speed; multiplies
+    /// every local busy-time advance).
+    slowdown: f64,
+    /// Communication operations entered so far (the kill schedule's
+    /// clock; only ticked when a fault plan is attached).
+    op_count: u64,
+    /// Fault-epoch watermark while inside [`Rank::catch_failures`]; when
+    /// the fabric's epoch moves past it, blocking operations raise a
+    /// typed failure instead of waiting on a dead rank.
+    fault_watch: Option<u64>,
+    /// Reliable-delivery send sequence numbers per (ctx, receiver index).
+    send_seq: HashMap<(Ctx, usize), u64>,
+    /// Next expected receive sequence number per (ctx, sender index).
+    recv_seq: HashMap<(Ctx, usize), u64>,
 }
 
 impl Rank {
@@ -90,6 +112,10 @@ impl Rank {
         trace: bool,
     ) -> Rank {
         let world_size = world_members.len();
+        let (kill_at, slowdown) = match fabric.fault() {
+            Some(f) => (f.plan.kill_at(world_rank), f.plan.slowdown_of(world_rank)),
+            None => (None, 1.0),
+        };
         Rank {
             world_rank,
             world_members,
@@ -102,6 +128,12 @@ impl Rank {
             trace: if trace { Some(Vec::new()) } else { None },
             vclock: vec![0; world_size],
             last_seen: HashMap::new(),
+            kill_at,
+            slowdown,
+            op_count: 0,
+            fault_watch: None,
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
         }
     }
 
@@ -112,6 +144,225 @@ impl Rank {
         if self.fabric.verify.is_aborted() {
             self.fabric.verify.abort_panic(self.world_rank);
         }
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    /// Fault hook at the entry of every communication operation (send,
+    /// receive, exchange, wait, split, barrier): observe peer deaths when
+    /// inside a catching scope, advance the kill clock, and die here if
+    /// the fault plan says so. No-op without a fault plan.
+    fn fault_tick(&mut self) {
+        if self.fabric.fault().is_none() {
+            return;
+        }
+        if self.fault_kicked() {
+            self.raise_peer_failure();
+        }
+        self.op_count += 1;
+        if self.kill_at == Some(self.op_count) {
+            let seed_note = match self.fabric.sched_seed() {
+                Some(seed) => format!("PMM_SEED={seed}, "),
+                None => String::new(),
+            };
+            let fault_seed = self.fabric.fault().map_or(0, |f| f.seed);
+            let detail = format!(
+                "rank {} killed by fault-plan entry kill={}@{} (replay: {}fault seed {:#x})",
+                self.world_rank, self.world_rank, self.op_count, seed_note, fault_seed
+            );
+            self.fabric.mark_rank_dead(self.world_rank, detail.clone());
+            std::panic::panic_any(FaultPanic(RankFailed { rank: self.world_rank, detail }));
+        }
+    }
+
+    /// Whether the fault epoch moved past this rank's catching-scope
+    /// watermark (a rank died while we were working).
+    fn fault_kicked(&self) -> bool {
+        self.fault_watch.is_some_and(|watch| self.fabric.fault_epoch() > watch)
+    }
+
+    /// Unwind to the nearest [`Rank::catch_failures`] boundary because a
+    /// peer died under us.
+    fn raise_peer_failure(&self) -> ! {
+        let dead = self.fabric.dead_ranks();
+        let rank = dead.first().copied().unwrap_or(self.world_rank);
+        let detail = format!(
+            "rank {} observed the death of rank(s) {dead:?} injected by the fault plan",
+            self.world_rank
+        );
+        std::panic::panic_any(FaultPanic(RankFailed { rank, detail }));
+    }
+
+    /// Run `f`, converting an injected rank failure — this rank killed by
+    /// the plan, or a peer dying while this rank was blocked on it — into
+    /// a typed [`RankFailed`] error instead of a thread panic. While the
+    /// scope is active, every blocking operation watches the fault epoch
+    /// and is kicked out promptly when any rank dies; outside a scope a
+    /// death surfaces through the watchdog / scheduler failure report.
+    /// Panics that are not injected faults propagate unchanged.
+    ///
+    /// After an `Err` the program must not reuse communicators that may
+    /// have been abandoned mid-collective: synchronize the survivors with
+    /// [`Rank::hard_sync`] and rebuild communicators from a
+    /// [`Rank::recovery_split`].
+    pub fn catch_failures<T>(&mut self, f: impl FnOnce(&mut Rank) -> T) -> Result<T, RankFailed> {
+        let prev = self.fault_watch;
+        self.fault_watch = Some(self.fabric.fault_epoch());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+        self.fault_watch = prev;
+        match result {
+            Ok(v) => Ok(v),
+            Err(payload) => match payload.downcast::<FaultPanic>() {
+                Ok(fp) => {
+                    let FaultPanic(failed) = *fp;
+                    Err(failed)
+                }
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
+    /// World ranks killed by the fault plan so far (empty without one).
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.fabric.dead_ranks()
+    }
+
+    /// Post `payload` to member `to` of `comm`, running the reliable-
+    /// delivery protocol when a fault plan is attached: each transmission
+    /// attempt is dropped / corrupted / duplicated / delayed according to
+    /// the plan's seeded decision function, failed attempts cost the
+    /// sender `α + βw` plus the (exponentially backed-off, capped)
+    /// retransmission timeout and are metered as retry overhead, and the
+    /// accepted copy's transmit start is returned — the `sent_at` the
+    /// receiver will see and the base for the sender's own clock advance.
+    /// Without a plan this is a single un-sequenced post at `self.time`.
+    fn transmit(&mut self, comm: &Comm, to: usize, payload: &[f64]) -> f64 {
+        let fabric = self.fabric.clone();
+        let start = self.time;
+        let from = comm.index();
+        let Some(fstate) = fabric.fault() else {
+            let vclock = Some(self.vclock_stamp());
+            fabric.post(
+                comm.ctx,
+                to,
+                Message { from, sent_at: start, payload: payload.to_vec(), vclock, meta: None },
+            );
+            return start;
+        };
+        let w = payload.len() as u64;
+        let to_world = comm.world_rank_of(to);
+        let seq = {
+            let counter = self.send_seq.entry((comm.ctx, to)).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        let meta = Some(MsgMeta { seq, check: fault::checksum(payload) });
+        let plan = &fstate.plan;
+        let per_copy = self.slowdown * (self.params.alpha + self.params.beta * w as f64);
+        let mut sent_at = start;
+        for attempt in 0..=plan.max_retries {
+            let tx = fault::Transmission {
+                ctx: comm.ctx,
+                from_world: self.world_rank,
+                to_world,
+                seq,
+                attempt,
+            };
+            match plan.decide(fstate.seed, tx) {
+                FaultAction::Deliver => {
+                    let vclock = Some(self.vclock_stamp());
+                    fabric.post(
+                        comm.ctx,
+                        to,
+                        Message { from, sent_at, payload: payload.to_vec(), vclock, meta },
+                    );
+                    return sent_at;
+                }
+                FaultAction::Delay(d) => {
+                    // The copy loiters in flight; the sender's own clock
+                    // is unaffected (the delay stays under the timeout).
+                    let vclock = Some(self.vclock_stamp());
+                    fabric.post(
+                        comm.ctx,
+                        to,
+                        Message {
+                            from,
+                            sent_at: sent_at + d,
+                            payload: payload.to_vec(),
+                            vclock,
+                            meta,
+                        },
+                    );
+                    return sent_at;
+                }
+                FaultAction::Duplicate => {
+                    // Both copies arrive; the receiver's sequence check
+                    // discards the second. The extra copy is overhead.
+                    let vclock = Some(self.vclock_stamp());
+                    let msg = Message { from, sent_at, payload: payload.to_vec(), vclock, meta };
+                    fabric.post(comm.ctx, to, msg.clone());
+                    fabric.post(comm.ctx, to, msg);
+                    self.meter.retry_words_sent += w;
+                    self.meter.retry_msgs_sent += 1;
+                    return sent_at;
+                }
+                FaultAction::Drop => {
+                    // Nothing arrives; the sender pays the transmit plus
+                    // the timeout before the next attempt.
+                    self.meter.retry_words_sent += w;
+                    self.meter.retry_msgs_sent += 1;
+                    sent_at += per_copy + plan.rto(attempt);
+                }
+                FaultAction::Corrupt => {
+                    // A damaged copy arrives (the receiver's checksum
+                    // rejects it); the sender times out and retransmits.
+                    let (word, bit) = plan.corrupt_site(fstate.seed, tx, payload.len());
+                    let mut damaged = payload.to_vec();
+                    if let Some(v) = damaged.get_mut(word) {
+                        *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
+                    }
+                    let vclock = Some(self.vclock_stamp());
+                    fabric.post(
+                        comm.ctx,
+                        to,
+                        Message { from, sent_at, payload: damaged, vclock, meta },
+                    );
+                    self.meter.retry_words_sent += w;
+                    self.meter.retry_msgs_sent += 1;
+                    sent_at += per_copy + plan.rto(attempt);
+                }
+            }
+        }
+        let report = format!(
+            "pmm-fault: rank {} exhausted {} retransmission(s) of message #{seq} to world rank \
+             {to_world} on ctx {} — delivery failed under fault plan [{plan}] (fault seed {:#x})",
+            self.world_rank, plan.max_retries, comm.ctx, fstate.seed
+        );
+        fabric.abort(report);
+        fabric.verify.abort_panic(self.world_rank);
+    }
+
+    /// Receiver half of the reliable-delivery protocol: accept a message
+    /// iff it carries the next expected sequence number for its channel
+    /// and its checksum matches. Rejected copies (duplicates, corruption)
+    /// are metered as retry overhead, cost the receiver the transfer time
+    /// it wasted examining them, and never reach the happens-before audit
+    /// or the goodput meters. Messages without metadata (no fault plan)
+    /// are always accepted.
+    fn fault_accept(&mut self, ctx: Ctx, msg: &Message) -> bool {
+        let Some(meta) = msg.meta else { return true };
+        let expected = self.recv_seq.entry((ctx, msg.from)).or_insert(0);
+        if meta.seq == *expected && fault::checksum(&msg.payload) == meta.check {
+            *expected += 1;
+            return true;
+        }
+        let w = msg.payload.len() as u64;
+        self.meter.retry_words_recv += w;
+        self.meter.retry_msgs_recv += 1;
+        self.time = self.time.max(msg.sent_at)
+            + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
+        false
     }
 
     /// Tick the local component and snapshot the clock for attachment to
@@ -228,7 +479,9 @@ impl Rank {
     pub fn compute(&mut self, flops: f64) {
         debug_assert!(flops >= 0.0);
         self.meter.flops += flops;
-        self.time += self.params.gamma * flops;
+        // `slowdown` is exactly 1.0 without a straggler entry, keeping
+        // fault-free clocks bitwise-identical to the unfaulted model.
+        self.time += self.slowdown * (self.params.gamma * flops);
     }
 
     // ----- point-to-point messaging ----------------------------------------
@@ -240,13 +493,12 @@ impl Rank {
     /// for `α + βw` after the later of (its own readiness, the send start).
     pub fn send(&mut self, comm: &Comm, to: usize, payload: &[f64]) {
         self.check_abort();
+        self.fault_tick();
         assert!(to < comm.size(), "send target {to} out of communicator of size {}", comm.size());
         assert_ne!(to, comm.index(), "send to self is not allowed (use local state)");
         let w = payload.len() as u64;
-        let sent_at = self.time;
         self.meter.words_sent += w;
         self.meter.msgs_sent += 1;
-        self.time += self.params.alpha + self.params.beta * w as f64;
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::Send {
                 ctx: comm.ctx(),
@@ -254,12 +506,8 @@ impl Rank {
                 words: w,
             });
         }
-        let vclock = Some(self.vclock_stamp());
-        self.fabric.post(
-            comm.ctx,
-            to,
-            Message { from: comm.index(), sent_at, payload: payload.to_vec(), vclock },
-        );
+        let sent_at = self.transmit(comm, to, payload);
+        self.time = sent_at + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
         // Deterministic mode: record the post and yield the baton.
         self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), w);
     }
@@ -268,6 +516,7 @@ impl Rank {
     #[track_caller]
     pub fn recv(&mut self, comm: &Comm, from: usize) -> Message {
         self.check_abort();
+        self.fault_tick();
         assert!(from < comm.size(), "recv source {from} out of communicator");
         assert_ne!(from, comm.index(), "recv from self is not allowed");
         let msg = self.match_directed(comm, from, Location::caller());
@@ -276,7 +525,8 @@ impl Rank {
         self.meter.words_recv += w;
         self.meter.msgs_recv += 1;
         // Transfer occupies the receiver from when both sides are ready.
-        self.time = self.time.max(msg.sent_at) + self.params.alpha + self.params.beta * w as f64;
+        self.time = self.time.max(msg.sent_at)
+            + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::Recv {
                 ctx: comm.ctx(),
@@ -310,11 +560,11 @@ impl Rank {
     #[track_caller]
     pub fn exchange(&mut self, comm: &Comm, to: usize, from: usize, payload: &[f64]) -> Message {
         self.check_abort();
+        self.fault_tick();
         assert!(to < comm.size() && from < comm.size(), "exchange peer out of communicator");
         assert_ne!(to, comm.index(), "exchange send-to-self is not allowed");
         assert_ne!(from, comm.index(), "exchange recv-from-self is not allowed");
         let ws = payload.len() as u64;
-        let start = self.time;
         self.meter.words_sent += ws;
         self.meter.msgs_sent += 1;
         if let Some(t) = &mut self.trace {
@@ -324,12 +574,7 @@ impl Rank {
                 words: ws,
             });
         }
-        let vclock = Some(self.vclock_stamp());
-        self.fabric.post(
-            comm.ctx,
-            to,
-            Message { from: comm.index(), sent_at: start, payload: payload.to_vec(), vclock },
-        );
+        let tx_start = self.transmit(comm, to, payload);
         self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), ws);
         let msg = self.match_directed(comm, from, Location::caller());
         self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
@@ -337,7 +582,8 @@ impl Rank {
         self.meter.words_recv += wr;
         self.meter.msgs_recv += 1;
         let wmax = ws.max(wr) as f64;
-        self.time = start.max(msg.sent_at) + self.params.alpha + self.params.beta * wmax;
+        self.time = tx_start.max(msg.sent_at)
+            + self.slowdown * (self.params.alpha + self.params.beta * wmax);
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::Recv {
                 ctx: comm.ctx(),
@@ -369,6 +615,7 @@ impl Rank {
     #[track_caller]
     pub fn wait(&mut self, mut req: RecvRequest, comm: &Comm) -> Message {
         self.check_abort();
+        self.fault_tick();
         assert_eq!(req.ctx, comm.ctx(), "wait called with a different communicator");
         req.redeemed = true;
         let msg = self.match_directed(comm, req.from, Location::caller());
@@ -401,8 +648,21 @@ impl Rank {
         }
         let from_world = comm.world_rank_of(from);
         loop {
-            let msg =
-                self.fabric.take_any(comm.ctx, comm.index(), self.world_rank, from_world, site);
+            let Some(msg) = self.fabric.clone().take_any(
+                comm.ctx,
+                comm.index(),
+                self.world_rank,
+                from_world,
+                site,
+                self.fault_watch,
+            ) else {
+                // Kicked out of the blocking wait: a rank died while we
+                // were waiting inside a catch_failures scope.
+                self.raise_peer_failure();
+            };
+            if !self.fault_accept(comm.ctx, &msg) {
+                continue;
+            }
             if msg.from == from {
                 return msg;
             }
@@ -423,12 +683,13 @@ impl Rank {
     /// would piggyback the group agreement on the setup phase).
     #[track_caller]
     pub fn split(&mut self, comm: &Comm, color: i64, key: i64) -> Option<Comm> {
+        self.fault_tick();
         // A split is a collective over the parent communicator: register
         // it with the matching lint so members that issue splits in
         // different orders (relative to other collectives) are flagged.
         self.collective_begin(comm, CollectiveOp::Split, 0);
         let seq = comm.next_split_seq();
-        let group = self.fabric.split(
+        let group = match self.fabric.clone().split(
             comm.ctx,
             comm.members(),
             seq,
@@ -437,7 +698,12 @@ impl Rank {
             color,
             key,
             Location::caller(),
-        )?;
+            self.fault_watch,
+        ) {
+            Err(FaultKick) => self.raise_peer_failure(),
+            Ok(None) => return None,
+            Ok(Some(group)) => group,
+        };
         let my_index =
             group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
                 panic!(
@@ -448,12 +714,57 @@ impl Rank {
         Some(Comm::new(group.ctx, Arc::new(group.members), my_index))
     }
 
+    /// Rebuild a communicator over the **surviving** world ranks after a
+    /// fault (color 0, ordered by world rank). Unlike [`Rank::split`] this
+    /// rendezvous lives outside the regular split-sequence and collective
+    /// ledgers — survivors of a kill may have diverged arbitrarily in how
+    /// many splits they issued before the failure, so recovery must not
+    /// depend on any pre-failure counter. `round` distinguishes successive
+    /// recoveries (use an incrementing counter).
+    ///
+    /// All survivors must call this with the same `round`; dead ranks are
+    /// counted as opted out.
+    #[track_caller]
+    pub fn recovery_split(&mut self, round: u64) -> Comm {
+        self.check_abort();
+        let wc = self.world_comm();
+        let group = match self.fabric.clone().split(
+            wc.ctx,
+            wc.members(),
+            RECOVERY_SPLIT_SEQ_BASE + round,
+            wc.index(),
+            self.world_rank,
+            0,
+            self.world_rank as i64,
+            Location::caller(),
+            None,
+        ) {
+            Ok(Some(group)) => group,
+            Ok(None) | Err(FaultKick) => panic!(
+                "rank {}: recovery split round {round} failed — fabric bug (color 0 cannot opt \
+                 out, and recovery splits do not watch the fault epoch)",
+                self.world_rank
+            ),
+        };
+        let my_index =
+            group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
+                panic!(
+                    "world rank {} missing from its own recovery group (ctx {}) — fabric bug",
+                    self.world_rank, group.ctx
+                )
+            });
+        Comm::new(group.ctx, Arc::new(group.members), my_index)
+    }
+
     /// Zero-cost synchronization of **all world ranks** (not metered). For
     /// delimiting test phases; real synchronization should use the metered
-    /// barrier collective from `pmm-collectives`.
+    /// barrier collective from `pmm-collectives`. Ranks killed by a fault
+    /// plan are counted as arrived, so survivors can rally here after a
+    /// failure.
     #[track_caller]
-    pub fn hard_sync(&self) {
+    pub fn hard_sync(&mut self) {
         self.check_abort();
+        self.fault_tick();
         self.fabric.hard_sync(self.world_rank, Location::caller());
     }
 

@@ -202,6 +202,10 @@ pub(crate) struct VerifyState {
     aborted: AtomicBool,
     report: Mutex<Option<String>>,
     ledger: Mutex<std::collections::HashMap<Ctx, CommLedger>>,
+    /// One line per injected rank death, naming the fault-plan entry and
+    /// the replay seed. Consulted by the watchdog and scheduler so a kill
+    /// is reported as a rank failure, never as a spurious deadlock.
+    fault_notes: Mutex<Vec<String>>,
 }
 
 impl VerifyState {
@@ -211,7 +215,18 @@ impl VerifyState {
             aborted: AtomicBool::new(false),
             report: Mutex::new(None),
             ledger: Mutex::new(std::collections::HashMap::new()),
+            fault_notes: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Record an injected rank death (fault layer use).
+    pub fn note_rank_failure(&self, line: String) {
+        lock_unpoisoned(&self.fault_notes).push(line);
+    }
+
+    /// Lines describing injected rank deaths so far, in death order.
+    pub fn rank_failures(&self) -> Vec<String> {
+        lock_unpoisoned(&self.fault_notes).clone()
     }
 
     pub fn world_size(&self) -> usize {

@@ -7,6 +7,7 @@ use std::time::Duration;
 use pmm_model::{Cost, MachineParams};
 
 use crate::fabric::Fabric;
+use crate::fault::{FaultPanic, FaultPlan};
 use crate::meter::{Meter, TraceEvent};
 use crate::rank::Rank;
 use crate::trace::{repro_hint, ScheduleTrace};
@@ -52,7 +53,13 @@ fn silence_abort_teardown_panics() {
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<AbortPanic>().is_none() {
+            // FaultPanic is the injected-kill sentinel: either the program
+            // converts it to a typed error via Rank::catch_failures, or
+            // World::run raises a single rank-failure report after the
+            // joins. Per-thread noise helps neither case.
+            if info.payload().downcast_ref::<AbortPanic>().is_none()
+                && info.payload().downcast_ref::<FaultPanic>().is_none()
+            {
                 prev(info);
             }
         }));
@@ -76,6 +83,7 @@ pub struct World {
     stack_bytes: usize,
     verify: VerifyConfig,
     seed: Option<u64>,
+    faults: Option<FaultPlan>,
 }
 
 impl World {
@@ -90,6 +98,7 @@ impl World {
             stack_bytes: 4 << 20,
             verify: VerifyConfig::default(),
             seed: None,
+            faults: None,
         }
     }
 
@@ -105,6 +114,21 @@ impl World {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> World {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Attach a fault plan: message-level faults (drop / duplicate /
+    /// corrupt / delay, absorbed by the reliable-delivery layer and
+    /// metered as retry overhead), stragglers, and rank kills. Fault
+    /// decisions draw from the plan's own seed when set, otherwise from
+    /// the schedule seed's SplitMix64 stream — either way
+    /// `(program, seed, plan)` replays byte-identically.
+    ///
+    /// Panics (on [`World::run`]) if the plan is malformed — rates
+    /// outside `[0, 1)`, nonpositive straggler factors, etc.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> World {
+        self.faults = Some(plan);
         self
     }
 
@@ -181,6 +205,16 @@ impl World {
         let mut fabric = Fabric::new(self.size);
         if let Some(seed) = self.seed {
             fabric.enable_det(seed);
+        }
+        if let Some(plan) = &self.faults {
+            // No explicit fault seed: derive one from the schedule seed's
+            // SplitMix64 stream (0 for unseeded worlds), so a single
+            // PMM_SEED pins both the interleaving and the fault pattern.
+            let fault_seed = plan.seed.unwrap_or_else(|| {
+                let mut s = self.seed.unwrap_or(0);
+                crate::fabric::splitmix64(&mut s)
+            });
+            fabric.enable_faults(plan.clone(), fault_seed);
         }
         let fabric = Arc::new(fabric);
         let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
@@ -263,18 +297,20 @@ impl World {
 
             let mut first_panic = None;
             let mut abort_note: Option<String> = None;
+            let mut fault_note: Option<String> = None;
             for (r, h) in handles.into_iter().enumerate() {
                 if let Err(payload) = h.join() {
                     // Ranks torn down by a verifier abort carry an
-                    // AbortPanic; the report is raised once, below. Any
+                    // AbortPanic; the report is raised once, below. A
+                    // FaultPanic is an injected kill the program chose not
+                    // to catch — reported once, after genuine panics. Any
                     // other panic is the program's own and wins.
-                    match payload.downcast_ref::<AbortPanic>() {
-                        Some(AbortPanic(note)) => {
-                            abort_note.get_or_insert_with(|| note.clone());
-                        }
-                        None => {
-                            first_panic.get_or_insert((r, payload));
-                        }
+                    if let Some(AbortPanic(note)) = payload.downcast_ref::<AbortPanic>() {
+                        abort_note.get_or_insert_with(|| note.clone());
+                    } else if let Some(FaultPanic(failed)) = payload.downcast_ref::<FaultPanic>() {
+                        fault_note.get_or_insert_with(|| failed.to_string());
+                    } else {
+                        first_panic.get_or_insert((r, payload));
                     }
                 }
             }
@@ -305,6 +341,13 @@ impl World {
                         "pmm-verify: world aborted with no stored report".into()
                     });
                 panic!("{report}\n[{}]", seed_note());
+            }
+            if let Some(detail) = fault_note {
+                panic!(
+                    "pmm-fault: rank failure was not handled by the program — {detail}\n\
+                     (wrap the failable region in Rank::catch_failures to recover)\n[{}]",
+                    seed_note()
+                );
             }
         });
 

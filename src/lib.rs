@@ -61,9 +61,10 @@ pub use pmm_simnet as simnet;
 /// run).
 pub mod prelude {
     pub use pmm_algs::{
-        alg1, alg1_streamed, assemble_c, assemble_from_blocks, cannon, carma, carma_assemble_c,
-        carma_cost_words, carma_shares, summa, twofived, Alg1Config, Alg1Output, Assembly,
-        CannonConfig, SummaConfig, TwoFiveDConfig,
+        alg1, alg1_streamed, alg1_with_recovery, assemble_c, assemble_from_blocks, cannon, carma,
+        carma_assemble_c, carma_cost_words, carma_shares, summa, summa_with_recovery, twofived,
+        Alg1Config, Alg1Output, Assembly, CannonConfig, RecoveryOutput, SummaConfig, SummaRecovery,
+        TwoFiveDConfig,
     };
     pub use pmm_collectives::{
         all_gather, all_reduce, bcast, reduce_scatter, AllGatherAlgo, AllReduceAlgo, BcastAlgo,
@@ -80,10 +81,11 @@ pub mod prelude {
     pub use pmm_core::theorem3::{corollary4, lower_bound, BoundReport};
     pub use pmm_dense::{gemm, random_int_matrix, random_matrix, Kernel, Matrix};
     pub use pmm_model::{
-        alg1_prediction, Alg1Prediction, Case, Cost, Grid3, MachineParams, MatMulDims, MatrixId,
-        SortedDims,
+        alg1_prediction, recovery_prediction, Alg1Prediction, Case, Cost, Grid3, MachineParams,
+        MatMulDims, MatrixId, RecoveryPrediction, SortedDims,
     };
     pub use pmm_simnet::{
-        fuzz_schedules, seed_from_env, Comm, Meter, Rank, ScheduleTrace, World, WorldResult,
+        fuzz_schedules, seed_from_env, Comm, FaultPlan, Meter, Rank, RankFailed, ScheduleTrace,
+        World, WorldResult,
     };
 }

@@ -121,3 +121,24 @@ fn schedule_fuzz_smoke() {
     let (world, program) = alg1_world_and_program();
     fuzz_schedules(&world, &seeds, program).unwrap_or_else(|d| panic!("{d}"));
 }
+
+#[test]
+fn zero_fault_plan_is_meter_identical_to_no_plan() {
+    // A `FaultPlan::none()` world (reliable-delivery machinery armed, but
+    // every fault probability zero and no kills/stragglers) must be
+    // indistinguishable from a plain world: same values, same meters, same
+    // clocks, byte-identical schedule trace. This is the CI guard that the
+    // fault layer costs nothing — in results *or* determinism — when off.
+    let (world, program) = alg1_world_and_program();
+    let plain = world.clone().with_seed(0xC1EA4).run(program.clone());
+    let armed = world.with_seed(0xC1EA4).with_faults(FaultPlan::none()).run(program);
+    assert_eq!(plain.values, armed.values, "values must match bitwise");
+    for (r, (p, a)) in plain.reports.iter().zip(&armed.reports).enumerate() {
+        assert_eq!(p.meter, a.meter, "every meter field must match, rank {r}");
+        assert_eq!(p.time, a.time, "per-rank clocks must match, rank {r}");
+        assert_eq!(a.meter.retry_overhead_words(), 0, "no-fault run retransmits nothing");
+    }
+    let pt = plain.schedule_trace.expect("seeded");
+    let at = armed.schedule_trace.expect("seeded");
+    assert_eq!(pt.render(), at.render(), "schedule traces must be byte-identical");
+}

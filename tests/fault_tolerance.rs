@@ -1,0 +1,418 @@
+//! Fault-injection and rank-failure recovery, end to end.
+//!
+//! The headline scenario (the PR's acceptance criterion): a seeded run
+//! with ≥5% message drops plus a kill of one non-root rank mid-All-Gather
+//! completes on the surviving grid with a **bitwise-correct** product,
+//! replays byte-identically from the printed seed, and its meters separate
+//! retry overhead from goodput — with the goodput exactly matching the
+//! eq. (3) per-phase prediction on the recovery grid.
+//!
+//! Around it:
+//! * a fault-rate × seed sweep across the three Theorem 3 regimes (1D /
+//!   2D / 3D-leaning processor counts), driven by `cargo xtask
+//!   fault-sweep` via the `PMM_FAULT_RATE` env knob;
+//! * property tests for exactly-once delivery under arbitrary
+//!   drop/duplicate/corrupt schedules;
+//! * cross-seed schedule invariance (`fuzz_schedules`) with a pinned
+//!   fault plan — fault decisions are schedule-independent by
+//!   construction, so values *and* retry meters agree across seeds;
+//! * SUMMA recovery on its near-square shrunken grid;
+//! * the uncaught-kill path: `World::run` reports a typed rank failure,
+//!   not a deadlock.
+
+use pmm::prelude::*;
+use pmm_simnet::{FaultPlan, RankFailed};
+use proptest::prelude::*;
+
+fn inputs(dims: MatMulDims) -> (Matrix, Matrix) {
+    (
+        random_int_matrix(dims.n1 as usize, dims.n2 as usize, -3..4, 11),
+        random_int_matrix(dims.n2 as usize, dims.n3 as usize, -3..4, 22),
+    )
+}
+
+fn reference(dims: MatMulDims) -> Matrix {
+    let (a, b) = inputs(dims);
+    gemm(&a, &b, Kernel::Naive)
+}
+
+/// Fault rate for the sweep tests: `PMM_FAULT_RATE` (a float) when set —
+/// the `cargo xtask fault-sweep` matrix exports it — else `default`.
+fn fault_rate_from_env(default: f64) -> f64 {
+    match std::env::var("PMM_FAULT_RATE") {
+        Ok(s) => s.trim().parse().unwrap_or_else(|_| panic!("bad PMM_FAULT_RATE: {s:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Run `alg1_with_recovery` on a faulty world and return the per-rank
+/// results plus reports.
+fn run_recovery(
+    dims: MatMulDims,
+    p: usize,
+    sched_seed: u64,
+    plan: FaultPlan,
+) -> WorldResult<Result<RecoveryOutput, RankFailed>> {
+    World::new(p, MachineParams::BANDWIDTH_ONLY).with_seed(sched_seed).with_faults(plan).run(
+        move |rank| {
+            let (a, b) = inputs(dims);
+            alg1_with_recovery(rank, dims, Kernel::Naive, Assembly::ReduceScatter, &a, &b)
+        },
+    )
+}
+
+/// Assemble C from the survivors' chunks and assert bitwise equality with
+/// the serial reference; returns (survivors, recovery grid, attempts).
+fn check_recovered_product(
+    dims: MatMulDims,
+    out: &WorldResult<Result<RecoveryOutput, RankFailed>>,
+) -> (Vec<usize>, [usize; 3], usize) {
+    let ok = out
+        .values
+        .iter()
+        .find_map(|v| v.as_ref().ok())
+        .expect("at least one rank must survive and succeed");
+    let survivors = ok.survivors.clone();
+    let grid = ok.grid;
+    for &w in &survivors {
+        let v = out.values[w].as_ref().unwrap_or_else(|e| panic!("survivor {w} failed: {e}"));
+        assert_eq!(v.survivors, survivors, "survivors disagree across ranks");
+        assert_eq!(v.grid.dims(), grid.dims(), "recovery grids disagree across ranks");
+    }
+    let chunks: Vec<Vec<f64>> = survivors
+        .iter()
+        .map(|&w| out.values[w].as_ref().expect("survivor").output.c_chunk.clone())
+        .collect();
+    let c = assemble_c(dims, grid, &chunks);
+    assert_eq!(c, reference(dims), "recovered product must be bitwise-correct");
+    (survivors, grid.dims(), ok.attempts())
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_rank_mid_allgather_recovers_bitwise_on_surviving_grid() {
+    // 9 ranks; ops 1–3 are the three fiber splits, so op 5 lands inside
+    // the All-Gather phase of the first attempt. Rank 4 is not the root
+    // of anything special — a mid-grid casualty.
+    let dims = MatMulDims::new(24, 24, 24);
+    let plan = FaultPlan::none()
+        .with_seed(0xFA)
+        .with_drop(0.08)
+        .with_duplicate(0.02)
+        .with_corrupt(0.02)
+        .with_delay(0.03)
+        .with_kill(4, 5);
+    let out = run_recovery(dims, 9, 7, plan.clone());
+
+    // The killed rank gets a typed error naming the fault-plan entry and
+    // the replay seed — not a deadlock, not a panic.
+    let failed = out.values[4].as_ref().expect_err("rank 4 was killed");
+    assert_eq!(failed.rank, 4);
+    assert!(failed.detail.contains("kill=4@5"), "{}", failed.detail);
+    assert!(failed.detail.contains("PMM_SEED=7"), "{}", failed.detail);
+
+    // Survivors agree, recover on the §5.2 grid for 8 ranks, and the
+    // product is bitwise-correct.
+    let (survivors, grid, attempts) = check_recovered_product(dims, &out);
+    assert_eq!(survivors, vec![0, 1, 2, 3, 5, 6, 7, 8]);
+    assert_eq!(grid, [2, 2, 2], "best grid for 8 ranks on a cube");
+    assert_eq!(attempts, 2, "one abandoned attempt, one successful");
+
+    // Retry overhead is real (≥5% drops must retransmit something) and
+    // strictly separated from goodput: the successful attempt's per-phase
+    // goodput matches eq. (3) on the recovery grid *exactly*.
+    let total_retry: u64 = out.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
+    assert!(total_retry > 0, "8% drops over 9 ranks must cause retransmissions");
+    let pred = alg1_prediction(dims, grid);
+    for &w in &survivors {
+        let v = out.values[w].as_ref().expect("survivor");
+        for (ph, want) in v.output.phases.iter().zip(pred.phases()) {
+            assert_eq!(
+                ph.meter.words_sent as f64, want,
+                "rank {w} phase {:?}: goodput must equal eq. (3) despite faults",
+                ph.label
+            );
+            assert_eq!(ph.meter.words_recv as f64, want, "rank {w} phase {:?} recv", ph.label);
+        }
+    }
+
+    // Byte-identical replay from the printed seed: values, meters, times,
+    // and schedule traces all reproduce.
+    let replay = run_recovery(dims, 9, 7, plan);
+    for (w, (x, y)) in out.values.iter().zip(&replay.values).enumerate() {
+        match (x, y) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.output.c_chunk, b.output.c_chunk, "rank {w} chunk");
+                assert_eq!(a.attempt_grids, b.attempt_grids, "rank {w} attempts");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "rank {w} failure"),
+            _ => panic!("rank {w}: replay changed success/failure"),
+        }
+    }
+    for (w, (x, y)) in out.reports.iter().zip(&replay.reports).enumerate() {
+        assert_eq!(x.meter, y.meter, "rank {w} meter must replay exactly");
+        assert_eq!(x.time, y.time, "rank {w} clock must replay exactly");
+    }
+    let (ta, tb) = (out.schedule_trace.expect("seeded"), replay.schedule_trace.expect("seeded"));
+    assert_eq!(ta.render(), tb.render(), "schedule must replay byte-identically");
+}
+
+#[test]
+fn recovery_goodput_matches_model_recovery_prediction() {
+    let dims = MatMulDims::new(24, 24, 24);
+    let plan = FaultPlan::none().with_seed(3).with_kill(4, 5);
+    let out = run_recovery(dims, 9, 1, plan);
+    let ok = out.values[0].as_ref().expect("rank 0 survives");
+    let pred = recovery_prediction(dims, &ok.attempt_grids);
+    assert_eq!(pred.attempts.len(), ok.attempts());
+    // Final attempt: exact per-phase goodput match.
+    for (ph, want) in ok.output.phases.iter().zip(pred.last().phases()) {
+        assert_eq!(ph.meter.words_sent as f64, want, "phase {:?}", ph.label);
+    }
+    // Whole-run goodput (including the abandoned attempt's partial
+    // traffic) stays within the model's upper bound.
+    for &w in &ok.survivors {
+        let words = out.reports[w].meter.words_sent as f64;
+        assert!(
+            words <= pred.total_upper_bound() + 1e-9,
+            "rank {w}: {words} goodput words exceed the recovery upper bound {}",
+            pred.total_upper_bound()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-rate sweep across the Theorem 3 regimes (xtask fault-sweep matrix)
+// ---------------------------------------------------------------------------
+
+/// One sweep cell: P ranks, a kill of `kill_rank` at `kill_op`, and
+/// message faults at the env-controlled rate, across several seeds.
+fn sweep_regime(p: usize, kill_rank: usize, kill_op: u64) {
+    let dims = MatMulDims::new(96, 24, 12);
+    let rate = fault_rate_from_env(0.05);
+    for sched_seed in [1u64, 0xC0FFEE] {
+        let mut plan = FaultPlan::none()
+            .with_seed(0xBAD5EED ^ p as u64)
+            .with_drop(rate * 0.6)
+            .with_duplicate(rate * 0.2)
+            .with_corrupt(rate * 0.2)
+            .with_kill(kill_rank, kill_op);
+        plan.timeout = 4.0;
+        let out = run_recovery(dims, p, sched_seed, plan);
+        let failed = out.values[kill_rank].as_ref().expect_err("killed rank errors");
+        assert_eq!(failed.rank, kill_rank);
+        let (survivors, grid, _) = check_recovered_product(dims, &out);
+        assert_eq!(survivors.len(), p - 1);
+        // Goodput exactness on divisible recovery grids (the sweep keeps
+        // the oracle sharp wherever the model is exact).
+        if dims.divisible_by(grid) {
+            let pred = alg1_prediction(dims, grid);
+            let v = out.values[survivors[0]].as_ref().expect("survivor");
+            for (ph, want) in v.output.phases.iter().zip(pred.phases()) {
+                assert_eq!(ph.meter.words_sent as f64, want, "P={p} phase {:?}", ph.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_sweep_1d_regime() {
+    // P = 3 on (96, 24, 12) is the 1D case; killing rank 2 shrinks to 2.
+    sweep_regime(3, 2, 4);
+}
+
+#[test]
+fn fault_sweep_2d_regime() {
+    // P = 16 is the 2D case for these dims.
+    sweep_regime(16, 5, 5);
+}
+
+#[test]
+fn fault_sweep_3d_regime() {
+    // P = 64 is deep in the 3D case.
+    sweep_regime(64, 17, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery: exactly-once under arbitrary fault schedules
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Whatever mix of drops, duplicates, corruption, and delays the plan
+    // throws at a 2-rank pipe, the receiver sees every message exactly
+    // once, in order, with uncorrupted payloads — and the goodput meters
+    // count each message exactly once while all waste lands in the
+    // retry counters. (Plain `//` comment: the shimmed `proptest!` only
+    // matches a bare `#[test]`, and a doc comment desugars to `#[doc]`.)
+    #[test]
+    fn delivery_is_exactly_once_in_order_and_uncorrupted(
+        fault_seed in 0u64..1_000_000,
+        drop in 0.0f64..0.45,
+        dup in 0.0f64..0.15,
+        corrupt in 0.0f64..0.15,
+        delay in 0.0f64..0.15,
+        n_msgs in 1usize..24,
+    ) {
+        let mut plan = FaultPlan::none()
+            .with_seed(fault_seed)
+            .with_drop(drop)
+            .with_duplicate(dup)
+            .with_corrupt(corrupt)
+            .with_delay(delay);
+        plan.max_retries = 64;
+        let out = World::new(2, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(9)
+            .with_faults(plan)
+            .run(move |rank| {
+                let wc = rank.world_comm();
+                if rank.world_rank() == 0 {
+                    for i in 0..n_msgs {
+                        // Distinct sizes and values so reordering,
+                        // duplication, or corruption cannot cancel out.
+                        let w = 1 + (i % 5);
+                        rank.send(&wc, 1, &vec![i as f64 + 0.25; w]);
+                    }
+                    Vec::new()
+                } else {
+                    (0..n_msgs)
+                        .map(|_| rank.recv(&wc, 0).payload)
+                        .collect::<Vec<_>>()
+                }
+            });
+        let got = &out.values[1];
+        prop_assert_eq!(got.len(), n_msgs);
+        let mut goodput_words = 0u64;
+        for (i, payload) in got.iter().enumerate() {
+            prop_assert_eq!(payload.len(), 1 + (i % 5), "message {} size", i);
+            prop_assert!(
+                payload.iter().all(|&v| v == i as f64 + 0.25),
+                "message {} corrupted: {:?}", i, payload
+            );
+            goodput_words += payload.len() as u64;
+        }
+        let m1 = out.reports[1].meter;
+        prop_assert_eq!(m1.words_recv, goodput_words, "goodput counts each word once");
+        prop_assert_eq!(m1.msgs_recv, n_msgs as u64, "goodput counts each message once");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule independence with a pinned fault plan
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_decisions_are_schedule_independent_across_seeds() {
+    // fuzz_schedules compares values, full meters (including the retry
+    // counters), times, and peak memory across schedule seeds. Fault
+    // decisions hash (fault seed, channel, seq, attempt) — never
+    // arrival order — so a *pinned* fault seed must give identical
+    // results under every interleaving.
+    let dims = MatMulDims::new(24, 12, 18);
+    let grid = Grid3::new(2, 3, 2);
+    let cfg = Alg1Config { dims, grid, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+    let plan = FaultPlan::none()
+        .with_seed(0x5EED_FA17)
+        .with_drop(0.10)
+        .with_duplicate(0.05)
+        .with_corrupt(0.05);
+    let world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_faults(plan);
+    let program = move |rank: &mut Rank| {
+        let (a, b) = inputs(dims);
+        alg1(rank, &cfg, &a, &b).c_chunk
+    };
+    fuzz_schedules(&world, &[1, 2, 3, 4], program).unwrap_or_else(|d| panic!("{d}"));
+}
+
+// ---------------------------------------------------------------------------
+// SUMMA recovery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn summa_recovers_on_near_square_survivor_grid() {
+    let dims = MatMulDims::new(12, 6, 8);
+    // 3×2 grid of 6; kill rank 3 early — 5 survivors refactor to 1×5.
+    let plan = FaultPlan::none().with_seed(0xF0).with_drop(0.05).with_kill(3, 3);
+    let out = World::new(6, MachineParams::BANDWIDTH_ONLY).with_seed(5).with_faults(plan).run(
+        move |rank| {
+            let (a, b) = inputs(dims);
+            summa_with_recovery(rank, dims, Kernel::Naive, &a, &b)
+        },
+    );
+    assert!(out.values[3].is_err(), "killed rank reports failure");
+    let ok = out.values[0].as_ref().expect("rank 0 survives");
+    assert_eq!((ok.pr, ok.pc), pmm_algs::near_square_factors(5));
+    assert_eq!(ok.survivors, vec![0, 1, 2, 4, 5]);
+    assert!(ok.attempts >= 2);
+    let (pr, pc) = (ok.pr, ok.pc);
+    let survivors = ok.survivors.clone();
+    let c = assemble_from_blocks(dims.n1 as usize, dims.n3 as usize, pr, pc, |i, j| {
+        let w = survivors[i * pc + j];
+        out.values[w].as_ref().expect("survivor").output.c_block.clone()
+    });
+    assert_eq!(c, reference(dims), "SUMMA recovery product must be bitwise-correct");
+}
+
+// ---------------------------------------------------------------------------
+// Failure reporting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn uncaught_kill_reports_rank_failure_not_deadlock() {
+    let err = std::panic::catch_unwind(|| {
+        World::new(3, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(7)
+            .with_faults(FaultPlan::none().with_kill(1, 1))
+            .run(|rank| {
+                let wc = rank.world_comm();
+                // No catch_failures anywhere: the kill must surface as a
+                // typed world-level failure.
+                let partner = (rank.world_rank() + 1) % 3;
+                let from = (rank.world_rank() + 2) % 3;
+                rank.exchange(&wc, partner, from, &[1.0]).payload[0]
+            })
+    })
+    .expect_err("uncaught kill must fail the run");
+    let msg = err.downcast_ref::<String>().expect("panic message is a String");
+    // Two reporters can win the race: the verifier (if survivors block on
+    // the dead rank first) or the world join loop (if the killed rank's
+    // panic surfaces first). Both must name the fault, never a deadlock.
+    assert!(msg.contains("rank failure"), "{msg}");
+    assert!(msg.contains("kill=1@1"), "{msg}");
+    assert!(!msg.contains("deadlock detected"), "must not misreport as deadlock: {msg}");
+    assert!(msg.contains("PMM_SEED=7"), "report must carry the replay seed: {msg}");
+}
+
+#[test]
+fn straggler_slows_the_clock_without_changing_traffic() {
+    let dims = MatMulDims::new(24, 12, 18);
+    let grid = Grid3::new(2, 3, 2);
+    let cfg = Alg1Config { dims, grid, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+    let run = |plan: Option<FaultPlan>| {
+        let cfg = cfg.clone();
+        let mut world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_seed(1);
+        if let Some(p) = plan {
+            world = world.with_faults(p);
+        }
+        world.run(move |rank: &mut Rank| {
+            let (a, b) = inputs(dims);
+            alg1(rank, &cfg, &a, &b).c_chunk
+        })
+    };
+    let clean = run(None);
+    let slowed = run(Some(FaultPlan::none().with_straggler(5, 4.0)));
+    assert_eq!(clean.values, slowed.values, "straggler must not change results");
+    for (c, s) in clean.reports.iter().zip(&slowed.reports) {
+        assert_eq!(c.meter, s.meter, "straggler must not change any meter");
+    }
+    assert!(
+        slowed.critical_path_time() > clean.critical_path_time(),
+        "a 4× straggler must stretch the critical path ({} vs {})",
+        slowed.critical_path_time(),
+        clean.critical_path_time()
+    );
+}

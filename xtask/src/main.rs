@@ -20,7 +20,11 @@
 //! * `cargo xtask fuzz-schedules [budget-secs]` — keeps running the
 //!   schedule-fuzz entry test with fresh base seeds until the wall-clock
 //!   budget (default 60 s) runs out, printing the failing `PMM_SEED` on
-//!   the first divergence.
+//!   the first divergence;
+//! * `cargo xtask fault-sweep [budget-secs]` — the fault-injection suite
+//!   (`tests/fault_tolerance.rs`) under a pinned matrix of schedule
+//!   seeds × message fault rates (each rate exported as
+//!   `PMM_FAULT_RATE`), wall-clock capped (default 300 s).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -47,6 +51,13 @@ fn main() -> ExitCode {
                 .unwrap_or(60);
             fuzz_schedules(Duration::from_secs(budget))
         }
+        Some("fault-sweep") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(300);
+            fault_sweep(Duration::from_secs(budget))
+        }
         other => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
@@ -59,7 +70,10 @@ fn main() -> ExitCode {
                  \x20 conformance     run tests/conformance.rs under a pinned matrix\n\
                  \x20                 of schedule seeds (PMM_SEED)\n\
                  \x20 fuzz-schedules  [budget-secs] run the schedule fuzzer with fresh\n\
-                 \x20                 seeds until the budget (default 60 s) is spent"
+                 \x20                 seeds until the budget (default 60 s) is spent\n\
+                 \x20 fault-sweep     [budget-secs] run tests/fault_tolerance.rs under a\n\
+                 \x20                 pinned seed × fault-rate matrix (PMM_FAULT_RATE),\n\
+                 \x20                 wall-clock capped (default 300 s)"
             );
             if other.is_none() {
                 ExitCode::FAILURE
@@ -125,14 +139,22 @@ const CONFORMANCE_SEEDS: [u64; 3] = [0x00C0_FFEE, 1, 0xDEAD_BEEF];
 /// Run one test binary via `cargo test` with `PMM_SEED` exported.
 /// Returns true on success.
 fn run_seeded_test(test: &str, seed: u64, filter: &[&str]) -> bool {
+    run_seeded_test_env(test, seed, filter, &[])
+}
+
+/// [`run_seeded_test`] with extra environment variables exported to the
+/// test process (e.g. `PMM_FAULT_RATE` for the fault-sweep matrix).
+fn run_seeded_test_env(test: &str, seed: u64, filter: &[&str], envs: &[(&str, String)]) -> bool {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    let status = Command::new(&cargo)
-        .args(["test", "--release", "--test", test, "--"])
+    let mut cmd = Command::new(&cargo);
+    cmd.args(["test", "--release", "--test", test, "--"])
         .args(filter)
         .env("PMM_SEED", seed.to_string())
-        .current_dir(workspace_root())
-        .status();
-    match status {
+        .current_dir(workspace_root());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    match cmd.status() {
         Ok(s) => s.success(),
         Err(e) => {
             eprintln!("xtask: could not launch cargo test: {e}");
@@ -172,6 +194,46 @@ fn fuzz_schedules(budget: Duration) -> ExitCode {
         "xtask: schedule fuzz passed {rounds} round(s) in {:.1}s with no divergence",
         start.elapsed().as_secs_f64()
     );
+    ExitCode::SUCCESS
+}
+
+/// The fault-sweep matrix: pinned schedule seeds × message fault rates.
+/// Rate 0.0 doubles as the "armed but silent" regression cell (the
+/// determinism suite separately asserts it is meter-identical to no plan
+/// at all). Failures replay with the printed `PMM_SEED` +
+/// `PMM_FAULT_RATE` pair.
+const FAULT_SWEEP_SEEDS: [u64; 2] = [7, 0x00C0_FFEE];
+const FAULT_SWEEP_RATES: [&str; 3] = ["0.0", "0.05", "0.15"];
+
+fn fault_sweep(budget: Duration) -> ExitCode {
+    let start = Instant::now();
+    let mut cells = 0u32;
+    let mut skipped = 0u32;
+    for seed in FAULT_SWEEP_SEEDS {
+        for rate in FAULT_SWEEP_RATES {
+            if start.elapsed() >= budget {
+                skipped += 1;
+                continue;
+            }
+            eprintln!("xtask: fault sweep, PMM_SEED={seed} PMM_FAULT_RATE={rate}");
+            let envs = [("PMM_FAULT_RATE", rate.to_string())];
+            if !run_seeded_test_env("fault_tolerance", seed, &[], &envs) {
+                eprintln!(
+                    "xtask: fault sweep FAILED — replay with \
+                     PMM_SEED={seed} PMM_FAULT_RATE={rate}"
+                );
+                return ExitCode::FAILURE;
+            }
+            cells += 1;
+        }
+    }
+    if skipped > 0 {
+        eprintln!(
+            "xtask: fault sweep budget ({:.0}s) exhausted — {skipped} matrix cell(s) skipped",
+            budget.as_secs_f64()
+        );
+    }
+    eprintln!("xtask: fault sweep passed {cells} cell(s) in {:.1}s", start.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }
 
