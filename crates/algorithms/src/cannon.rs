@@ -86,31 +86,37 @@ pub fn cannon(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> Ca
     let mut inner = (i + j) % q;
 
     // Initial skew (only when it moves data).
-    if q > 1 && i > 0 {
-        let to = (j + q - i) % q;
-        let from = (j + i) % q;
-        let msg = rank.exchange(&row, to, from, a_cur.as_slice());
-        a_cur = Matrix::from_vec(my_rows, inner_len(inner), msg.payload);
-    }
-    if q > 1 && j > 0 {
-        let to = (i + q - j) % q;
-        let from = (i + j) % q;
-        let msg = rank.exchange(&col, to, from, b_cur.as_slice());
-        b_cur = Matrix::from_vec(inner_len(inner), my_cols, msg.payload);
-    }
+    pmm_simnet::phase!(rank, "skew", {
+        if q > 1 && i > 0 {
+            let to = (j + q - i) % q;
+            let from = (j + i) % q;
+            let msg = rank.exchange(&row, to, from, a_cur.as_slice());
+            a_cur = Matrix::from_vec(my_rows, inner_len(inner), msg.payload);
+        }
+        if q > 1 && j > 0 {
+            let to = (i + q - j) % q;
+            let from = (i + j) % q;
+            let msg = rank.exchange(&col, to, from, b_cur.as_slice());
+            b_cur = Matrix::from_vec(inner_len(inner), my_cols, msg.payload);
+        }
+    });
 
     for t in 0..q {
         assert_eq!(a_cur.cols(), b_cur.rows(), "inner blocks misaligned at step {t}");
-        gemm_acc(&mut c, &a_cur, &b_cur, cfg.kernel);
-        rank.compute((a_cur.rows() * a_cur.cols() * b_cur.cols()) as f64);
+        pmm_simnet::phase!(rank, "local multiply", {
+            gemm_acc(&mut c, &a_cur, &b_cur, cfg.kernel);
+            rank.compute((a_cur.rows() * a_cur.cols() * b_cur.cols()) as f64);
+        });
         if t + 1 < q {
             // Rotate A left by one, B up by one.
-            let next_inner = (inner + 1) % q;
-            let msg = rank.exchange(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice());
-            a_cur = Matrix::from_vec(my_rows, inner_len(next_inner), msg.payload);
-            let msg = rank.exchange(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice());
-            b_cur = Matrix::from_vec(inner_len(next_inner), my_cols, msg.payload);
-            inner = next_inner;
+            pmm_simnet::phase!(rank, "rotate", {
+                let next_inner = (inner + 1) % q;
+                let msg = rank.exchange(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice());
+                a_cur = Matrix::from_vec(my_rows, inner_len(next_inner), msg.payload);
+                let msg = rank.exchange(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice());
+                b_cur = Matrix::from_vec(inner_len(next_inner), my_cols, msg.payload);
+                inner = next_inner;
+            });
         }
     }
 

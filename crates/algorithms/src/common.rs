@@ -16,14 +16,19 @@ pub struct PhaseMeter {
 }
 
 impl PhaseMeter {
-    /// Measure `f` as a phase on `rank`.
+    /// Measure `f` as a phase on `rank`: the returned [`PhaseMeter`] is
+    /// the meter diff across `f`, and when tracing is on the phase is
+    /// additionally emitted as a labelled scope into the structured trace
+    /// (see `pmm_simnet::tracer`).
     pub fn measure<T>(
         rank: &mut Rank,
         label: &'static str,
         f: impl FnOnce(&mut Rank) -> T,
     ) -> (T, PhaseMeter) {
         let before = rank.meter();
+        rank.phase_begin(label);
         let out = f(rank);
+        rank.phase_end(label);
         let meter = rank.meter().diff(&before);
         (out, PhaseMeter { label, meter })
     }

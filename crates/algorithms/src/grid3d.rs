@@ -173,10 +173,13 @@ pub fn alg1_on(
 
     // ----- line 6: local computation D = A_block · B_block -----------------
     rank.mem_acquire(c_block_words as u64);
-    let d = gemm(&a_block, &b_block, cfg.kernel);
-    // The model meters scalar multiplications, matching the paper's
-    // n1n2n3/P count (line 6 performs h1·h2·h3 of them).
-    rank.compute((h1 * h2 * h3) as f64);
+    let d = pmm_simnet::phase!(rank, "local multiply", {
+        let d = gemm(&a_block, &b_block, cfg.kernel);
+        // The model meters scalar multiplications, matching the paper's
+        // n1n2n3/P count (line 6 performs h1·h2·h3 of them).
+        rank.compute((h1 * h2 * h3) as f64);
+        d
+    });
 
     // ----- line 8: assemble C over fiber (p1', :, p3') ---------------------
     let c_counts: Vec<usize> =

@@ -11,11 +11,11 @@
 //!   `tightness` experiment verify to the word. An ablation variant
 //!   assembles `C` with All-to-All + local summation (the Agarwal et al.
 //!   1995 style) instead of Reduce-Scatter.
-//! * [`cannon`] — Cannon's algorithm on a square `√P × √P` grid (classic
+//! * [`mod@cannon`] — Cannon's algorithm on a square `√P × √P` grid (classic
 //!   2D baseline).
-//! * [`summa`] — SUMMA on a general `pr × pc` grid (the standard library
+//! * [`mod@summa`] — SUMMA on a general `pr × pc` grid (the standard library
 //!   algorithm baseline, broadcast-based).
-//! * [`twofived`] — the 2.5D algorithm of Solomonik & Demmel 2011 with
+//! * [`mod@twofived`] — the 2.5D algorithm of Solomonik & Demmel 2011 with
 //!   replication factor `c` (memory-for-communication trade-off).
 //! * [`recursive`] — closed-form communication cost of the CARMA-style
 //!   recursive algorithm (Demmel et al. 2013), used as an analytic
@@ -26,6 +26,8 @@
 //! returns its owned part of `C`, and reports per-phase traffic meters.
 //! Tests reassemble the distributed output and compare it bit-for-bit
 //! against a serial reference on integer-valued inputs.
+
+#![warn(missing_docs)]
 
 pub mod cannon;
 pub mod common;

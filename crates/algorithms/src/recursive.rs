@@ -140,10 +140,12 @@ pub fn carma(
     assert!(p.is_power_of_two(), "CARMA requires power-of-two P");
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
     if p == 1 {
-        let a = Matrix::from_vec(n1, n2, a_share);
-        let b = Matrix::from_vec(n2, n3, b_share);
-        rank.compute((n1 * n2 * n3) as f64);
-        return gemm(&a, &b, kernel).into_vec();
+        return pmm_simnet::phase!(rank, "local multiply", {
+            let a = Matrix::from_vec(n1, n2, a_share);
+            let b = Matrix::from_vec(n2, n3, b_share);
+            rank.compute((n1 * n2 * n3) as f64);
+            gemm(&a, &b, kernel).into_vec()
+        });
     }
     let half = p / 2;
     let me = comm.index();
@@ -156,7 +158,8 @@ pub fn carma(
         0 => {
             // split n1: exchange B shares so both halves hold the full
             // (p/2)-distribution of B.
-            let msg = rank.sendrecv(comm, partner, &b_share);
+            let msg =
+                pmm_simnet::phase!(rank, "exchange B", rank.sendrecv(comm, partner, &b_share));
             let combined = if lower {
                 [b_share, msg.payload].concat()
             } else {
@@ -169,7 +172,8 @@ pub fn carma(
         }
         2 => {
             // split n3: exchange A shares.
-            let msg = rank.sendrecv(comm, partner, &a_share);
+            let msg =
+                pmm_simnet::phase!(rank, "exchange A", rank.sendrecv(comm, partner, &a_share));
             let combined = if lower {
                 [a_share, msg.payload].concat()
             } else {
@@ -190,14 +194,16 @@ pub fn carma(
             assert!(l.is_multiple_of(2), "partial C share must split evenly");
             let (keep_range, send_range) =
                 if lower { (0..l / 2, l / 2..l) } else { (l / 2..l, 0..l / 2) };
-            let msg = rank.sendrecv(comm, partner, &partial[send_range]);
-            let mut kept = partial[keep_range].to_vec();
-            assert_eq!(msg.payload.len(), kept.len(), "partial C exchange mismatch");
-            for (x, &y) in kept.iter_mut().zip(&msg.payload) {
-                *x += y;
-            }
-            rank.compute(kept.len() as f64);
-            kept
+            pmm_simnet::phase!(rank, "combine C", {
+                let msg = rank.sendrecv(comm, partner, &partial[send_range]);
+                let mut kept = partial[keep_range].to_vec();
+                assert_eq!(msg.payload.len(), kept.len(), "partial C exchange mismatch");
+                for (x, &y) in kept.iter_mut().zip(&msg.payload) {
+                    *x += y;
+                }
+                rank.compute(kept.len() as f64);
+                kept
+            })
         }
     }
 }

@@ -72,7 +72,9 @@ pub fn alg1_streamed(
         let a_own = a_slab_global[my_chunk].to_vec();
         rank.mem_acquire(a_slab_words as u64);
         let before = rank.meter();
-        let a_flat = all_gather_v(rank, &comms[2], &a_own, &a_counts, AllGatherAlgo::Auto);
+        let a_flat = pmm_simnet::phase!(rank, "all-gather A (streamed)", {
+            all_gather_v(rank, &comms[2], &a_own, &a_counts, AllGatherAlgo::Auto)
+        });
         accumulate(&mut words_a_phase, rank.meter().diff(&before));
         let a_mat = Matrix::from_vec(h1, slab.len(), a_flat);
 
@@ -86,13 +88,17 @@ pub fn alg1_streamed(
         let b_own = b_slab_global[my_chunk].to_vec();
         rank.mem_acquire(b_slab_words as u64);
         let before = rank.meter();
-        let b_flat = all_gather_v(rank, &comms[0], &b_own, &b_counts, AllGatherAlgo::Auto);
+        let b_flat = pmm_simnet::phase!(rank, "all-gather B (streamed)", {
+            all_gather_v(rank, &comms[0], &b_own, &b_counts, AllGatherAlgo::Auto)
+        });
         accumulate(&mut words_b_phase, rank.meter().diff(&before));
         let b_mat = Matrix::from_vec(slab.len(), h3, b_flat);
 
         // --- accumulate ------------------------------------------------------
-        gemm_acc(&mut d, &a_mat, &b_mat, kernel);
-        rank.compute((h1 * slab.len() * h3) as f64);
+        pmm_simnet::phase!(rank, "local multiply", {
+            gemm_acc(&mut d, &a_mat, &b_mat, kernel);
+            rank.compute((h1 * slab.len() * h3) as f64);
+        });
 
         // Slab buffers dropped here — that's the whole point.
         rank.mem_release((a_slab_words + b_slab_words) as u64);

@@ -99,7 +99,8 @@ pub fn summa_on(
         } else {
             vec![0.0; a_panel_words]
         };
-        let a_panel = bcast_panel(rank, &row, &a_data, root_col);
+        let a_panel =
+            pmm_simnet::phase!(rank, "broadcast A", bcast_panel(rank, &row, &a_data, root_col));
         let a_panel = Matrix::from_vec(my_rows, panel.len(), a_panel);
 
         // --- broadcast B(t, j) down the process column ---------------------
@@ -110,11 +111,14 @@ pub fn summa_on(
         } else {
             vec![0.0; b_panel_words]
         };
-        let b_panel = bcast_panel(rank, &col, &b_data, root_row);
+        let b_panel =
+            pmm_simnet::phase!(rank, "broadcast B", bcast_panel(rank, &col, &b_data, root_row));
         let b_panel = Matrix::from_vec(panel.len(), my_cols, b_panel);
 
-        gemm_acc(&mut c, &a_panel, &b_panel, cfg.kernel);
-        rank.compute((my_rows * panel.len() * my_cols) as f64);
+        pmm_simnet::phase!(rank, "local multiply", {
+            gemm_acc(&mut c, &a_panel, &b_panel, cfg.kernel);
+            rank.compute((my_rows * panel.len() * my_cols) as f64);
+        });
     }
 
     SummaOutput { c_block: c }

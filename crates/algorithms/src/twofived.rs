@@ -86,10 +86,13 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
         vec![0.0; b_words]
     };
     rank.mem_acquire((a_words + b_words) as u64);
-    let mut a_cur =
-        Matrix::from_vec(ra.len(), ca.len(), bcast(rank, &fiber, &a0, 0, BcastAlgo::Binomial));
-    let mut b_cur =
-        Matrix::from_vec(rb.len(), cb.len(), bcast(rank, &fiber, &b0, 0, BcastAlgo::Binomial));
+    let (mut a_cur, mut b_cur) = pmm_simnet::phase!(rank, "replicate inputs", {
+        let a =
+            Matrix::from_vec(ra.len(), ca.len(), bcast(rank, &fiber, &a0, 0, BcastAlgo::Binomial));
+        let b =
+            Matrix::from_vec(rb.len(), cb.len(), bcast(rank, &fiber, &b0, 0, BcastAlgo::Binomial));
+        (a, b)
+    });
 
     // ---- step 2: shifted Cannon over my layer's q/c inner positions -------
     // Layer l covers inner positions {l·q/c + t : t in 0..q/c} (mod q,
@@ -106,38 +109,46 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
     let inner_len = |idx: usize| block_range(n2, q, idx).len();
     let mut inner = (i + j + l * (q / c)) % q;
 
-    let shift_a = (i + l * (q / c)) % q;
-    if q > 1 && shift_a > 0 {
-        let to = (j + q - shift_a) % q;
-        let from = (j + shift_a) % q;
-        let msg = rank.exchange(&row, to, from, a_cur.as_slice());
-        a_cur = Matrix::from_vec(my_rows, inner_len(inner), msg.payload);
-    }
-    let shift_b = (j + l * (q / c)) % q;
-    if q > 1 && shift_b > 0 {
-        let to = (i + q - shift_b) % q;
-        let from = (i + shift_b) % q;
-        let msg = rank.exchange(&col, to, from, b_cur.as_slice());
-        b_cur = Matrix::from_vec(inner_len(inner), my_cols, msg.payload);
-    }
+    pmm_simnet::phase!(rank, "skew", {
+        let shift_a = (i + l * (q / c)) % q;
+        if q > 1 && shift_a > 0 {
+            let to = (j + q - shift_a) % q;
+            let from = (j + shift_a) % q;
+            let msg = rank.exchange(&row, to, from, a_cur.as_slice());
+            a_cur = Matrix::from_vec(my_rows, inner_len(inner), msg.payload);
+        }
+        let shift_b = (j + l * (q / c)) % q;
+        if q > 1 && shift_b > 0 {
+            let to = (i + q - shift_b) % q;
+            let from = (i + shift_b) % q;
+            let msg = rank.exchange(&col, to, from, b_cur.as_slice());
+            b_cur = Matrix::from_vec(inner_len(inner), my_cols, msg.payload);
+        }
+    });
 
     let steps = q / c;
     for t in 0..steps {
         assert_eq!(a_cur.cols(), b_cur.rows(), "inner blocks misaligned at step {t}");
-        gemm_acc(&mut cmat, &a_cur, &b_cur, cfg.kernel);
-        rank.compute((a_cur.rows() * a_cur.cols() * b_cur.cols()) as f64);
+        pmm_simnet::phase!(rank, "local multiply", {
+            gemm_acc(&mut cmat, &a_cur, &b_cur, cfg.kernel);
+            rank.compute((a_cur.rows() * a_cur.cols() * b_cur.cols()) as f64);
+        });
         if t + 1 < steps {
-            let next_inner = (inner + 1) % q;
-            let msg = rank.exchange(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice());
-            a_cur = Matrix::from_vec(my_rows, inner_len(next_inner), msg.payload);
-            let msg = rank.exchange(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice());
-            b_cur = Matrix::from_vec(inner_len(next_inner), my_cols, msg.payload);
-            inner = next_inner;
+            pmm_simnet::phase!(rank, "rotate", {
+                let next_inner = (inner + 1) % q;
+                let msg = rank.exchange(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice());
+                a_cur = Matrix::from_vec(my_rows, inner_len(next_inner), msg.payload);
+                let msg = rank.exchange(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice());
+                b_cur = Matrix::from_vec(inner_len(next_inner), my_cols, msg.payload);
+                inner = next_inner;
+            });
         }
     }
 
     // ---- step 3: sum partial C over the fiber to layer 0 ------------------
-    let summed = reduce(rank, &fiber, cmat.as_slice(), 0, ReduceAlgo::Binomial);
+    let summed = pmm_simnet::phase!(rank, "reduce C over fiber", {
+        reduce(rank, &fiber, cmat.as_slice(), 0, ReduceAlgo::Binomial)
+    });
     let c_block = (l == 0).then(|| Matrix::from_vec(my_rows, my_cols, summed));
     TwoFiveDOutput { c_block }
 }

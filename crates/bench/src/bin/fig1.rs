@@ -18,7 +18,7 @@ use pmm_algs::{alg1, Alg1Config};
 use pmm_bench::{print_table, Checks};
 use pmm_dense::random_int_matrix;
 use pmm_model::{Grid3, MatMulDims};
-use pmm_simnet::{MachineParams, TraceEvent, World};
+use pmm_simnet::{MachineParams, TraceOp, World};
 
 fn main() {
     // n1 = n2 = n3 as in the figure; 18 keeps every block and chunk even.
@@ -96,14 +96,14 @@ fn main() {
     let trace = out.reports[hero].trace.as_ref().expect("trace enabled");
     let mut partners = BTreeSet::new();
     for ev in trace {
-        match ev {
-            TraceEvent::Send { to_world, .. } => {
-                partners.insert(*to_world);
+        match ev.op {
+            TraceOp::Send { to_world } => {
+                partners.insert(to_world);
             }
-            TraceEvent::Recv { from_world, .. } => {
-                partners.insert(*from_world);
+            TraceOp::Recv { from_world } => {
+                partners.insert(from_world);
             }
-            TraceEvent::Mark(_) => {}
+            _ => {}
         }
     }
     let mut fiber_peers = BTreeSet::new();

@@ -33,6 +33,15 @@ pub enum Command {
         seed: u64,
         faults: Option<FaultPlan>,
     },
+    /// `pmm trace --dims AxBxC --procs P [--grid AxBxC] [--seed S]
+    /// [--out FILE]`
+    Trace {
+        dims: MatMulDims,
+        procs: usize,
+        grid: Option<[usize; 3]>,
+        seed: u64,
+        out: Option<String>,
+    },
     /// `pmm sweep --dims AxBxC --procs P1,P2,…`
     Sweep { dims: MatMulDims, procs: Vec<f64> },
     /// `pmm help` / `-h` / `--help`
@@ -197,6 +206,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 faults,
             })
         }
+        "trace" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["dims", "procs", "grid", "seed", "out"])?;
+            let procs = flags
+                .require("procs")?
+                .parse::<usize>()
+                .map_err(|_| err("--procs expects a positive integer"))?;
+            let grid = flags.get("grid").map(parse_grid).transpose()?;
+            let seed = match flags.get("seed") {
+                None => 42,
+                Some(v) => v.parse::<u64>().map_err(|_| err("--seed expects an integer"))?,
+            };
+            Ok(Command::Trace {
+                dims: parse_dims(flags.require("dims")?)?,
+                procs,
+                grid,
+                seed,
+                out: flags.get("out").map(String::from),
+            })
+        }
         "sweep" => {
             let flags = Flags::parse(rest)?;
             flags.reject_unknown(&["dims", "procs"])?;
@@ -240,6 +269,13 @@ USAGE:
       seed (fault seed), kill=RANK@OP, slow=RANKxFACTOR — e.g.
       --faults drop=0.05,kill=2@5,seed=0xFA. Exits nonzero if the
       product is wrong or a failure is not recovered.
+  pmm trace    --dims N1xN2xN3 --procs P [--grid AxBxC] [--seed S]
+               [--out FILE]
+      Run Algorithm 1 with structured tracing on: report the per-phase
+      cost attribution against the eq. (3) prediction, the critical-path
+      breakdown, and a compact text trace. --out writes the full event
+      trace as Chrome trace_event JSON (load in Perfetto or
+      chrome://tracing). Exits nonzero if the product is wrong.
   pmm sweep    --dims N1xN2xN3 --procs P1,P2,...
       Bound/case/grid table over a list of processor counts.
   pmm help
@@ -319,6 +355,34 @@ mod tests {
             }
             _ => panic!("wrong parse"),
         }
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            parse_args(&argv("trace --dims 96x24x12 --procs 8 --grid 4x1x2 --seed 7 --out t.json"))
+                .unwrap(),
+            Command::Trace {
+                dims: MatMulDims::new(96, 24, 12),
+                procs: 8,
+                grid: Some([4, 1, 2]),
+                seed: 7,
+                out: Some("t.json".into()),
+            }
+        );
+        // --grid/--seed/--out are optional; --dims and --procs are not.
+        assert_eq!(
+            parse_args(&argv("trace --dims 8x8x8 --procs 2")).unwrap(),
+            Command::Trace {
+                dims: MatMulDims::new(8, 8, 8),
+                procs: 2,
+                grid: None,
+                seed: 42,
+                out: None,
+            }
+        );
+        assert!(parse_args(&argv("trace --procs 2")).is_err());
+        assert!(parse_args(&argv("trace --dims 8x8x8 --procs 2 --bogus 1")).is_err());
     }
 
     #[test]

@@ -262,6 +262,76 @@ fn simulate_faulty(dims: MatMulDims, procs: usize, seed: u64, plan: FaultPlan) -
     (s, u8::from(!correct))
 }
 
+/// `pmm trace`: run Algorithm 1 with structured tracing on, report the
+/// per-phase cost attribution against eq. (3) and the critical-path
+/// breakdown, and (with `--out`) write the Chrome trace_event JSON.
+///
+/// Exit code: `0` = product verified and (if requested) the trace file
+/// written; `1` = wrong product or the trace file could not be written.
+pub fn trace(
+    dims: MatMulDims,
+    procs: usize,
+    grid: Option<[usize; 3]>,
+    seed: u64,
+    out_path: Option<&str>,
+) -> (String, u8) {
+    let grid = grid.unwrap_or_else(|| best_grid(dims, procs).grid);
+    let g = Grid3::from_dims(grid);
+    assert_eq!(g.size(), procs, "grid {} has {} processors but --procs is {procs}", g, g.size());
+    let cfg = Alg1Config::new(dims, g);
+    let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
+    let sched_seed = seed_from_env(seed);
+    let out = World::new(procs, MachineParams::BANDWIDTH_ONLY)
+        .with_seed(sched_seed)
+        .with_trace(true)
+        .run(move |rank| {
+            let a = random_int_matrix(n1, n2, -3..4, seed);
+            let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+            alg1(rank, &cfg, &a, &b)
+        });
+    let a = random_int_matrix(n1, n2, -3..4, seed);
+    let b = random_int_matrix(n2, n3, -3..4, seed + 1);
+    let chunks: Vec<_> = out.values.iter().map(|v| v.c_chunk.clone()).collect();
+    let correct = assemble_c(dims, g, &chunks) == gemm(&a, &b, Kernel::Tiled);
+
+    let tracer = out.tracer().expect("tracing was enabled");
+    let pred = alg1_prediction(dims, grid);
+    let attribution = tracer.attribution(&[
+        ("all-gather A", pred.allgather_a),
+        ("all-gather B", pred.allgather_b),
+        ("reduce-scatter C", pred.reduce_c),
+    ]);
+    let bound = lower_bound(dims, procs as f64).bound;
+    let cp = tracer.critical_path();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "traced {dims} on grid {g} ({procs} ranks, seed {seed})");
+    let _ = writeln!(s, "product      : {}", if correct { "correct ✓" } else { "WRONG ✗" });
+    let _ = writeln!(s);
+    let _ = write!(s, "{}", tracer.render_text());
+    let _ = writeln!(s);
+    let _ = writeln!(s, "per-phase attribution vs eq. (3):");
+    let _ = write!(s, "{attribution}");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "critical path: {:.3} words (lower bound {bound:.3})", cp.total);
+    let mut code = u8::from(!correct);
+    if let Some(path) = out_path {
+        match std::fs::write(path, tracer.chrome_json()) {
+            Ok(()) => {
+                let _ = writeln!(
+                    s,
+                    "trace        : wrote {path} (load in Perfetto or chrome://tracing)"
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(s, "trace        : FAILED to write {path}: {e}");
+                code = 1;
+            }
+        }
+    }
+    (s, code)
+}
+
 /// `pmm sweep`.
 pub fn sweep(dims: MatMulDims, procs: &[f64]) -> String {
     let mut out = String::new();
@@ -339,6 +409,17 @@ mod tests {
     fn simulate_defaults_to_best_grid() {
         let s = simulate(MatMulDims::new(96, 24, 6), 3, None, 1);
         assert!(s.contains("3x1x1"), "output was: {s}");
+    }
+
+    #[test]
+    fn trace_attributes_phases_exactly_on_the_optimal_grid() {
+        // §5.2 optimal grid for this instance divides the dims, so the
+        // measured per-phase words must equal eq. (3) exactly.
+        let (s, code) = trace(MatMulDims::new(96, 24, 12), 8, None, 3, None);
+        assert_eq!(code, 0, "output was: {s}");
+        assert!(s.contains("correct ✓"), "output was: {s}");
+        assert!(s.contains("all phases match the prediction exactly"), "output was: {s}");
+        assert!(s.contains("critical path:"), "output was: {s}");
     }
 
     #[test]

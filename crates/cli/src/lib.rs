@@ -6,6 +6,8 @@
 //! pmm advise   --dims 4096x4096x4096 --procs 512 [--memory M]
 //!              [--alpha A --beta B --gamma G]
 //! pmm simulate --dims 768x192x48 --procs 36 [--grid 12x3x1] [--seed S]
+//! pmm trace    --dims 768x192x48 --procs 36 [--grid 12x3x1] [--seed S]
+//!              [--out run.json]
 //! pmm sweep    --dims 9600x2400x600 --procs 1,4,36,512,4096
 //! ```
 //!

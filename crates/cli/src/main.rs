@@ -21,6 +21,13 @@ fn main() {
                 std::process::exit(code.into());
             }
         }
+        Ok(Command::Trace { dims, procs, grid, seed, out }) => {
+            let (report, code) = commands::trace(dims, procs, grid, seed, out.as_deref());
+            print!("{report}");
+            if code != 0 {
+                std::process::exit(code.into());
+            }
+        }
         Ok(Command::Sweep { dims, procs }) => print!("{}", commands::sweep(dims, &procs)),
         Err(e) => {
             eprintln!("error: {e}\n");

@@ -73,7 +73,39 @@ fn help_covers_every_command_and_exits_zero() {
     let out = pmm(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["bound", "grid", "advise", "simulate", "sweep", "--faults"] {
+    for cmd in ["bound", "grid", "advise", "simulate", "trace", "sweep", "--faults", "--out"] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
+}
+
+#[test]
+fn trace_writes_chrome_json_and_exits_zero() {
+    let path = std::env::temp_dir().join("pmm-smoke-trace.json");
+    let out = pmm(&[
+        "trace",
+        "--dims",
+        "96x24x12",
+        "--procs",
+        "8",
+        "--seed",
+        "3",
+        "--out",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit: {:?}\n{text}", out.status);
+    assert!(text.contains("correct ✓"), "{text}");
+    assert!(text.contains("all phases match the prediction exactly"), "{text}");
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"X\""), "{json}");
+}
+
+#[test]
+fn trace_unwritable_out_exits_nonzero() {
+    let out =
+        pmm(&["trace", "--dims", "8x8x8", "--procs", "2", "--out", "/nonexistent-dir/run.json"]);
+    assert!(!out.status.success(), "unwritable --out must fail");
+    assert!(stdout(&out).contains("FAILED to write"), "{}", stdout(&out));
 }

@@ -52,7 +52,7 @@ pub fn all_gather_cost(algo: AllGatherAlgo, p: usize, w: usize) -> Cost {
     Cost { messages, words, flops: 0.0 }
 }
 
-/// Cost of [`reduce_scatter`](crate::reduce_scatter) with per-rank segment
+/// Cost of [`reduce_scatter`](crate::reduce_scatter()) with per-rank segment
 /// size `w` (input length `p·w`).
 ///
 /// Same message/word counts as the matching All-Gather, plus
@@ -71,7 +71,7 @@ pub fn reduce_scatter_cost(algo: ReduceScatterAlgo, p: usize, w: usize) -> Cost 
     c
 }
 
-/// Cost of [`bcast`](crate::bcast) of `w` words from the root.
+/// Cost of [`bcast`](crate::bcast()) of `w` words from the root.
 ///
 /// Binomial tree: `⌈log2 p⌉·(α + w·β)` (cost at the root; leaves pay one
 /// message less — the model reports the critical path).
@@ -98,7 +98,7 @@ pub fn bcast_cost(algo: BcastAlgo, p: usize, w: usize) -> Cost {
     }
 }
 
-/// Cost of [`reduce`](crate::reduce) of `w` words to the root (binomial):
+/// Cost of [`reduce`](crate::reduce()) of `w` words to the root (binomial):
 /// critical path `⌈log2 p⌉·(α + w·β + w γ-flops)`.
 pub fn reduce_cost(_algo: ReduceAlgo, p: usize, w: usize) -> Cost {
     if p <= 1 {
@@ -177,7 +177,7 @@ pub fn all_to_all_cost(_algo: AllToAllAlgo, p: usize, w: usize) -> Cost {
     Cost { messages: (p - 1) as f64, words: ((p - 1) * w) as f64, flops: 0.0 }
 }
 
-/// Cost of [`scan`](crate::scan) of `w` words per rank (Hillis–Steele
+/// Cost of [`scan`](crate::scan()) of `w` words per rank (Hillis–Steele
 /// doubling): critical path `⌈log2 p⌉·(α + w·β)` plus `⌈log2 p⌉·w`
 /// reduction flops.
 ///
@@ -200,7 +200,7 @@ pub fn exscan_cost(p: usize, w: usize) -> Cost {
     scan_cost(p, w)
 }
 
-/// Cost of [`barrier`](crate::barrier) (dissemination): `⌈log2 p⌉·α`.
+/// Cost of [`barrier`](crate::barrier()) (dissemination): `⌈log2 p⌉·α`.
 pub fn barrier_cost(p: usize) -> Cost {
     if p <= 1 {
         return Cost::ZERO;

@@ -35,6 +35,8 @@
 //! assert_eq!(out.reports[0].meter.words_sent, 6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod allgather;
 pub mod allreduce;
 pub mod alltoall;

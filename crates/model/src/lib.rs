@@ -18,6 +18,8 @@
 //! (`pmm-simnet`), the bound formulas (`pmm-core`) and the algorithms
 //! (`pmm-algs`).
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod dims;
 pub mod grid;

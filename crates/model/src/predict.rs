@@ -49,6 +49,23 @@ impl Alg1Prediction {
 
 /// Evaluate eq. (3) phase by phase for `dims` on `grid` (iteration-space
 /// order `[p1, p2, p3]`, aligned with `n1, n2, n3`).
+///
+/// # Example
+///
+/// On the cubic grid each phase moves `(1 − 1/2)·n²/4` words:
+///
+/// ```
+/// use pmm_model::{alg1_prediction, MatMulDims};
+///
+/// let pred = alg1_prediction(MatMulDims::new(8, 8, 8), [2, 2, 2]);
+/// assert_eq!(pred.phases(), [8.0, 8.0, 8.0]);
+/// assert_eq!(pred.total(), 24.0);
+///
+/// // A 1D grid (p2 = p3 = 1) moves only the B matrix:
+/// let pred = alg1_prediction(MatMulDims::new(64, 16, 16), [4, 1, 1]);
+/// assert_eq!(pred.allgather_a, 0.0);
+/// assert_eq!(pred.reduce_c, 0.0);
+/// ```
 pub fn alg1_prediction(dims: MatMulDims, grid: [usize; 3]) -> Alg1Prediction {
     let [p1, p2, p3] = grid.map(|x| x as f64);
     let (n1, n2, n3) = (dims.n1 as f64, dims.n2 as f64, dims.n3 as f64);

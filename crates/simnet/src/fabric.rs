@@ -16,8 +16,8 @@
 //! barrier) is instrumented for the [`verify`](crate::verify) layer: the
 //! blocking rank registers what it waits for, waits with a short timeout
 //! so it can observe a verifier abort, and is torn down with an
-//! [`AbortPanic`](crate::verify::AbortPanic) when the world is aborted.
-//! [`Fabric::watchdog_scan`] implements the deadlock detector that runs
+//! `AbortPanic` when the world is aborted. `Fabric::watchdog_scan`
+//! implements the deadlock detector that runs
 //! over those registrations.
 //!
 //! Lock ordering (to keep the fabric itself deadlock-free):

@@ -66,6 +66,28 @@ pub struct Straggler {
 /// The canonical serialization ([`std::fmt::Display`] /
 /// [`FaultPlan::parse`]) round-trips, so a failure report's plan line
 /// plus `PMM_SEED` is a complete repro.
+///
+/// # Example
+///
+/// Reliable delivery hides a lossy fabric from the program — the result
+/// is unchanged, the overhead shows up in the `retry_*` meters:
+///
+/// ```
+/// use pmm_simnet::{FaultPlan, MachineParams, World};
+///
+/// let plan = FaultPlan::none().with_seed(7).with_drop(0.2).with_duplicate(0.1);
+/// assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+///
+/// let out = World::new(2, MachineParams::BANDWIDTH_ONLY)
+///     .with_seed(42)
+///     .with_faults(plan)
+///     .run(|rank| {
+///         let wc = rank.world_comm();
+///         rank.sendrecv(&wc, 1 - wc.index(), &[rank.world_rank() as f64; 4]).payload
+///     });
+/// assert_eq!(out.values[0], vec![1.0; 4]); // payload intact despite drops
+/// assert_eq!(out.reports[0].meter.words_sent, 4); // goodput excludes retries
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Fault-decision seed. `None` derives one from the world's schedule

@@ -20,7 +20,10 @@
 //!   clock *is* the bandwidth cost along the critical path;
 //! * per-rank **memory**: a high-water mark of explicitly acquired words,
 //!   used by the limited-memory experiments (§6.2);
-//! * optional **traces** of individual sends/receives for the Fig. 1 style
+//! * optional **structured event traces** ([`tracer`]) of every message,
+//!   compute call, collective entry, and phase scope — feeding the
+//!   per-phase cost attribution, the critical-path analyzer, and the
+//!   Chrome `trace_event` export, as well as the Fig. 1 style
 //!   who-talks-to-whom analyses.
 //!
 //! ## Shape of the API
@@ -74,23 +77,27 @@
 //! can rebuild a communicator over the survivors
 //! ([`Rank::recovery_split`]) and recompute. See the [`fault`] module.
 
+#![warn(missing_docs)]
+
 pub mod comm;
 pub mod fabric;
 pub mod fault;
 pub mod meter;
 pub mod rank;
 pub mod trace;
+pub mod tracer;
 pub mod verify;
 pub mod world;
 
 pub use comm::Comm;
 pub use fabric::{Ctx, Message};
 pub use fault::{FaultPlan, KillSpec, RankFailed, Straggler};
-pub use meter::{MemTracker, Meter, TraceEvent};
+pub use meter::{MemTracker, Meter};
 pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
 pub use trace::{
     fuzz_schedules, seed_from_env, BlockPoint, SchedEvent, ScheduleDivergence, ScheduleTrace,
 };
+pub use tracer::{Attribution, CriticalPath, PhaseDiff, PhaseTotals, TraceEvent, TraceOp, Tracer};
 pub use verify::{CollectiveOp, VerifyConfig};
 pub use world::{RankReport, World, WorldResult};
 

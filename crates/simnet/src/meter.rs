@@ -1,4 +1,5 @@
-//! Per-rank accounting: traffic meters, memory high-water marks, traces.
+//! Per-rank accounting: traffic meters and memory high-water marks (the
+//! structured event trace lives in [`crate::tracer`]).
 
 use std::fmt;
 
@@ -168,17 +169,6 @@ impl MemTracker {
     pub fn limit(&self) -> Option<u64> {
         self.limit
     }
-}
-
-/// One entry of a rank's optional communication trace.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TraceEvent {
-    /// A send: context, receiver's world rank, word count.
-    Send { ctx: u64, to_world: usize, words: u64 },
-    /// A receive: context, sender's world rank, word count.
-    Recv { ctx: u64, from_world: usize, words: u64 },
-    /// A caller-placed marker (phase labels etc.).
-    Mark(String),
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@ use pmm_model::MachineParams;
 use crate::comm::Comm;
 use crate::fabric::{Ctx, Fabric, Message, WORLD_CTX};
 use crate::fault::{self, FaultAction, FaultKick, FaultPanic, MsgMeta, RankFailed};
-use crate::meter::{MemTracker, Meter, TraceEvent};
+use crate::meter::{MemTracker, Meter};
+use crate::tracer::{TraceEvent, TraceOp};
 use crate::verify::CollectiveOp;
 
 /// Base sequence number of [`Rank::recovery_split`] rendezvous, far above
@@ -461,10 +462,48 @@ impl Rank {
         self.mem.release(words);
     }
 
-    /// Place a marker in the trace (no cost).
+    /// Place a marker in the trace (no cost, no-op when tracing is off).
     pub fn mark(&mut self, label: impl Into<String>) {
+        if self.trace.is_some() {
+            let now = self.time;
+            self.trace_event(WORLD_CTX, TraceOp::Mark(label.into()), 0, 0, now, now);
+        }
+    }
+
+    /// Open a named phase scope in the trace (no cost, no-op when tracing
+    /// is off). Scopes must nest and close via [`Rank::phase_end`] with
+    /// the same label; the [`phase!`](crate::phase) macro wraps a block in
+    /// a balanced pair. The [`Tracer`](crate::Tracer) analyses attribute
+    /// every message and every critical-path word to the innermost open
+    /// scope.
+    pub fn phase_begin(&mut self, label: &'static str) {
+        if self.trace.is_some() {
+            let now = self.time;
+            self.trace_event(WORLD_CTX, TraceOp::PhaseBegin { label }, 0, 0, now, now);
+        }
+    }
+
+    /// Close the innermost phase scope (see [`Rank::phase_begin`]).
+    pub fn phase_end(&mut self, label: &'static str) {
+        if self.trace.is_some() {
+            let now = self.time;
+            self.trace_event(WORLD_CTX, TraceOp::PhaseEnd { label }, 0, 0, now, now);
+        }
+    }
+
+    /// Append an event to the trace buffer (call sites gate on
+    /// `self.trace.is_some()` first, so the disabled path costs one branch).
+    fn trace_event(
+        &mut self,
+        ctx: Ctx,
+        op: TraceOp,
+        words: u64,
+        retry_words: u64,
+        t0: f64,
+        t1: f64,
+    ) {
         if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Mark(label.into()));
+            t.push(TraceEvent { ctx, op, words, retry_words, t0, t1 });
         }
     }
 
@@ -478,10 +517,15 @@ impl Rank {
     /// (advances the clock by `γ · flops`).
     pub fn compute(&mut self, flops: f64) {
         debug_assert!(flops >= 0.0);
+        let t0 = self.time;
         self.meter.flops += flops;
         // `slowdown` is exactly 1.0 without a straggler entry, keeping
         // fault-free clocks bitwise-identical to the unfaulted model.
         self.time += self.slowdown * (self.params.gamma * flops);
+        if self.trace.is_some() {
+            let t1 = self.time;
+            self.trace_event(WORLD_CTX, TraceOp::Compute { flops }, 0, 0, t0, t1);
+        }
     }
 
     // ----- point-to-point messaging ----------------------------------------
@@ -497,17 +541,17 @@ impl Rank {
         assert!(to < comm.size(), "send target {to} out of communicator of size {}", comm.size());
         assert_ne!(to, comm.index(), "send to self is not allowed (use local state)");
         let w = payload.len() as u64;
+        let t0 = self.time;
+        let retry_before = self.meter.retry_words_sent;
         self.meter.words_sent += w;
         self.meter.msgs_sent += 1;
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Send {
-                ctx: comm.ctx(),
-                to_world: comm.world_rank_of(to),
-                words: w,
-            });
-        }
         let sent_at = self.transmit(comm, to, payload);
         self.time = sent_at + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
+        if self.trace.is_some() {
+            let (t1, retry) = (self.time, self.meter.retry_words_sent - retry_before);
+            let op = TraceOp::Send { to_world: comm.world_rank_of(to) };
+            self.trace_event(comm.ctx, op, w, retry, t0, t1);
+        }
         // Deterministic mode: record the post and yield the baton.
         self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), w);
     }
@@ -519,6 +563,8 @@ impl Rank {
         self.fault_tick();
         assert!(from < comm.size(), "recv source {from} out of communicator");
         assert_ne!(from, comm.index(), "recv from self is not allowed");
+        let t0 = self.time;
+        let retry_before = self.meter.retry_words_recv;
         let msg = self.match_directed(comm, from, Location::caller());
         self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
         let w = msg.payload.len() as u64;
@@ -527,12 +573,10 @@ impl Rank {
         // Transfer occupies the receiver from when both sides are ready.
         self.time = self.time.max(msg.sent_at)
             + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Recv {
-                ctx: comm.ctx(),
-                from_world: comm.world_rank_of(from),
-                words: w,
-            });
+        if self.trace.is_some() {
+            let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_before);
+            let op = TraceOp::Recv { from_world: comm.world_rank_of(from) };
+            self.trace_event(comm.ctx, op, w, retry, t0, t1);
         }
         msg
     }
@@ -565,16 +609,19 @@ impl Rank {
         assert_ne!(to, comm.index(), "exchange send-to-self is not allowed");
         assert_ne!(from, comm.index(), "exchange recv-from-self is not allowed");
         let ws = payload.len() as u64;
+        let t_entry = self.time;
+        let retry_sent_before = self.meter.retry_words_sent;
+        let retry_recv_before = self.meter.retry_words_recv;
         self.meter.words_sent += ws;
         self.meter.msgs_sent += 1;
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Send {
-                ctx: comm.ctx(),
-                to_world: comm.world_rank_of(to),
-                words: ws,
-            });
-        }
         let tx_start = self.transmit(comm, to, payload);
+        if self.trace.is_some() {
+            // The send half occupies no exclusive time of its own — the
+            // duplex transfer is charged once, on the receive half below.
+            let retry = self.meter.retry_words_sent - retry_sent_before;
+            let op = TraceOp::Send { to_world: comm.world_rank_of(to) };
+            self.trace_event(comm.ctx, op, ws, retry, t_entry, t_entry);
+        }
         self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), ws);
         let msg = self.match_directed(comm, from, Location::caller());
         self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
@@ -584,12 +631,10 @@ impl Rank {
         let wmax = ws.max(wr) as f64;
         self.time = tx_start.max(msg.sent_at)
             + self.slowdown * (self.params.alpha + self.params.beta * wmax);
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Recv {
-                ctx: comm.ctx(),
-                from_world: comm.world_rank_of(from),
-                words: wr,
-            });
+        if self.trace.is_some() {
+            let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_recv_before);
+            let op = TraceOp::Recv { from_world: comm.world_rank_of(from) };
+            self.trace_event(comm.ctx, op, wr, retry, t_entry, t1);
         }
         msg
     }
@@ -618,6 +663,8 @@ impl Rank {
         self.fault_tick();
         assert_eq!(req.ctx, comm.ctx(), "wait called with a different communicator");
         req.redeemed = true;
+        let t0 = self.time;
+        let retry_before = self.meter.retry_words_recv;
         let msg = self.match_directed(comm, req.from, Location::caller());
         self.vclock_observe(comm.ctx, req.from, comm.world_rank_of(req.from), &msg);
         let w = msg.payload.len() as u64;
@@ -625,12 +672,10 @@ impl Rank {
         self.meter.msgs_recv += 1;
         let arrival = msg.sent_at + self.params.alpha + self.params.beta * w as f64;
         self.time = self.time.max(arrival);
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Recv {
-                ctx: comm.ctx(),
-                from_world: comm.world_rank_of(req.from),
-                words: w,
-            });
+        if self.trace.is_some() {
+            let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_before);
+            let op = TraceOp::Recv { from_world: comm.world_rank_of(req.from) };
+            self.trace_event(comm.ctx, op, w, retry, t0, t1);
         }
         msg
     }
@@ -794,6 +839,10 @@ impl Rank {
         ) {
             self.fabric.abort(report);
             self.fabric.verify.abort_panic(self.world_rank);
+        }
+        if self.trace.is_some() {
+            let now = self.time;
+            self.trace_event(comm.ctx, TraceOp::Collective { op, elems }, 0, 0, now, now);
         }
         // Deterministic mode: collective entries are trace events and
         // yield points, so schedules interleave across collectives too.
@@ -1096,9 +1145,48 @@ mod tests {
             }
         });
         let t0 = out.reports[0].trace.as_ref().unwrap();
-        assert_eq!(t0[0], TraceEvent::Mark("phase-1".into()));
-        assert_eq!(t0[1], TraceEvent::Send { ctx: 0, to_world: 1, words: 2 });
+        assert_eq!(t0[0].op, TraceOp::Mark("phase-1".into()));
+        assert_eq!(
+            t0[1],
+            TraceEvent {
+                ctx: 0,
+                op: TraceOp::Send { to_world: 1 },
+                words: 2,
+                retry_words: 0,
+                t0: 0.0,
+                t1: 2.0,
+            }
+        );
         let t1 = out.reports[1].trace.as_ref().unwrap();
-        assert_eq!(t1[1], TraceEvent::Recv { ctx: 0, from_world: 0, words: 2 });
+        assert_eq!(t1[1].op, TraceOp::Recv { from_world: 0 });
+        assert_eq!(t1[1].words, 2);
+        assert_eq!(t1[1].t1, 2.0);
+    }
+
+    #[test]
+    fn phase_scopes_bracket_events_at_no_cost() {
+        let out = World::new(2, bw()).with_trace(true).run(|rank| {
+            let wc = rank.world_comm();
+            let partner = 1 - rank.world_rank();
+            crate::phase!(rank, "swap", rank.sendrecv(&wc, partner, &[0.0; 3]));
+            rank.time()
+        });
+        assert_eq!(out.values[0], 3.0, "phase scopes must not advance the clock");
+        let t0 = out.reports[0].trace.as_ref().unwrap();
+        assert_eq!(t0[0].op, TraceOp::PhaseBegin { label: "swap" });
+        assert!(matches!(t0.last().unwrap().op, TraceOp::PhaseEnd { label: "swap" }));
+        // The duplex exchange traces a zero-width send and a full-width recv.
+        assert_eq!((t0[1].t0, t0[1].t1), (0.0, 0.0));
+        assert_eq!((t0[2].t0, t0[2].t1), (0.0, 3.0));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let out = World::new(1, bw()).run(|rank| {
+            rank.phase_begin("p");
+            rank.compute(4.0);
+            rank.phase_end("p");
+        });
+        assert!(out.reports[0].trace.is_none(), "tracing off ⇒ no buffer at all");
     }
 }

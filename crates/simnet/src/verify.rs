@@ -7,7 +7,7 @@
 //!
 //! 1. **Waiting-on registry + watchdog.** Every blocking point in the
 //!    fabric (mailbox receive, split rendezvous, the hard-sync barrier)
-//!    registers a [`WaitInfo`] describing what the rank is waiting for
+//!    registers a `WaitInfo` describing what the rank is waiting for
 //!    and which world ranks could unblock it. A watchdog thread (enabled
 //!    by default in debug builds; see [`World::with_watchdog`]) builds
 //!    the wait-for graph, runs a can-any-rank-progress fixpoint, and —
@@ -17,7 +17,7 @@
 //!    the call site, instead of hanging.
 //!
 //! 2. **Collective-matching lint.** Every collective registers a
-//!    [`CallDesc`] (op kind, element count, call site) against a
+//!    `CallDesc` (op kind, element count, call site) against a
 //!    per-communicator ledger; the `n`-th collective on a communicator
 //!    must agree on the op kind (and, for symmetric ops, the element
 //!    count) across all members. Disagreement aborts the world

@@ -8,9 +8,10 @@ use pmm_model::{Cost, MachineParams};
 
 use crate::fabric::Fabric;
 use crate::fault::{FaultPanic, FaultPlan};
-use crate::meter::{Meter, TraceEvent};
+use crate::meter::Meter;
 use crate::rank::Rank;
 use crate::trace::{repro_hint, ScheduleTrace};
+use crate::tracer::{TraceEvent, Tracer};
 use crate::verify::{lock_unpoisoned, AbortPanic, VerifyConfig, VerifyState};
 
 /// Marks a rank `done` in the verify registry on scope exit — including
@@ -140,7 +141,12 @@ impl World {
         self
     }
 
-    /// Enable per-rank communication traces.
+    /// Enable per-rank structured event traces (see [`crate::tracer`]):
+    /// every message, compute call, collective entry, and phase scope is
+    /// recorded with its word counts and clock interval, and
+    /// [`WorldResult::tracer`] assembles the per-world [`Tracer`]
+    /// analyses. Off by default — and genuinely zero-cost when off: no
+    /// buffer exists and no emission site does more than one branch.
     #[must_use]
     pub fn with_trace(mut self, trace: bool) -> World {
         self.trace = trace;
@@ -393,7 +399,8 @@ pub struct RankReport {
     pub time: f64,
     /// Memory high-water mark in words.
     pub peak_mem_words: u64,
-    /// Communication trace, if enabled.
+    /// Structured event trace, if the world ran with
+    /// [`World::with_trace`]`(true)`.
     pub trace: Option<Vec<TraceEvent>>,
     /// Final happens-before vector clock, indexed by world rank (see
     /// `crate::verify`).
@@ -444,6 +451,17 @@ impl<T> WorldResult<T> {
     /// Maximum memory high-water mark over ranks, in words.
     pub fn max_peak_mem_words(&self) -> u64 {
         self.reports.iter().map(|r| r.peak_mem_words).max().unwrap_or(0)
+    }
+
+    /// Assemble the per-world [`Tracer`] from the per-rank event streams;
+    /// `Some` iff the world ran with [`World::with_trace`]`(true)`. The
+    /// tracer provides per-phase goodput totals, the critical-path
+    /// attribution, and the Chrome JSON / text exports (see
+    /// [`crate::tracer`]).
+    pub fn tracer(&self) -> Option<Tracer> {
+        let streams: Option<Vec<Vec<TraceEvent>>> =
+            self.reports.iter().map(|r| r.trace.clone()).collect();
+        streams.map(Tracer::from_streams)
     }
 
     /// Aggregate critical-path [`Cost`] view: message/word/flop maxima are

@@ -7,7 +7,8 @@ cd "$(dirname "$0")/.."
 
 mkdir -p results
 BINS=(table1 lemma2_cases tightness fig1 fig2 eq3_check limited_memory \
-      strong_scaling algo_compare collectives_cost tradeoff_25d genbound_demo)
+      strong_scaling algo_compare collectives_cost tradeoff_25d genbound_demo \
+      phase_attribution)
 
 for b in "${BINS[@]}"; do
     echo "=== $b ==="

@@ -261,7 +261,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: either exact or a half-open
+    /// Length specification for [`vec()`]: either exact or a half-open
     /// range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -289,7 +289,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -85,7 +85,7 @@ pub mod prelude {
         MatMulDims, MatrixId, RecoveryPrediction, SortedDims,
     };
     pub use pmm_simnet::{
-        fuzz_schedules, seed_from_env, Comm, FaultPlan, Meter, Rank, RankFailed, ScheduleTrace,
-        World, WorldResult,
+        fuzz_schedules, seed_from_env, Attribution, Comm, CriticalPath, FaultPlan, Meter, Rank,
+        RankFailed, ScheduleTrace, TraceEvent, TraceOp, Tracer, World, WorldResult,
     };
 }

@@ -12,11 +12,19 @@
 //!    and is expected to contain zero such tokens; the audit greps every
 //!    workspace `.rs` file (comments excluded) so even `#[allow]`-escaped
 //!    blocks are caught.
+//! 5. `cargo xtask docs` (also run standalone) — rustdoc with
+//!    `-D warnings` over every library target plus all doctests, so the
+//!    documented-public-API policy (`#![warn(missing_docs)]` in the core
+//!    crates) cannot drift.
 //!
-//! Two further CI entry points exercise the deterministic scheduler:
+//! Further CI entry points exercise the deterministic scheduler:
 //!
 //! * `cargo xtask conformance` — the `tests/conformance.rs` sweep under a
 //!   pinned matrix of schedule seeds (each seed exported as `PMM_SEED`);
+//! * `cargo xtask trace-check` — the `tests/trace_attribution.rs` gate
+//!   (structured-trace per-phase words vs the eq. 3 prediction, trace
+//!   critical path vs the simulator clock, byte-stable Chrome export)
+//!   under the same seed matrix;
 //! * `cargo xtask fuzz-schedules [budget-secs]` — keeps running the
 //!   schedule-fuzz entry test with fresh base seeds until the wall-clock
 //!   budget (default 60 s) runs out, printing the failing `PMM_SEED` on
@@ -43,7 +51,9 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("docs") => docs(),
         Some("conformance") => conformance(),
+        Some("trace-check") => trace_check(),
         Some("fuzz-schedules") => {
             let budget = args
                 .get(1)
@@ -67,8 +77,12 @@ fn main() -> ExitCode {
                  \x20 fmt             formatting check only\n\
                  \x20 clippy          clippy passes only\n\
                  \x20 audit           scan sources for the forbidden keyword only\n\
+                 \x20 docs            rustdoc gate: cargo doc with -D warnings plus\n\
+                 \x20                 all doctests\n\
                  \x20 conformance     run tests/conformance.rs under a pinned matrix\n\
                  \x20                 of schedule seeds (PMM_SEED)\n\
+                 \x20 trace-check     run tests/trace_attribution.rs (per-phase trace\n\
+                 \x20                 attribution vs eq. 3) under the pinned seed matrix\n\
                  \x20 fuzz-schedules  [budget-secs] run the schedule fuzzer with fresh\n\
                  \x20                 seeds until the budget (default 60 s) is spent\n\
                  \x20 fault-sweep     [budget-secs] run tests/fault_tolerance.rs under a\n\
@@ -123,12 +137,49 @@ fn check() -> ExitCode {
     let mut ok = run_steps(&[fmt_step(), clippy_step(), unwrap_step()]) == ExitCode::SUCCESS;
     eprintln!("xtask: keyword audit");
     ok &= unsafe_audit(&root);
+    ok &= docs() == ExitCode::SUCCESS;
     if ok {
         eprintln!("xtask: all checks passed");
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask: FAILED");
         ExitCode::FAILURE
+    }
+}
+
+/// The rustdoc gate: every public item documented (`missing_docs` is
+/// warn-level in the core crates and `-D warnings` promotes it here),
+/// every intra-doc link resolving, and every doctest passing. Doc'd
+/// targets are restricted to libraries because the `pmm` bin and the
+/// `pmm` lib collide on the output path (cargo #6313) — binaries have no
+/// public API surface to document anyway.
+fn docs() -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    eprintln!("xtask: rustdoc (-D warnings, lib targets)");
+    let status = Command::new(&cargo)
+        .args(["doc", "--workspace", "--no-deps", "--lib"])
+        .env("RUSTDOCFLAGS", "-D warnings")
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        _ => {
+            eprintln!("xtask: rustdoc gate FAILED");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask: doctests");
+    let status = Command::new(&cargo)
+        .args(["test", "--doc", "--workspace", "-q"])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        _ => {
+            eprintln!("xtask: doctests FAILED");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -172,6 +223,22 @@ fn conformance() -> ExitCode {
         }
     }
     eprintln!("xtask: conformance sweep passed under {} seeds", CONFORMANCE_SEEDS.len());
+    ExitCode::SUCCESS
+}
+
+/// The trace-attribution gate: `tests/trace_attribution.rs` (per-phase
+/// words from the structured trace vs the eq. 3 prediction, trace
+/// critical path vs the simulator clock, byte-stable Chrome export)
+/// under the same pinned seed matrix as the conformance sweep.
+fn trace_check() -> ExitCode {
+    for seed in CONFORMANCE_SEEDS {
+        eprintln!("xtask: trace attribution, PMM_SEED={seed}");
+        if !run_seeded_test("trace_attribution", seed, &[]) {
+            eprintln!("xtask: trace attribution FAILED — replay with PMM_SEED={seed}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask: trace attribution passed under {} seeds", CONFORMANCE_SEEDS.len());
     ExitCode::SUCCESS
 }
 
