@@ -37,7 +37,7 @@ use std::sync::{
 use std::time::Duration;
 
 use crate::fault::{FaultKick, FaultPlan, FaultState, MsgMeta};
-use crate::trace::{repro_hint, BlockPoint, SchedEvent, ScheduleTrace};
+use crate::trace::{BlockPoint, ChoicePoint, Repro, Resource, SchedEvent, Schedule, ScheduleTrace};
 use crate::verify::{lock_unpoisoned, CollectiveOp, SlotView, VerifyState, WaitInfo, WaitKind};
 
 /// Identifier of a communicator context. Every communicator created during
@@ -146,27 +146,61 @@ enum RankStatus {
 }
 
 struct SchedInner {
-    /// SplitMix64 state, seeded from the schedule seed.
+    /// SplitMix64 state, seeded from the schedule seed (untouched in
+    /// prefix-replay mode).
     rng: u64,
+    /// Next index into the prefix when the schedule is
+    /// [`Schedule::Prefix`]; counts picks either way.
+    cursor: usize,
     status: Vec<RankStatus>,
     attached: usize,
     /// The rank holding the execution baton, if any.
     current: Option<usize>,
     /// Totally-ordered event log (appended under this mutex).
     events: Vec<SchedEvent>,
+    /// First-class pick stream: one entry per scheduler pick, carrying
+    /// the runnable set, the chosen rank, and (filled in as the segment
+    /// executes) the fabric resources the segment touched.
+    choices: Vec<ChoicePoint>,
 }
 
-/// Seeded cooperative scheduler: present iff the world was built with
-/// [`World::with_seed`](crate::World::with_seed). Exactly one rank runs
-/// at a time; the baton changes hands at every blocking point and at
-/// every send / collective entry, with ties among runnable ranks broken
-/// by [`splitmix64`]. All scheduling decisions and fabric events are
-/// appended to `events` under one mutex, so the log is totally ordered
-/// and identical `(program, seed)` pairs replay byte-identically.
+/// Cooperative deterministic scheduler: present iff the world was built
+/// with [`World::with_seed`](crate::World::with_seed) or
+/// [`World::with_schedule`](crate::World::with_schedule). Exactly one
+/// rank runs at a time; the baton changes hands at every blocking point
+/// and at every send / collective entry. Ties among runnable ranks are
+/// resolved by the [`Schedule`]: a [`splitmix64`] draw when seeded, or
+/// by following a recorded choice prefix (then always picking the
+/// smallest runnable rank — the *canonical completion*) when replaying.
+/// All scheduling decisions and fabric events are appended to `events`
+/// under one mutex, so the log is totally ordered and identical
+/// `(program, schedule)` pairs replay byte-identically.
 struct DetState {
-    seed: u64,
+    schedule: Schedule,
     st: Mutex<SchedInner>,
     cv: Condvar,
+}
+
+/// What [`Fabric::sched_pick_locked`] decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PickOutcome {
+    /// The baton was handed to a runnable rank.
+    Picked,
+    /// Nobody is runnable, but nobody is blocked either (everyone done
+    /// or still attaching) — nothing to do.
+    Idle,
+    /// Provable deadlock: nobody runnable, nobody attaching, at least
+    /// one rank blocked.
+    Deadlock,
+    /// Prefix replay named a rank that is not runnable at this pick —
+    /// the prefix does not correspond to a reachable branch of this
+    /// program's schedule tree.
+    Diverged {
+        /// The rank the prefix demanded.
+        wanted: usize,
+        /// Zero-based pick index at which it diverged.
+        at: usize,
+    },
 }
 
 /// The shared fabric. One per [`World`](crate::world::World); ranks hold it
@@ -304,35 +338,83 @@ impl Fabric {
         fault_watch.is_some_and(|watch| self.fault_epoch() > watch)
     }
 
-    /// Switch this fabric into deterministic scheduling mode. Must be
-    /// called before any rank thread starts (the world does this between
-    /// constructing the fabric and spawning ranks).
-    pub(crate) fn enable_det(&mut self, seed: u64) {
+    /// Switch this fabric into deterministic scheduling mode under a
+    /// [`Schedule`]. Must be called before any rank thread starts (the
+    /// world does this between constructing the fabric and spawning
+    /// ranks).
+    pub(crate) fn enable_schedule(&mut self, schedule: Schedule) {
         let n = self.verify.world_size();
+        let rng = match &schedule {
+            Schedule::Seeded(seed) => *seed,
+            Schedule::Prefix(_) => 0,
+        };
         self.det = Some(DetState {
-            seed,
+            schedule,
             st: Mutex::new(SchedInner {
-                rng: seed,
+                rng,
+                cursor: 0,
                 status: vec![RankStatus::NotAttached; n],
                 attached: 0,
                 current: None,
                 events: Vec::new(),
+                choices: Vec::new(),
             }),
             cv: Condvar::new(),
         });
     }
 
-    /// The deterministic schedule seed, if deterministic mode is on —
-    /// used by fault reports to print a one-line replay recipe.
-    pub(crate) fn sched_seed(&self) -> Option<u64> {
-        self.det.as_ref().map(|det| det.seed)
+    /// The canonical replay recipe for this fabric's schedule, if
+    /// deterministic mode is on. In prefix mode the recipe names the
+    /// choices *actually made so far* (not just the configured prefix),
+    /// so a failure deep in the canonical completion still replays.
+    pub(crate) fn sched_repro(&self) -> Option<Repro> {
+        let det = self.det.as_ref()?;
+        let st = lock_unpoisoned(&det.st);
+        Some(Self::sched_repro_locked(det, &st))
+    }
+
+    fn sched_repro_locked(det: &DetState, st: &SchedInner) -> Repro {
+        match &det.schedule {
+            Schedule::Seeded(seed) => Repro::Seed(*seed),
+            Schedule::Prefix(_) => Repro::Prefix(st.choices.iter().map(|c| c.chosen).collect()),
+        }
     }
 
     /// Extract the recorded schedule trace (deterministic mode only).
+    /// Prefix-replay runs report seed 0 in the trace header; their
+    /// identity is the choice prefix, not a seed.
     pub(crate) fn take_sched_trace(&self) -> Option<ScheduleTrace> {
         let det = self.det.as_ref()?;
         let mut st = lock_unpoisoned(&det.st);
-        Some(ScheduleTrace { seed: det.seed, events: std::mem::take(&mut st.events) })
+        let seed = match &det.schedule {
+            Schedule::Seeded(seed) => *seed,
+            Schedule::Prefix(_) => 0,
+        };
+        Some(ScheduleTrace { seed, events: std::mem::take(&mut st.events) })
+    }
+
+    /// Extract the recorded [`ChoicePoint`] stream (deterministic mode
+    /// only).
+    pub(crate) fn take_choice_points(&self) -> Option<Vec<ChoicePoint>> {
+        let det = self.det.as_ref()?;
+        let mut st = lock_unpoisoned(&det.st);
+        Some(std::mem::take(&mut st.choices))
+    }
+
+    /// Record that the currently-running segment touched `res` — the
+    /// resource-footprint hook behind every mailbox post/pop, split
+    /// deposit, barrier arrival, and collective registration. Appends to
+    /// the latest [`ChoicePoint`] (deduplicated). No-op in free-running
+    /// mode. Callers may hold a primitive lock: the established lock
+    /// order is primitive → scheduler, never the reverse.
+    pub(crate) fn det_touch(&self, res: Resource) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        if let Some(cp) = st.choices.last_mut() {
+            if !cp.touched.contains(&res) {
+                cp.touched.push(res);
+            }
+        }
     }
 
     // ----- deterministic scheduler ------------------------------------------
@@ -347,9 +429,10 @@ impl Fabric {
         st.status[r] = RankStatus::Ready;
         st.attached += 1;
         if st.attached == st.status.len() {
-            Self::sched_pick_locked(det, &mut st);
+            self.sched_pick_and_wait(det, st, r);
+        } else {
+            self.sched_wait_for_baton(det, st, r);
         }
-        self.sched_wait_for_baton(det, st, r);
     }
 
     /// Release the baton at a blocking point whose condition is unmet;
@@ -364,28 +447,23 @@ impl Fabric {
         let mut st = lock_unpoisoned(&det.st);
         st.status[r] = RankStatus::Blocked;
         st.events.push(SchedEvent::Block { rank: r, point });
+        // The failed condition check *read* the blocking resource: a
+        // reordering against whoever writes it would change what this
+        // segment observed, so it belongs to the footprint.
+        let res = match point {
+            BlockPoint::Recv { ctx, index } => Resource::Mailbox { ctx, index },
+            BlockPoint::Split { ctx, seq } => Resource::SplitCell { ctx, seq },
+            BlockPoint::Barrier { .. } => Resource::Barrier,
+        };
+        if let Some(cp) = st.choices.last_mut() {
+            if !cp.touched.contains(&res) {
+                cp.touched.push(res);
+            }
+        }
         if st.current == Some(r) {
             st.current = None;
         }
-        if !Self::sched_pick_locked(det, &mut st) {
-            let stuck: Vec<usize> = st
-                .status
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &s)| (s == RankStatus::Blocked).then_some(i))
-                .collect();
-            drop(st);
-            let views = self.verify.snapshot();
-            let mut report = self.deadlock_report(&views, &stuck);
-            report.push_str(&format!(
-                "deterministic schedule seed: {} — {}\n",
-                det.seed,
-                repro_hint(det.seed)
-            ));
-            self.abort(report);
-            self.verify.abort_panic(r);
-        }
-        self.sched_wait_for_baton(det, st, r);
+        self.sched_pick_and_wait(det, st, r);
     }
 
     /// Re-ready every blocked rank after a progress event (message post,
@@ -413,12 +491,13 @@ impl Fabric {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
         st.events.push(SchedEvent::Post { from_world, ctx, to_world, words });
-        Self::sched_pick_locked(det, &mut st);
-        self.sched_wait_for_baton(det, st, from_world);
+        self.sched_pick_and_wait(det, st, from_world);
     }
 
     /// Record a collective entry in the schedule trace and yield the
-    /// baton, exactly like [`Fabric::sched_post_event`].
+    /// baton, exactly like [`Fabric::sched_post_event`]. The ledger
+    /// registration that precedes this call is part of the segment's
+    /// footprint.
     pub(crate) fn sched_collective_event(
         &self,
         rank: usize,
@@ -429,8 +508,13 @@ impl Fabric {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
         st.events.push(SchedEvent::Collective { rank, ctx, op, elems });
-        Self::sched_pick_locked(det, &mut st);
-        self.sched_wait_for_baton(det, st, rank);
+        let res = Resource::Ledger { ctx };
+        if let Some(cp) = st.choices.last_mut() {
+            if !cp.touched.contains(&res) {
+                cp.touched.push(res);
+            }
+        }
+        self.sched_pick_and_wait(det, st, rank);
     }
 
     /// Retire this rank from the scheduler (called from the world's rank
@@ -447,35 +531,43 @@ impl Fabric {
             st.current = None;
             if self.verify.is_aborted() {
                 det.cv.notify_all();
-            } else if !Self::sched_pick_locked(det, &mut st) {
-                let stuck: Vec<usize> = st
-                    .status
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, &s)| (s == RankStatus::Blocked).then_some(i))
-                    .collect();
-                drop(st);
-                let views = self.verify.snapshot();
-                let mut report = self.deadlock_report(&views, &stuck);
-                report.push_str(&format!(
-                    "deterministic schedule seed: {} — {}\n",
-                    det.seed,
-                    repro_hint(det.seed)
-                ));
-                // No abort_panic here: this may run inside a Drop while the
-                // rank is already unwinding. The blocked ranks observe the
-                // abort flag in their baton waits and tear themselves down.
-                self.abort(report);
+                return;
+            }
+            match Self::sched_pick_locked(det, &mut st) {
+                PickOutcome::Picked | PickOutcome::Idle => {}
+                // No abort_panic on the failure arms: this may run inside
+                // a Drop while the rank is already unwinding. The blocked
+                // ranks observe the abort flag in their baton waits and
+                // tear themselves down.
+                PickOutcome::Deadlock => {
+                    let stuck: Vec<usize> = st
+                        .status
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &s)| (s == RankStatus::Blocked).then_some(i))
+                        .collect();
+                    let repro = Self::sched_repro_locked(det, &st);
+                    drop(st);
+                    let views = self.verify.snapshot();
+                    let mut report = self.deadlock_report(&views, &stuck);
+                    report.push_str(&format!("deterministic schedule — {}\n", repro.hint()));
+                    self.abort(report);
+                }
+                PickOutcome::Diverged { wanted, at } => {
+                    let report = Self::diverged_report(det, &st, wanted, at);
+                    drop(st);
+                    self.abort(report);
+                }
             }
         }
     }
 
-    /// Hand the baton to a pseudo-randomly chosen runnable rank. Returns
-    /// `false` on a provable deadlock: nobody runnable, nobody still
-    /// attaching, but at least one rank blocked.
-    fn sched_pick_locked(det: &DetState, st: &mut SchedInner) -> bool {
-        // `ready` is ascending by construction, so the seeded draw below
-        // is a deterministic function of (status vector, rng state).
+    /// Hand the baton to the next runnable rank — drawn from the seeded
+    /// PRNG, or dictated by the prefix (then the smallest runnable rank,
+    /// the canonical completion). Records the pick as a [`ChoicePoint`].
+    fn sched_pick_locked(det: &DetState, st: &mut SchedInner) -> PickOutcome {
+        // `ready` is ascending by construction, so the pick below is a
+        // deterministic function of (status vector, schedule state).
         let ready: Vec<usize> = st
             .status
             .iter()
@@ -486,13 +578,68 @@ impl Fabric {
             st.current = None;
             let any_blocked = st.status.contains(&RankStatus::Blocked);
             let any_unattached = st.status.contains(&RankStatus::NotAttached);
-            return !any_blocked || any_unattached;
+            return if !any_blocked || any_unattached {
+                PickOutcome::Idle
+            } else {
+                PickOutcome::Deadlock
+            };
         }
-        let r = ready[(splitmix64(&mut st.rng) % ready.len() as u64) as usize];
+        let r = match &det.schedule {
+            Schedule::Seeded(_) => ready[(splitmix64(&mut st.rng) % ready.len() as u64) as usize],
+            Schedule::Prefix(prefix) => match prefix.get(st.cursor) {
+                Some(&want) if ready.contains(&want) => want,
+                Some(&want) => return PickOutcome::Diverged { wanted: want, at: st.cursor },
+                None => ready[0],
+            },
+        };
+        st.cursor += 1;
+        st.choices.push(ChoicePoint { ready, chosen: r, touched: Vec::new() });
         st.current = Some(r);
         st.events.push(SchedEvent::Pick { rank: r });
         det.cv.notify_all();
-        true
+        PickOutcome::Picked
+    }
+
+    /// Build the abort report for a [`PickOutcome::Diverged`] prefix.
+    fn diverged_report(det: &DetState, st: &SchedInner, wanted: usize, at: usize) -> String {
+        let repro = Self::sched_repro_locked(det, st);
+        format!(
+            "pmm-simnet: schedule prefix diverged at choice #{at}: the prefix demands rank \
+             {wanted}, which is not runnable there — the prefix does not name a reachable \
+             branch of this program's schedule tree\n\
+             choices made before the divergence: {}\n",
+            repro.hint()
+        )
+    }
+
+    /// Shared tail of every live pick site: pick, then either wait for
+    /// the baton or — on a provable deadlock / prefix divergence — abort
+    /// the world and tear the calling rank down with an `AbortPanic`.
+    fn sched_pick_and_wait(&self, det: &DetState, mut st: MutexGuard<'_, SchedInner>, r: usize) {
+        match Self::sched_pick_locked(det, &mut st) {
+            PickOutcome::Picked | PickOutcome::Idle => self.sched_wait_for_baton(det, st, r),
+            PickOutcome::Deadlock => {
+                let stuck: Vec<usize> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &s)| (s == RankStatus::Blocked).then_some(i))
+                    .collect();
+                let repro = Self::sched_repro_locked(det, &st);
+                drop(st);
+                let views = self.verify.snapshot();
+                let mut report = self.deadlock_report(&views, &stuck);
+                report.push_str(&format!("deterministic schedule — {}\n", repro.hint()));
+                self.abort(report);
+                self.verify.abort_panic(r);
+            }
+            PickOutcome::Diverged { wanted, at } => {
+                let report = Self::diverged_report(det, &st, wanted, at);
+                drop(st);
+                self.abort(report);
+                self.verify.abort_panic(r);
+            }
+        }
     }
 
     /// Park until the scheduler hands this rank the baton (or the world
@@ -537,6 +684,7 @@ impl Fabric {
         let mb = self.mailbox(ctx, to);
         lock_unpoisoned(&mb.q).push_back(msg);
         mb.cv.notify_all();
+        self.det_touch(Resource::Mailbox { ctx, index: to });
         // A delivery is a progress event: re-ready blocked ranks so the
         // deterministic scheduler lets them re-check their conditions.
         self.sched_unblock_all();
@@ -564,6 +712,7 @@ impl Fabric {
         let mb = self.mailbox(ctx, index);
         let mut q = lock_unpoisoned(&mb.q);
         if let Some(m) = q.pop_front() {
+            self.det_touch(Resource::Mailbox { ctx, index });
             return Some(m);
         }
         if self.fault_kicked(fault_watch) {
@@ -586,6 +735,7 @@ impl Fabric {
                 self.sched_block(me_world, BlockPoint::Recv { ctx, index });
                 q = lock_unpoisoned(&mb.q);
                 if let Some(m) = q.pop_front() {
+                    self.det_touch(Resource::Mailbox { ctx, index });
                     self.verify.clear_wait(me_world);
                     return Some(m);
                 }
@@ -626,6 +776,7 @@ impl Fabric {
         let entered_gen = st.generation;
         st.arrived[me_world] = true;
         st.count += 1;
+        self.det_touch(Resource::Barrier);
         if st.count == world_size {
             st.count = 0;
             st.arrived.iter_mut().for_each(|a| *a = false);
@@ -762,6 +913,7 @@ impl Fabric {
         }
         st.entries[my_parent_index] = Some((color, key, my_world_rank));
         st.arrived += 1;
+        self.det_touch(Resource::SplitCell { ctx: parent_ctx, seq });
         self.split_try_complete(&mut st);
         if st.result.is_some() {
             cell.cv.notify_all();

@@ -95,11 +95,12 @@ pub use fault::{FaultPlan, KillSpec, RankFailed, Straggler};
 pub use meter::{MemTracker, Meter};
 pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
 pub use trace::{
-    fuzz_schedules, seed_from_env, BlockPoint, SchedEvent, ScheduleDivergence, ScheduleTrace,
+    fuzz_schedules, repro_hint, schedule_from_env, seed_from_env, BlockPoint, ChoicePoint, Repro,
+    Resource, SchedEvent, Schedule, ScheduleDivergence, ScheduleTrace, SCHEDULE_ENV, SEED_ENV,
 };
 pub use tracer::{Attribution, CriticalPath, PhaseDiff, PhaseTotals, TraceEvent, TraceOp, Tracer};
 pub use verify::{CollectiveOp, VerifyConfig};
-pub use world::{RankReport, World, WorldResult};
+pub use world::{RankReport, RunFailure, World, WorldResult};
 
 // Re-export the model vocabulary users need alongside the simulator.
 pub use pmm_model::{Cost, MachineParams};

@@ -162,8 +162,8 @@ impl Rank {
         }
         self.op_count += 1;
         if self.kill_at == Some(self.op_count) {
-            let seed_note = match self.fabric.sched_seed() {
-                Some(seed) => format!("PMM_SEED={seed}, "),
+            let seed_note = match self.fabric.sched_repro().and_then(|r| r.env()) {
+                Some(env) => format!("{env}, "),
                 None => String::new(),
             };
             let fault_seed = self.fabric.fault().map_or(0, |f| f.seed);

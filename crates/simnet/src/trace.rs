@@ -38,6 +38,212 @@ use crate::world::World;
 /// Environment variable consulted by [`seed_from_env`].
 pub const SEED_ENV: &str = "PMM_SEED";
 
+/// Environment variable consulted by [`schedule_from_env`]: a full
+/// [`Schedule`] in its `Display` syntax (`seed:N` or `prefix:0,2,1`),
+/// taking precedence over [`SEED_ENV`].
+pub const SCHEDULE_ENV: &str = "PMM_SCHEDULE";
+
+/// A fabric resource read or written by one scheduled execution segment
+/// (the slice of a rank's run between two scheduler picks). Two segments
+/// whose resource footprints are disjoint commute: swapping their order
+/// cannot change any rank's observations — the independence relation
+/// DPOR-style exploration ([`pmm-explore`]) prunes with.
+///
+/// [`pmm-explore`]: https://docs.rs/pmm-explore
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// One member's mailbox queue on one communicator context (posts,
+    /// pops, and failed emptiness checks all touch it).
+    Mailbox {
+        /// Communicator context of the mailbox.
+        ctx: Ctx,
+        /// Owner's member index within the communicator.
+        index: usize,
+    },
+    /// A split rendezvous cell (deposits and result reads).
+    SplitCell {
+        /// Parent communicator context.
+        ctx: Ctx,
+        /// Per-parent split sequence number.
+        seq: u64,
+    },
+    /// The zero-cost world barrier (arrivals and generation checks).
+    Barrier,
+    /// A communicator context's collective-matching ledger
+    /// (registrations from `collective_begin`).
+    Ledger {
+        /// Communicator context of the ledger.
+        ctx: Ctx,
+    },
+}
+
+/// One deterministic-scheduler pick, first-class: the runnable set the
+/// scheduler chose from, the rank it handed the baton to, and the fabric
+/// resources the chosen rank's segment touched before the next pick.
+/// [`WorldResult::choice_points`] returns the full stream for a
+/// deterministic run; replaying a *prefix* of chosen ranks (see
+/// [`Schedule::Prefix`]) steers a re-run down the same branch and then
+/// completes canonically — the substrate for schedule-space exploration.
+///
+/// [`WorldResult::choice_points`]: crate::WorldResult
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Runnable ranks at the pick, ascending.
+    pub ready: Vec<usize>,
+    /// The rank picked.
+    pub chosen: usize,
+    /// Resources touched by the chosen rank's segment (deduplicated,
+    /// in first-touch order).
+    pub touched: Vec<Resource>,
+}
+
+/// How the deterministic scheduler resolves its pick points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schedule {
+    /// Break ties with a SplitMix64 stream seeded with the value — the
+    /// classic [`World::with_seed`] mode.
+    ///
+    /// [`World::with_seed`]: crate::World::with_seed
+    Seeded(u64),
+    /// Follow the recorded choice prefix (one chosen rank per pick); once
+    /// the prefix is exhausted, complete canonically by always picking
+    /// the smallest runnable rank. A prefix of ranks actually chosen by
+    /// a prior run replays that run's branch exactly; the empty prefix
+    /// is the fully-canonical schedule.
+    Prefix(Vec<usize>),
+}
+
+impl Schedule {
+    /// The canonical repro hint for runs under this schedule.
+    pub fn repro(&self) -> Repro {
+        match self {
+            Schedule::Seeded(s) => Repro::Seed(*s),
+            Schedule::Prefix(p) => Repro::Prefix(p.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Seeded(s) => write!(f, "seed:{s}"),
+            Schedule::Prefix(p) => {
+                write!(f, "prefix:")?;
+                for (i, r) in p.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Schedule, String> {
+        let t = s.trim();
+        let parse_u64 = |v: &str| -> Result<u64, String> {
+            let v = v.trim();
+            match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            }
+            .map_err(|_| format!("{v:?} is not a u64 (decimal or 0x-prefixed hex)"))
+        };
+        if let Some(v) = t.strip_prefix("seed:") {
+            return Ok(Schedule::Seeded(parse_u64(v)?));
+        }
+        if let Some(v) = t.strip_prefix("prefix:") {
+            let v = v.trim();
+            if v.is_empty() {
+                return Ok(Schedule::Prefix(Vec::new()));
+            }
+            let ranks: Result<Vec<usize>, String> = v
+                .split(',')
+                .map(|r| r.trim().parse().map_err(|_| format!("{r:?} is not a rank id (usize)")))
+                .collect();
+            return Ok(Schedule::Prefix(ranks?));
+        }
+        Ok(Schedule::Seeded(parse_u64(t)?))
+    }
+}
+
+/// The canonical replay recipe for one run — *the* single place failure
+/// paths get their repro hint from, whether the run was seeded, was
+/// steered by a choice prefix, or ran free. Every schedule-sensitive
+/// failure message in this workspace renders one of these (via
+/// [`Repro::hint`] for the one-line recipe or [`Repro::note`] for the
+/// bracketed context suffix) instead of hand-formatting env vars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Repro {
+    /// The run was not deterministic; there is nothing to replay.
+    Unseeded,
+    /// Replay by seed: `PMM_SEED=<seed>`.
+    Seed(u64),
+    /// Replay by choice prefix: `PMM_SCHEDULE=prefix:<r0,r1,...>`.
+    Prefix(Vec<usize>),
+}
+
+impl Repro {
+    /// The bare environment-variable assignment that replays this
+    /// schedule (`PMM_SEED=7`, `PMM_SCHEDULE=prefix:0,2,1`), or `None`
+    /// when the run was not deterministic. The single source of truth
+    /// every repro-printing failure path formats from.
+    pub fn env(&self) -> Option<String> {
+        match self {
+            Repro::Unseeded => None,
+            Repro::Seed(seed) => Some(format!("{SEED_ENV}={seed}")),
+            Repro::Prefix(p) => Some(format!("{SCHEDULE_ENV}={}", Schedule::Prefix(p.clone()))),
+        }
+    }
+
+    /// One-line replay recipe in env-var form.
+    pub fn hint(&self) -> String {
+        match self.env() {
+            None => "use World::with_seed(..) to make this run replayable".to_string(),
+            Some(env) => format!("re-run with {env} to replay this schedule"),
+        }
+    }
+
+    /// The bracketed context note world-level failure messages append:
+    /// what kind of schedule ran, plus the replay recipe.
+    pub fn note(&self) -> String {
+        match self {
+            Repro::Unseeded => format!("nondeterministic schedule (no seed); {}", self.hint()),
+            Repro::Seed(seed) => format!("schedule seed {seed}; {}", self.hint()),
+            Repro::Prefix(p) => {
+                format!("deterministic schedule prefix ({} choices); {}", p.len(), self.hint())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Repro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hint())
+    }
+}
+
+/// Read the full schedule from the `PMM_SCHEDULE` environment variable
+/// (`seed:N`, `prefix:0,2,1`, or a bare integer meaning a seed), falling
+/// back to `PMM_SEED`, falling back to `default`. The schedule analogue
+/// of [`seed_from_env`] for tools that also accept choice prefixes.
+pub fn schedule_from_env(default: Schedule) -> Schedule {
+    match std::env::var(SCHEDULE_ENV) {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("{SCHEDULE_ENV}={s:?} is not a valid schedule: {e}")),
+        Err(_) => match std::env::var(SEED_ENV) {
+            Ok(_) => Schedule::Seeded(seed_from_env(0)),
+            Err(_) => default,
+        },
+    }
+}
+
 /// The blocking point a rank yielded the scheduler baton at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockPoint {
@@ -193,9 +399,10 @@ impl ScheduleTrace {
 }
 
 /// One-line repro command for a failing seed — printed in every
-/// deterministic-mode failure message.
+/// deterministic-mode failure message. Shorthand for
+/// [`Repro::Seed`]`(seed).hint()`.
 pub fn repro_hint(seed: u64) -> String {
-    format!("re-run with {SEED_ENV}={seed} to replay this schedule")
+    Repro::Seed(seed).hint()
 }
 
 /// Read the schedule seed from the `PMM_SEED` environment variable
@@ -350,6 +557,40 @@ mod tests {
         let msg = err.downcast_ref::<String>().expect("panic message is a String");
         assert!(msg.contains("event 0"), "{msg}");
         assert!(msg.contains("PMM_SEED=9"), "{msg}");
+    }
+
+    #[test]
+    fn schedule_display_parse_round_trips() {
+        for sched in [
+            Schedule::Seeded(0),
+            Schedule::Seeded(0xDEAD_BEEF),
+            Schedule::Prefix(vec![]),
+            Schedule::Prefix(vec![3]),
+            Schedule::Prefix(vec![0, 2, 1, 1]),
+        ] {
+            let rendered = sched.to_string();
+            let parsed: Schedule = rendered.parse().unwrap_or_else(|e| panic!("{rendered}: {e}"));
+            assert_eq!(parsed, sched, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn schedule_parses_bare_and_hex_seeds() {
+        assert_eq!("42".parse::<Schedule>().unwrap(), Schedule::Seeded(42));
+        assert_eq!("seed:0x2a".parse::<Schedule>().unwrap(), Schedule::Seeded(42));
+        assert_eq!("prefix: 1, 2 ,3".parse::<Schedule>().unwrap(), Schedule::Prefix(vec![1, 2, 3]));
+        assert!("prefix:1,x".parse::<Schedule>().is_err());
+        assert!("seed:zebra".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn repro_hints_name_the_env_var_form() {
+        assert!(Repro::Seed(7).hint().contains("PMM_SEED=7"));
+        let p = Repro::Prefix(vec![0, 2, 1]);
+        assert!(p.hint().contains("PMM_SCHEDULE=prefix:0,2,1"), "{}", p.hint());
+        assert!(Repro::Unseeded.hint().contains("with_seed"));
+        assert!(Repro::Seed(9).note().contains("schedule seed 9"));
+        assert!(Repro::Prefix(vec![1]).note().contains("1 choices"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::fabric::Fabric;
 use crate::fault::{FaultPanic, FaultPlan};
 use crate::meter::Meter;
 use crate::rank::Rank;
-use crate::trace::{repro_hint, ScheduleTrace};
+use crate::trace::{ChoicePoint, Repro, Schedule, ScheduleTrace};
 use crate::tracer::{TraceEvent, Tracer};
 use crate::verify::{lock_unpoisoned, AbortPanic, VerifyConfig, VerifyState};
 
@@ -83,7 +83,7 @@ pub struct World {
     trace: bool,
     stack_bytes: usize,
     verify: VerifyConfig,
-    seed: Option<u64>,
+    schedule: Option<Schedule>,
     faults: Option<FaultPlan>,
 }
 
@@ -98,7 +98,7 @@ impl World {
             trace: false,
             stack_bytes: 4 << 20,
             verify: VerifyConfig::default(),
-            seed: None,
+            schedule: None,
             faults: None,
         }
     }
@@ -113,8 +113,21 @@ impl World {
     /// [`seed_from_env`](crate::trace::seed_from_env) and
     /// [`fuzz_schedules`](crate::trace::fuzz_schedules).
     #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> World {
-        self.seed = Some(seed);
+    pub fn with_seed(self, seed: u64) -> World {
+        self.with_schedule(Schedule::Seeded(seed))
+    }
+
+    /// Run under the deterministic scheduler with an explicit
+    /// [`Schedule`]: either [`Schedule::Seeded`] (what [`World::with_seed`]
+    /// is sugar for) or [`Schedule::Prefix`] — replay a recorded choice
+    /// prefix pick by pick, then complete canonically by always picking
+    /// the smallest runnable rank. Prefix runs record the same trace and
+    /// [`ChoicePoint`] stream as seeded runs ([`WorldResult::choice_points`]),
+    /// which is what schedule-space exploration (`pmm-explore`) drives:
+    /// each explored branch is just a `World` run with a longer prefix.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> World {
+        self.schedule = Some(schedule);
         self
     }
 
@@ -197,6 +210,11 @@ impl World {
         self.size
     }
 
+    /// The canonical replay recipe for runs of this world configuration.
+    pub fn repro(&self) -> Repro {
+        self.schedule.as_ref().map_or(Repro::Unseeded, Schedule::repro)
+    }
+
     /// Run `program` on every rank simultaneously and collect the results.
     ///
     /// Panics in any rank propagate (with the rank id) after all threads
@@ -207,17 +225,69 @@ impl World {
         T: Send,
         F: Fn(&mut Rank) -> T + Send + Sync,
     {
+        match self.run_impl(program) {
+            Ok(out) => out,
+            Err(raw) => {
+                let note = raw.repro.note();
+                match raw.error {
+                    RunError::Report(report) => panic!("{report}\n[{note}]"),
+                    RunError::RankPanic { rank, payload } => {
+                        eprintln!("pmm-simnet: rank {rank} panicked [{note}]");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`World::run`], but capture every failure — rank panic,
+    /// verifier abort, unhandled rank failure, strict-drain violation —
+    /// as a [`RunFailure`] value instead of panicking. The failure
+    /// carries whatever the deterministic scheduler recorded before the
+    /// run died (trace, [`ChoicePoint`] stream, replay recipe), which is
+    /// what lets schedule-space exploration keep walking the choice tree
+    /// through failing branches.
+    pub fn try_run<T, F>(&self, program: F) -> Result<WorldResult<T>, RunFailure>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
+        self.run_impl(program).map_err(|raw| {
+            let report = match raw.error {
+                RunError::Report(r) => r,
+                RunError::RankPanic { rank, payload } => {
+                    format!("pmm-simnet: rank {rank} panicked: {}", panic_message(&*payload))
+                }
+            };
+            RunFailure {
+                report,
+                repro: raw.repro,
+                schedule_trace: raw.schedule_trace,
+                choice_points: raw.choice_points,
+            }
+        })
+    }
+
+    fn run_impl<T, F>(&self, program: F) -> Result<WorldResult<T>, RunFailureRaw>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
         silence_abort_teardown_panics();
         let mut fabric = Fabric::new(self.size);
-        if let Some(seed) = self.seed {
-            fabric.enable_det(seed);
+        if let Some(schedule) = &self.schedule {
+            fabric.enable_schedule(schedule.clone());
         }
         if let Some(plan) = &self.faults {
             // No explicit fault seed: derive one from the schedule seed's
-            // SplitMix64 stream (0 for unseeded worlds), so a single
-            // PMM_SEED pins both the interleaving and the fault pattern.
+            // SplitMix64 stream (0 for unseeded and prefix-replay
+            // worlds), so a single PMM_SEED pins both the interleaving
+            // and the fault pattern.
             let fault_seed = plan.seed.unwrap_or_else(|| {
-                let mut s = self.seed.unwrap_or(0);
+                let mut s = match &self.schedule {
+                    Some(Schedule::Seeded(seed)) => *seed,
+                    _ => 0,
+                };
                 crate::fabric::splitmix64(&mut s)
             });
             fabric.enable_faults(plan.clone(), fault_seed);
@@ -230,7 +300,7 @@ impl World {
         }
         let strict_drain = self.verify.strict_drain;
 
-        std::thread::scope(|scope| {
+        let scope_result: Result<(), RunError> = std::thread::scope(|scope| {
             // Stop signal for the watchdog: flag + condvar so shutdown is
             // immediate rather than waiting out a scan interval.
             let watchdog_stop = Arc::new((Mutex::new(false), Condvar::new()));
@@ -282,10 +352,14 @@ impl World {
                         let value = program(&mut rank);
                         if strict_drain {
                             if let Some(desc) = rank.undrained_stash() {
-                                panic!(
+                                // A verifier abort, not a rank panic: the
+                                // violation surfaces as a report and the
+                                // AbortPanic teardown stays quiet.
+                                fabric.abort(format!(
                                     "pmm-verify: rank {r} finished with undrained receive \
                                      stash: {desc}"
-                                );
+                                ));
+                                fabric.verify.abort_panic(r);
                             }
                         }
                         let report = RankReport {
@@ -329,42 +403,50 @@ impl World {
                 h.join().expect("watchdog thread panicked");
             }
 
-            // Every failure path names the schedule seed (or its absence)
-            // so a failing interleaving can be replayed exactly.
-            let seed_note = || match self.seed {
-                Some(seed) => format!("schedule seed {seed}; {}", repro_hint(seed)),
-                None => "nondeterministic schedule (no seed); use World::with_seed(..) \
-                         to make this run replayable"
-                    .to_string(),
-            };
             if let Some((r, payload)) = first_panic {
-                eprintln!("pmm-simnet: rank {r} panicked [{}]", seed_note());
-                std::panic::resume_unwind(payload);
+                return Err(RunError::RankPanic { rank: r, payload });
             }
             if fabric.verify.is_aborted() {
                 let report =
                     fabric.verify.report_text().or(abort_note).unwrap_or_else(|| {
                         "pmm-verify: world aborted with no stored report".into()
                     });
-                panic!("{report}\n[{}]", seed_note());
+                return Err(RunError::Report(report));
             }
             if let Some(detail) = fault_note {
-                panic!(
+                return Err(RunError::Report(format!(
                     "pmm-fault: rank failure was not handled by the program — {detail}\n\
-                     (wrap the failable region in Rank::catch_failures to recover)\n[{}]",
-                    seed_note()
-                );
+                     (wrap the failable region in Rank::catch_failures to recover)"
+                )));
             }
+            Ok(())
         });
+
+        // Every failure path harvests the scheduler's artifacts and the
+        // canonical replay recipe exactly once, here — prefix replays
+        // report the choices actually made, seeded runs their seed.
+        let fail = |fabric: &Fabric, error: RunError| RunFailureRaw {
+            error,
+            repro: fabric.sched_repro().unwrap_or(Repro::Unseeded),
+            schedule_trace: fabric.take_sched_trace(),
+            choice_points: fabric.take_choice_points(),
+        };
+        if let Err(error) = scope_result {
+            return Err(fail(&fabric, error));
+        }
 
         if strict_drain {
             let residual = fabric.residual_messages();
-            assert!(
-                residual.is_empty(),
-                "pmm-verify: world finished with {} undrained mailbox(es) \
-                 [(ctx, member, messages)]: {residual:?}",
-                residual.len()
-            );
+            if !residual.is_empty() {
+                return Err(fail(
+                    &fabric,
+                    RunError::Report(format!(
+                        "pmm-verify: world finished with {} undrained mailbox(es) \
+                         [(ctx, member, messages)]: {residual:?}",
+                        residual.len()
+                    )),
+                ));
+            }
         }
 
         let (values, reports): (Vec<T>, Vec<RankReport>) =
@@ -375,20 +457,84 @@ impl World {
             let recv: u64 = reports.iter().map(|r| r.meter.words_recv).sum();
             let msent: u64 = reports.iter().map(|r| r.meter.msgs_sent).sum();
             let mrecv: u64 = reports.iter().map(|r| r.meter.msgs_recv).sum();
-            assert!(
-                sent == recv && msent == mrecv,
-                "pmm-verify: meter conservation violated: {sent} words sent vs {recv} received, \
-                 {msent} messages sent vs {mrecv} received"
-            );
+            if sent != recv || msent != mrecv {
+                return Err(fail(
+                    &fabric,
+                    RunError::Report(format!(
+                        "pmm-verify: meter conservation violated: {sent} words sent vs {recv} \
+                         received, {msent} messages sent vs {mrecv} received"
+                    )),
+                ));
+            }
         }
-        WorldResult {
+        Ok(WorldResult {
             params: self.params,
             values,
             reports,
             schedule_trace: fabric.take_sched_trace(),
-        }
+            choice_points: fabric.take_choice_points(),
+        })
     }
 }
+
+/// How a run died, before formatting.
+enum RunError {
+    /// A report-shaped failure (verifier abort, unhandled rank failure,
+    /// strict-drain violation).
+    Report(String),
+    /// A rank's program panicked with its own payload.
+    RankPanic { rank: usize, payload: Box<dyn std::any::Any + Send> },
+}
+
+/// [`World::run_impl`]'s error: the failure plus the scheduler artifacts
+/// harvested from the fabric.
+struct RunFailureRaw {
+    error: RunError,
+    repro: Repro,
+    schedule_trace: Option<ScheduleTrace>,
+    choice_points: Option<Vec<ChoicePoint>>,
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(AbortPanic(s)) = payload.downcast_ref::<AbortPanic>() {
+        s.clone()
+    } else if let Some(FaultPanic(f)) = payload.downcast_ref::<FaultPanic>() {
+        f.to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A failed [`World::try_run`], as a value: the failure report, the
+/// canonical replay recipe ([`Repro`]), and the schedule artifacts
+/// recorded before the run died.
+#[derive(Debug)]
+pub struct RunFailure {
+    /// The failure report (verifier report, rank panic text, fault note,
+    /// strict-drain violation, ...).
+    pub report: String,
+    /// Canonical replay recipe for this run's schedule.
+    pub repro: Repro,
+    /// Schedule trace recorded up to the failure; `Some` iff the run was
+    /// deterministic.
+    pub schedule_trace: Option<ScheduleTrace>,
+    /// [`ChoicePoint`] stream recorded up to the failure; `Some` iff the
+    /// run was deterministic.
+    pub choice_points: Option<Vec<ChoicePoint>>,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n[{}]", self.report, self.repro.note())
+    }
+}
+
+impl std::error::Error for RunFailure {}
 
 /// Final accounting for one rank.
 #[derive(Debug, Clone)]
@@ -418,9 +564,17 @@ pub struct WorldResult<T> {
     /// Per-rank reports, indexed by world rank.
     pub reports: Vec<RankReport>,
     /// The recorded schedule trace; `Some` iff the world ran under
-    /// [`World::with_seed`]. Byte-identical across runs of the same
-    /// `(program, seed)` pair — see [`ScheduleTrace::render`].
+    /// [`World::with_seed`] / [`World::with_schedule`]. Byte-identical
+    /// across runs of the same `(program, schedule)` pair — see
+    /// [`ScheduleTrace::render`].
     pub schedule_trace: Option<ScheduleTrace>,
+    /// The recorded scheduler pick stream; `Some` iff the world ran
+    /// deterministically. One [`ChoicePoint`] per pick: the runnable
+    /// set, the chosen rank, and the fabric resources the chosen
+    /// segment touched — the raw material for schedule-space
+    /// exploration (replay any prefix of `chosen` values via
+    /// [`Schedule::Prefix`] to steer a re-run down the same branch).
+    pub choice_points: Option<Vec<ChoicePoint>>,
 }
 
 impl<T> WorldResult<T> {
@@ -578,6 +732,89 @@ mod tests {
     fn unseeded_runs_record_no_trace() {
         let out = World::new(2, MachineParams::BANDWIDTH_ONLY).run(gather_program);
         assert!(out.schedule_trace.is_none());
+    }
+
+    #[test]
+    fn choice_points_record_ready_sets_and_footprints() {
+        let out = World::new(4, MachineParams::BANDWIDTH_ONLY).with_seed(11).run(gather_program);
+        let choices = out.choice_points.expect("deterministic run records choice points");
+        assert!(!choices.is_empty());
+        for cp in &choices {
+            assert!(cp.ready.contains(&cp.chosen), "{cp:?}");
+            assert!(cp.ready.windows(2).all(|w| w[0] < w[1]), "ready must be ascending: {cp:?}");
+        }
+        assert!(
+            choices.iter().any(|cp| !cp.touched.is_empty()),
+            "a gather must touch mailboxes somewhere"
+        );
+        let unseeded = World::new(2, MachineParams::BANDWIDTH_ONLY).run(gather_program);
+        assert!(unseeded.choice_points.is_none());
+    }
+
+    #[test]
+    fn full_prefix_replay_reproduces_the_seeded_run() {
+        let seeded = World::new(5, MachineParams::BANDWIDTH_ONLY).with_seed(3).run(gather_program);
+        let prefix: Vec<usize> =
+            seeded.choice_points.as_ref().expect("choices").iter().map(|c| c.chosen).collect();
+        let replay = World::new(5, MachineParams::BANDWIDTH_ONLY)
+            .with_schedule(Schedule::Prefix(prefix.clone()))
+            .run(gather_program);
+        assert_eq!(replay.values, seeded.values);
+        assert_eq!(
+            seeded.schedule_trace.expect("trace").events,
+            replay.schedule_trace.expect("trace").events,
+            "replaying the full chosen prefix must reproduce the event log"
+        );
+        let replayed: Vec<usize> =
+            replay.choice_points.expect("choices").iter().map(|c| c.chosen).collect();
+        assert_eq!(replayed, prefix);
+    }
+
+    #[test]
+    fn empty_prefix_is_the_canonical_schedule_and_is_deterministic() {
+        let run = || {
+            World::new(4, MachineParams::BANDWIDTH_ONLY)
+                .with_schedule(Schedule::Prefix(Vec::new()))
+                .run(gather_program)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.values, b.values);
+        assert_eq!(
+            a.schedule_trace.expect("trace").events,
+            b.schedule_trace.expect("trace").events
+        );
+    }
+
+    #[test]
+    fn diverging_prefix_aborts_with_a_prefix_repro() {
+        let err = std::panic::catch_unwind(|| {
+            World::new(2, MachineParams::BANDWIDTH_ONLY)
+                .with_schedule(Schedule::Prefix(vec![1, 1, 1, 1, 1, 1, 1, 1]))
+                .run(|_| ())
+        })
+        .expect_err("a prefix that demands a finished rank must abort");
+        let msg = err.downcast_ref::<String>().expect("panic message is a String");
+        assert!(msg.contains("schedule prefix diverged"), "{msg}");
+        assert!(msg.contains("PMM_SCHEDULE=prefix:1"), "{msg}");
+    }
+
+    #[test]
+    fn try_run_captures_deadlock_as_a_value_with_choices() {
+        let failure = World::new(2, MachineParams::BANDWIDTH_ONLY)
+            .without_watchdog()
+            .with_schedule(Schedule::Prefix(Vec::new()))
+            .try_run(|r| {
+                let wc = r.world_comm();
+                if r.world_rank() == 0 {
+                    r.recv(&wc, 1);
+                }
+            })
+            .expect_err("deadlocked run must fail");
+        assert!(failure.report.contains("deadlock detected"), "{}", failure.report);
+        assert!(matches!(failure.repro, crate::trace::Repro::Prefix(_)), "{:?}", failure.repro);
+        assert!(failure.to_string().contains("PMM_SCHEDULE=prefix:"), "{failure}");
+        let choices = failure.choice_points.expect("choices recorded up to the failure");
+        assert!(!choices.is_empty());
     }
 
     #[test]

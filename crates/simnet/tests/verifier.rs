@@ -135,6 +135,74 @@ fn matching_program_runs_clean_under_full_verification() {
     }
 }
 
+mod split_subcomms_with_faults {
+    //! The collective-matching lint must keep working inside split
+    //! sub-communicators while message faults are armed — i.e. while the
+    //! reliable-delivery layer's retransmissions interleave with
+    //! `Comm::split` rendezvous and sub-communicator traffic.
+
+    use super::*;
+    use pmm_simnet::FaultPlan;
+
+    /// Drop/duplicate plan aggressive enough to force retries into the
+    /// middle of the split + subcomm phases.
+    fn faults() -> FaultPlan {
+        FaultPlan::none().with_seed(0xFA17).with_drop(0.25).with_duplicate(0.15)
+    }
+
+    /// Shared program shape: split the world into evens/odds, ring-shift
+    /// inside the subcomm (generating retried traffic), then register an
+    /// all-reduce on the subcomm. `skewed_elems` makes world rank 3
+    /// disagree on the element count inside its subcomm.
+    fn run(skewed_elems: bool) -> Result<f64, String> {
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            World::new(4, MachineParams::BANDWIDTH_ONLY)
+                .with_watchdog(WATCHDOG)
+                .with_seed(0xC0DE)
+                .with_faults(faults())
+                .run(move |rank| {
+                    let wc = rank.world_comm();
+                    let me = rank.world_rank();
+                    let sub = rank
+                        .split(&wc, (me % 2) as i64, me as i64)
+                        .expect("non-negative colors always yield a subcomm");
+                    // Subcomm traffic under faults: dropped messages are
+                    // retransmitted, interleaving with the collective
+                    // registrations below.
+                    let peer = 1 - sub.index();
+                    let got = rank.exchange(&sub, peer, peer, &[me as f64; 8]).payload[0];
+                    let elems = if skewed_elems && me == 3 { 7 } else { 64 };
+                    rank.collective_begin(&sub, CollectiveOp::AllReduce, elems);
+                    rank.hard_sync();
+                    got
+                })
+        }));
+        match result {
+            Ok(out) => Ok(out.values.iter().sum()),
+            Err(payload) => Err(panic_text(payload)),
+        }
+    }
+
+    #[test]
+    fn mismatch_in_a_subcomm_is_flagged_with_faults_armed() {
+        let report = run(true).expect_err("skewed subcomm counts must abort");
+        assert!(report.contains("collective mismatch"), "missing headline: {report}");
+        assert!(report.contains("64"), "missing majority count: {report}");
+        assert!(report.contains("7"), "missing skewed count: {report}");
+        // The repro hint must name the deterministic schedule.
+        assert!(report.contains("PMM_SEED="), "missing seed repro: {report}");
+    }
+
+    #[test]
+    fn matching_subcomm_collectives_run_clean_with_faults_armed() {
+        // The valid twin: identical split + retried traffic + subcomm
+        // registrations, but every member agrees — no false positive
+        // from retransmissions crossing the split rendezvous.
+        let sum = run(false).expect("matching subcomm collectives must pass");
+        assert_eq!(sum, 0.0 + 1.0 + 2.0 + 3.0, "ring exchange payloads survived the faults");
+    }
+}
+
 mod split_order {
     use super::*;
     use proptest::prelude::*;

@@ -49,11 +49,13 @@
 //! | [`dense`] (`pmm-dense`) | matrices, partitioning, local kernels |
 //! | [`bounds`] (`pmm-core`) | **the paper**: Lemma 2, Theorem 3, grids |
 //! | [`algs`] (`pmm-algs`) | Algorithm 1 + Cannon/SUMMA/2.5D baselines |
+//! | [`explore`] (`pmm-explore`) | schedule-space exploration + program synthesis |
 
 pub use pmm_algs as algs;
 pub use pmm_collectives as collectives;
 pub use pmm_core as bounds;
 pub use pmm_dense as dense;
+pub use pmm_explore as explore;
 pub use pmm_model as model;
 pub use pmm_simnet as simnet;
 
@@ -84,8 +86,14 @@ pub mod prelude {
         alg1_prediction, recovery_prediction, Alg1Prediction, Case, Cost, Grid3, MachineParams,
         MatMulDims, MatrixId, RecoveryPrediction, SortedDims,
     };
+    // `Strategy` is aliased here for the same reason as the advisor's.
+    pub use pmm_explore::{
+        explore, explore_checked, explore_outcomes, ExploreConfig, ExploreReport, ScheduleFailure,
+        Strategy as ExploreStrategy,
+    };
     pub use pmm_simnet::{
-        fuzz_schedules, seed_from_env, Attribution, Comm, CriticalPath, FaultPlan, Meter, Rank,
-        RankFailed, ScheduleTrace, TraceEvent, TraceOp, Tracer, World, WorldResult,
+        fuzz_schedules, schedule_from_env, seed_from_env, Attribution, ChoicePoint, Comm,
+        CriticalPath, FaultPlan, Meter, Rank, RankFailed, Repro, Resource, RunFailure, Schedule,
+        ScheduleTrace, TraceEvent, TraceOp, Tracer, World, WorldResult, SCHEDULE_ENV,
     };
 }

@@ -8,10 +8,11 @@
 //!    `clippy::unwrap_used`: library and binary code must use `expect()`
 //!    with a message naming the violated invariant (tests are exempt via
 //!    `clippy.toml`'s `allow-unwrap-in-tests`).
-//! 4. An unsafe-code audit: the workspace denies the `unsafe_code` lint
-//!    and is expected to contain zero such tokens; the audit greps every
-//!    workspace `.rs` file (comments excluded) so even `#[allow]`-escaped
-//!    blocks are caught.
+//! 4. A keyword audit: the workspace denies the `unsafe_code` lint and
+//!    the `clippy::todo`/`clippy::dbg_macro` lints, and is expected to
+//!    contain zero such tokens; the audit greps every workspace `.rs`
+//!    file (comments excluded) so even `#[allow]`-escaped blocks are
+//!    caught.
 //! 5. `cargo xtask docs` (also run standalone) — rustdoc with
 //!    `-D warnings` over every library target plus all doctests, so the
 //!    documented-public-API policy (`#![warn(missing_docs)]` in the core
@@ -32,7 +33,14 @@
 //! * `cargo xtask fault-sweep [budget-secs]` — the fault-injection suite
 //!   (`tests/fault_tolerance.rs`) under a pinned matrix of schedule
 //!   seeds × message fault rates (each rate exported as
-//!   `PMM_FAULT_RATE`), wall-clock capped (default 300 s).
+//!   `PMM_FAULT_RATE`), wall-clock capped (default 300 s);
+//! * `cargo xtask dpor [budget-secs]` — the schedule-space race checker
+//!   (`tests/explore.rs`, release mode): exhaustive interleaving
+//!   certificates for the pinned collective workloads, budgeted frontier
+//!   exploration of Algorithm 1, and a ≥ 1000-program generator soak
+//!   against the intent oracle. Collects the tests' `DPOR:` metric lines
+//!   into `BENCH_explore.json` (schedules/sec, states pruned, programs
+//!   generated). Failures print a `PMM_SCHEDULE=prefix:...` repro line.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -45,7 +53,7 @@ fn main() -> ExitCode {
         Some("fmt") => run_steps(&[fmt_step()]),
         Some("clippy") => run_steps(&[clippy_step(), unwrap_step()]),
         Some("audit") => {
-            if unsafe_audit(&workspace_root()) {
+            if keyword_audit(&workspace_root()) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -68,6 +76,13 @@ fn main() -> ExitCode {
                 .unwrap_or(300);
             fault_sweep(Duration::from_secs(budget))
         }
+        Some("dpor") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(300);
+            dpor(Duration::from_secs(budget))
+        }
         other => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
@@ -87,7 +102,11 @@ fn main() -> ExitCode {
                  \x20                 seeds until the budget (default 60 s) is spent\n\
                  \x20 fault-sweep     [budget-secs] run tests/fault_tolerance.rs under a\n\
                  \x20                 pinned seed × fault-rate matrix (PMM_FAULT_RATE),\n\
-                 \x20                 wall-clock capped (default 300 s)"
+                 \x20                 wall-clock capped (default 300 s)\n\
+                 \x20 dpor            [budget-secs] run the schedule-space race checker\n\
+                 \x20                 (tests/explore.rs): exhaustive interleaving\n\
+                 \x20                 certificates, budgeted frontier exploration, and a\n\
+                 \x20                 1000-program generator soak; emits BENCH_explore.json"
             );
             if other.is_none() {
                 ExitCode::FAILURE
@@ -136,7 +155,7 @@ fn check() -> ExitCode {
     let root = workspace_root();
     let mut ok = run_steps(&[fmt_step(), clippy_step(), unwrap_step()]) == ExitCode::SUCCESS;
     eprintln!("xtask: keyword audit");
-    ok &= unsafe_audit(&root);
+    ok &= keyword_audit(&root);
     ok &= docs() == ExitCode::SUCCESS;
     if ok {
         eprintln!("xtask: all checks passed");
@@ -304,6 +323,106 @@ fn fault_sweep(budget: Duration) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The schedule-space race checker: run `tests/explore.rs` in release
+/// mode with the CI-scale knobs (≥ 1000 generated programs, the
+/// wall-clock budget exported as `PMM_EXPLORE_BUDGET_SECS`), collect the
+/// tests' `DPOR: key=value` metric lines, and write them — plus
+/// aggregate schedules/sec, states pruned, and programs generated — to
+/// `BENCH_explore.json` at the workspace root. On failure, any
+/// `PMM_SCHEDULE=prefix:...` repro lines in the test output are
+/// re-printed so the failing interleaving replays in one command.
+fn dpor(budget: Duration) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    eprintln!("xtask: dpor — schedule-space race checker ({}s budget)", budget.as_secs());
+    let start = Instant::now();
+    let output = match Command::new(&cargo)
+        .args(["test", "--release", "--test", "explore", "--", "--nocapture", "--test-threads=1"])
+        .env("PMM_EXPLORE_PROGRAMS", "1000")
+        .env("PMM_EXPLORE_BUDGET_SECS", budget.as_secs().to_string())
+        .current_dir(&root)
+        .output()
+    {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("xtask: could not launch cargo test: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    print!("{stdout}");
+    eprint!("{stderr}");
+
+    if !output.status.success() {
+        for line in stdout.lines().chain(stderr.lines()) {
+            if line.contains("PMM_SCHEDULE=") {
+                eprintln!("xtask: repro: {}", line.trim());
+            }
+        }
+        eprintln!("xtask: dpor FAILED");
+        return ExitCode::FAILURE;
+    }
+
+    // Each workload test prints one `DPOR: key=value ...` line. Under
+    // `--nocapture`, libtest's own `test name ...` prefix can share the
+    // line, so search for the marker anywhere.
+    let lines: Vec<Vec<(&str, &str)>> = stdout
+        .lines()
+        .filter_map(|l| l.find("DPOR:").map(|i| &l[i + "DPOR:".len()..]))
+        .map(|l| l.split_whitespace().filter_map(|tok| tok.split_once('=')).collect())
+        .collect();
+    let field = |entry: &[(&str, &str)], key: &str| -> f64 {
+        entry.iter().find(|(k, _)| *k == key).and_then(|(_, v)| v.parse().ok()).unwrap_or(0.0)
+    };
+    let sum = |key: &str| -> f64 { lines.iter().map(|e| field(e, key)).sum() };
+    let schedules = sum("schedules");
+    let explore_secs: f64 = lines
+        .iter()
+        .filter(|e| e.iter().any(|(k, _)| *k == "schedules"))
+        .map(|e| field(e, "secs"))
+        .sum();
+    let rate = if explore_secs > 0.0 { schedules / explore_secs } else { 0.0 };
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"budget_secs\": {},\n", budget.as_secs()));
+    json.push_str(&format!("  \"wall_secs\": {:.3},\n", start.elapsed().as_secs_f64()));
+    json.push_str(&format!("  \"schedules_explored\": {schedules},\n"));
+    json.push_str(&format!("  \"world_runs\": {},\n", sum("runs")));
+    json.push_str(&format!("  \"states_pruned\": {},\n", sum("pruned")));
+    json.push_str(&format!("  \"schedules_per_sec\": {rate:.1},\n"));
+    json.push_str(&format!("  \"programs_generated\": {},\n", sum("programs")));
+    json.push_str("  \"workloads\": [\n");
+    for (i, entry) in lines.iter().enumerate() {
+        let fields: Vec<String> = entry
+            .iter()
+            .map(|(k, v)| {
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{k}\": {v}")
+                } else {
+                    format!("\"{k}\": \"{v}\"")
+                }
+            })
+            .collect();
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        json.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+    }
+    json.push_str("  ]\n}\n");
+    let bench = root.join("BENCH_explore.json");
+    if let Err(e) = std::fs::write(&bench, &json) {
+        eprintln!("xtask: could not write {}: {e}", bench.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask: dpor passed — {schedules:.0} schedules ({rate:.0}/s), {:.0} pruned, \
+         {:.0} generated programs; metrics in {}",
+        sum("pruned"),
+        sum("programs"),
+        bench.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn run_steps(steps: &[Step]) -> ExitCode {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let root = workspace_root();
@@ -333,27 +452,30 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Scan all workspace `.rs` sources for `unsafe` tokens. The workspace
-/// policy is zero unsafe code; this backstops the `unsafe_code` lint
-/// against `#[allow]` escapes. Returns true when clean.
-fn unsafe_audit(root: &Path) -> bool {
-    // Built from parts so the audit does not flag its own source.
-    let needle: String = ["un", "safe"].concat();
+/// Scan all workspace `.rs` sources for forbidden tokens: `unsafe` (the
+/// workspace denies the `unsafe_code` lint and the policy is zero unsafe
+/// code) plus the `todo!`/`dbg!` leftover-macros (denied via
+/// `clippy::todo`/`clippy::dbg_macro`). The grep backstops all three
+/// lints against `#[allow]` escapes. Returns true when clean.
+fn keyword_audit(root: &Path) -> bool {
+    // Needles built from parts so the audit does not flag its own source.
+    let needles: Vec<String> =
+        vec![["un", "safe"].concat(), ["to", "do", "!"].concat(), ["db", "g!"].concat()];
     let mut violations = Vec::new();
     for dir in ["src", "crates", "shims", "xtask"] {
-        scan_dir(&root.join(dir), &needle, &mut violations);
+        scan_dir(&root.join(dir), &needles, &mut violations);
     }
     if violations.is_empty() {
         return true;
     }
-    eprintln!("xtask: {} `{needle}` token(s) found (policy: none allowed):", violations.len());
+    eprintln!("xtask: {} forbidden token(s) found (policy: none allowed):", violations.len());
     for (path, line_no, line) in &violations {
         eprintln!("  {}:{line_no}: {}", path.display(), line.trim());
     }
     false
 }
 
-fn scan_dir(dir: &Path, needle: &str, violations: &mut Vec<(PathBuf, usize, String)>) {
+fn scan_dir(dir: &Path, needles: &[String], violations: &mut Vec<(PathBuf, usize, String)>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -363,7 +485,7 @@ fn scan_dir(dir: &Path, needle: &str, violations: &mut Vec<(PathBuf, usize, Stri
             if path.file_name().is_some_and(|n| n == "target") {
                 continue;
             }
-            scan_dir(&path, needle, violations);
+            scan_dir(&path, needles, violations);
         } else if path.extension().is_some_and(|e| e == "rs") {
             let Ok(text) = std::fs::read_to_string(&path) else {
                 continue;
@@ -374,7 +496,7 @@ fn scan_dir(dir: &Path, needle: &str, violations: &mut Vec<(PathBuf, usize, Stri
                 if line.trim_start().starts_with("//") {
                     continue;
                 }
-                if has_word(line, needle) {
+                if needles.iter().any(|needle| has_word(line, needle)) {
                     violations.push((path.clone(), i + 1, line.to_string()));
                 }
             }
@@ -413,6 +535,17 @@ mod tests {
         assert!(!has_word(&format!("deny_{needle}_code_everywhere()"), &needle));
         assert!(!has_word(&format!("let {needle}ty = 1;"), &needle));
         assert!(!has_word("totally safe code", &needle));
+    }
+
+    #[test]
+    fn audit_needles_catch_leftover_macros() {
+        // Spelled in parts for the same reason as above.
+        let todo = ["to", "do", "!"].concat();
+        let dbg = ["db", "g!"].concat();
+        assert!(has_word(&format!("{todo}(\"wire this up\")"), &todo));
+        assert!(has_word(&format!("let x = {dbg}(value);"), &dbg));
+        assert!(!has_word(&format!("method_{todo}()"), &todo));
+        assert!(!has_word("debug!(value)", &dbg));
     }
 
     #[test]
