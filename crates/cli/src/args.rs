@@ -44,8 +44,36 @@ pub enum Command {
     },
     /// `pmm sweep --dims AxBxC --procs P1,P2,…`
     Sweep { dims: MatMulDims, procs: Vec<f64> },
+    /// `pmm serve [--port N] [--oneshot] [--workers N] [--queue-depth N]
+    /// [--deadline-ms N] [--read-timeout-ms N] [--max-line N] [--cache N]`
+    Serve(ServeOpts),
     /// `pmm help` / `-h` / `--help`
     Help,
+}
+
+/// Parsed `pmm serve` options: flag overrides layered on top of the
+/// `PMM_SERVE_*` environment (a flag beats its environment variable,
+/// which beats the built-in default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeOpts {
+    /// `--port N`: serve TCP on 127.0.0.1:N instead of stdin/stdout
+    /// (`PMM_SERVE_PORT` when absent).
+    pub port: Option<u16>,
+    /// `--oneshot`: answer exactly one request from stdin and exit with
+    /// 0 for `OK`, 1 otherwise.
+    pub oneshot: bool,
+    /// `--workers N` override.
+    pub workers: Option<usize>,
+    /// `--queue-depth N` override.
+    pub queue_depth: Option<usize>,
+    /// `--deadline-ms N` override.
+    pub deadline_ms: Option<u64>,
+    /// `--read-timeout-ms N` override.
+    pub read_timeout_ms: Option<u64>,
+    /// `--max-line N` override.
+    pub max_line: Option<usize>,
+    /// `--cache N` override.
+    pub cache: Option<usize>,
 }
 
 /// A parse failure with a user-facing message.
@@ -123,6 +151,16 @@ impl<'a> Flags<'a> {
             }
         }
         Ok(())
+    }
+}
+
+fn parse_opt_int<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, ParseError> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| err(format!("--{name} expects an unsigned integer, got '{v}'"))),
     }
 }
 
@@ -242,6 +280,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Sweep { dims: parse_dims(flags.require("dims")?)?, procs })
         }
+        "serve" => {
+            // `--oneshot` is the one valueless flag in the CLI; strip it
+            // before the pairwise flag parser sees the rest.
+            let mut oneshot = false;
+            let rest_pairs: Vec<String> = rest
+                .iter()
+                .filter(|a| {
+                    let hit = a.as_str() == "--oneshot";
+                    oneshot |= hit;
+                    !hit
+                })
+                .cloned()
+                .collect();
+            let flags = Flags::parse(&rest_pairs)?;
+            flags.reject_unknown(&[
+                "port",
+                "workers",
+                "queue-depth",
+                "deadline-ms",
+                "read-timeout-ms",
+                "max-line",
+                "cache",
+            ])?;
+            Ok(Command::Serve(ServeOpts {
+                port: parse_opt_int(&flags, "port")?,
+                oneshot,
+                workers: parse_opt_int(&flags, "workers")?,
+                queue_depth: parse_opt_int(&flags, "queue-depth")?,
+                deadline_ms: parse_opt_int(&flags, "deadline-ms")?,
+                read_timeout_ms: parse_opt_int(&flags, "read-timeout-ms")?,
+                max_line: parse_opt_int(&flags, "max-line")?,
+                cache: parse_opt_int(&flags, "cache")?,
+            }))
+        }
         other => Err(err(format!("unknown command '{other}' (try 'pmm help')"))),
     }
 }
@@ -278,6 +350,16 @@ USAGE:
       chrome://tracing). Exits nonzero if the product is wrong.
   pmm sweep    --dims N1xN2xN3 --procs P1,P2,...
       Bound/case/grid table over a list of processor counts.
+  pmm serve    [--port N] [--oneshot] [--workers N] [--queue-depth N]
+               [--deadline-ms N] [--read-timeout-ms N] [--max-line N]
+               [--cache N]
+      Hardened advisor service speaking a line protocol (ADVISE / STATS
+      / PING → one OK/ERR/SHED/TIMEOUT line each) over stdin/stdout, or
+      TCP with --port (or PMM_SERVE_PORT). Overloads shed, deadlines
+      time out, stalled clients are disconnected, and worker panics are
+      isolated; see the PMM_SERVE_* environment table in the README for
+      the defaults each flag overrides. --oneshot answers a single
+      request from stdin and exits 0 iff the response is OK.
   pmm help
 ";
 
@@ -392,6 +474,42 @@ mod tests {
             c,
             Command::Sweep { dims: MatMulDims::new(10, 10, 10), procs: vec![1.0, 4.0, 16.0] }
         );
+    }
+
+    #[test]
+    fn parses_serve_flags_and_oneshot() {
+        assert_eq!(parse_args(&argv("serve")).unwrap(), Command::Serve(ServeOpts::default()));
+        let c = parse_args(&argv(
+            "serve --port 7070 --oneshot --workers 2 --queue-depth 16 --deadline-ms 50 \
+             --read-timeout-ms 250 --max-line 512 --cache 64",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeOpts {
+                port: Some(7070),
+                oneshot: true,
+                workers: Some(2),
+                queue_depth: Some(16),
+                deadline_ms: Some(50),
+                read_timeout_ms: Some(250),
+                max_line: Some(512),
+                cache: Some(64),
+            })
+        );
+        // `--oneshot` is position-independent.
+        let c = parse_args(&argv("serve --oneshot --deadline-ms 50")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeOpts {
+                oneshot: true,
+                deadline_ms: Some(50),
+                ..ServeOpts::default()
+            })
+        );
+        assert!(parse_args(&argv("serve --port zero")).is_err());
+        assert!(parse_args(&argv("serve --port 99999")).is_err(), "port must fit u16");
+        assert!(parse_args(&argv("serve --bogus 1")).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@ use pmm_core::memlimit::{limited_memory_report, min_memory_words, Dominant};
 use pmm_core::theorem3::lower_bound;
 use pmm_dense::{gemm, random_int_matrix, Kernel};
 use pmm_model::{alg1_prediction, Grid3, MachineParams, MatMulDims};
+use pmm_serve::ServeConfig;
 use pmm_simnet::{seed_from_env, FaultPlan, World};
+
+use crate::args::ServeOpts;
 
 /// `pmm bound`.
 pub fn bound(dims: MatMulDims, procs: f64, memory: Option<f64>) -> String {
@@ -361,6 +364,73 @@ pub fn sweep(dims: MatMulDims, procs: &[f64]) -> String {
     out
 }
 
+/// Resolve the effective [`ServeConfig`]: built-in defaults, overridden
+/// by the `PMM_SERVE_*` environment, overridden by explicit flags.
+pub fn serve_config(opts: &ServeOpts) -> ServeConfig {
+    let mut config = ServeConfig::from_env();
+    if let Some(v) = opts.workers {
+        config.workers = v.max(1);
+    }
+    if let Some(v) = opts.queue_depth {
+        config.queue_depth = v.max(1);
+    }
+    if let Some(v) = opts.deadline_ms {
+        config.deadline = std::time::Duration::from_millis(v.max(1));
+    }
+    if let Some(v) = opts.read_timeout_ms {
+        config.read_timeout = std::time::Duration::from_millis(v.max(1));
+    }
+    if let Some(v) = opts.max_line {
+        config.max_line_bytes = v.max(16);
+    }
+    if let Some(v) = opts.cache {
+        config.cache_capacity = v;
+    }
+    config
+}
+
+/// `pmm serve`: run the hardened advisor service on the requested
+/// transport and return the process exit code.
+///
+/// * `--oneshot` answers one request from stdin (exit 0 iff `OK`);
+/// * `--port N` / `PMM_SERVE_PORT` serves TCP in the foreground;
+/// * otherwise the service speaks the line protocol on stdin/stdout and
+///   drains gracefully at EOF.
+pub fn serve(opts: &ServeOpts) -> u8 {
+    let config = serve_config(opts);
+    if opts.oneshot {
+        let stdin = std::io::stdin();
+        let (line, code) = pmm_serve::oneshot(config, &mut stdin.lock());
+        print!("{line}");
+        return code;
+    }
+    let port = opts
+        .port
+        .or_else(|| std::env::var("PMM_SERVE_PORT").ok().and_then(|v| v.trim().parse().ok()));
+    match port {
+        Some(port) => match pmm_serve::TcpService::bind(config, ("127.0.0.1", port)) {
+            Ok(service) => {
+                eprintln!("pmm serve: listening on {}", service.addr());
+                // Foreground service: the accept loop owns the work; this
+                // thread just keeps the process alive until it is killed.
+                loop {
+                    std::thread::park();
+                }
+            }
+            Err(e) => {
+                eprintln!("pmm serve: could not bind 127.0.0.1:{port}: {e}");
+                1
+            }
+        },
+        None => {
+            let server = pmm_serve::Server::start(config);
+            let snapshot = pmm_serve::serve_stdio(&server);
+            eprintln!("pmm serve: drained; {}", snapshot.render());
+            0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,5 +496,22 @@ mod tests {
     fn sweep_covers_all_cases() {
         let s = sweep(PAPER, &[2.0, 36.0, 512.0]);
         assert!(s.contains("1D") && s.contains("2D") && s.contains("3D"), "{s}");
+    }
+
+    #[test]
+    fn serve_config_flag_overrides_beat_defaults() {
+        let opts = ServeOpts {
+            workers: Some(2),
+            queue_depth: Some(0),
+            deadline_ms: Some(75),
+            ..ServeOpts::default()
+        };
+        let c = serve_config(&opts);
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.queue_depth, 1, "zero is clamped to a working minimum");
+        assert_eq!(c.deadline, std::time::Duration::from_millis(75));
+        // Untouched knobs keep their defaults.
+        assert_eq!(c.max_line_bytes, ServeConfig::default().max_line_bytes);
+        assert!(!c.chaos_verbs, "the CLI never enables chaos verbs");
     }
 }

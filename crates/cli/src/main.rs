@@ -29,6 +29,12 @@ fn main() {
             }
         }
         Ok(Command::Sweep { dims, procs }) => print!("{}", commands::sweep(dims, &procs)),
+        Ok(Command::Serve(opts)) => {
+            let code = commands::serve(&opts);
+            if code != 0 {
+                std::process::exit(code.into());
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{HELP}");

@@ -2,10 +2,23 @@
 //! the CLI contract (scripts and CI gate on them), so they are asserted
 //! here against the real executable, not the library functions.
 
-use std::process::{Command, Output};
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
 
 fn pmm(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_pmm")).args(args).output().expect("pmm binary runs")
+}
+
+fn pmm_with_stdin(args: &[&str], input: &[u8]) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pmm"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("pmm binary spawns");
+    child.stdin.take().expect("piped stdin").write_all(input).expect("write stdin");
+    child.wait_with_output().expect("pmm binary runs")
 }
 
 fn stdout(out: &Output) -> String {
@@ -73,9 +86,53 @@ fn help_covers_every_command_and_exits_zero() {
     let out = pmm(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["bound", "grid", "advise", "simulate", "trace", "sweep", "--faults", "--out"] {
+    for cmd in
+        ["bound", "grid", "advise", "simulate", "trace", "sweep", "serve", "--faults", "--out"]
+    {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
+}
+
+#[test]
+fn serve_oneshot_valid_query_exits_zero() {
+    let out = pmm_with_stdin(&["serve", "--oneshot"], b"ADVISE 96 24 6 36 inf\n");
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit: {:?}\n{text}", out.status);
+    assert!(text.starts_with("OK advise case=2D"), "{text}");
+    assert!(text.contains("algo="), "{text}");
+    assert_eq!(text.matches('\n').count(), 1, "exactly one response line: {text:?}");
+}
+
+#[test]
+fn serve_oneshot_malformed_query_exits_nonzero_with_structured_error() {
+    let out = pmm_with_stdin(&["serve", "--oneshot"], b"ADVISE banana\n");
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "malformed request exits 1\n{text}");
+    assert!(text.starts_with("ERR parse:"), "{text}");
+
+    let out = pmm_with_stdin(&["serve", "--oneshot"], b"ADVISE 0 8 8 4 inf\n");
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "invalid query exits 1\n{text}");
+    assert!(text.starts_with("ERR advisor:"), "{text}");
+
+    let out = pmm_with_stdin(&["serve", "--oneshot"], b"");
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "empty stdin exits 1\n{text}");
+    assert!(text.starts_with("ERR empty:"), "{text}");
+}
+
+#[test]
+fn serve_stdio_answers_each_line_and_drains_at_eof() {
+    let out = pmm_with_stdin(&["serve"], b"PING\nADVISE 96 24 6 36 inf\nSTATS\n");
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit: {:?}\n{text}", out.status);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per request: {text:?}");
+    assert_eq!(lines[0], "OK pong");
+    assert!(lines[1].starts_with("OK advise case=2D"), "{text}");
+    assert!(lines[2].starts_with("OK stats received="), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("drained"), "graceful drain is reported: {err}");
 }
 
 #[test]

@@ -13,10 +13,12 @@
 //! by the `eq3_check` and `collectives_cost` experiments (words) plus the
 //! standard latency terms of the collectives used.
 
+use std::fmt;
+
 use pmm_model::{Cost, Grid3, MachineParams, MatMulDims};
 
 use crate::gridopt::alg1_cost_words;
-use crate::memlimit::alg1_memory_words;
+use crate::memlimit::{alg1_memory_words, min_memory_words};
 
 /// A candidate execution strategy.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +30,7 @@ pub enum Strategy {
 }
 
 /// A costed candidate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// The strategy.
     pub strategy: Strategy,
@@ -94,10 +96,149 @@ pub fn twofived_memory_words(dims: MatMulDims, q: usize) -> f64 {
     (n1 * n2 + n2 * n3 + n1 * n3) / (qf * qf)
 }
 
+/// Why an advisor query cannot be answered.
+///
+/// Every way a raw `(n1, n2, n3, P, M)` query can be invalid — zero
+/// dimensions, zero processors, non-numeric or infeasible memory — is a
+/// *value* of this type, never a panic: the advisor sits on the
+/// `pmm serve` request path, where a malformed query must come back as a
+/// structured `ERR` response while the worker thread survives to answer
+/// the next one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvisorError {
+    /// A matrix dimension was zero (the advisor needs `n1, n2, n3 ≥ 1`).
+    ZeroDimension {
+        /// Which dimension (`"n1"`, `"n2"`, `"n3"`) was zero.
+        which: &'static str,
+    },
+    /// The processor count was zero.
+    ZeroProcs,
+    /// The memory budget was NaN or not positive.
+    InvalidMemory {
+        /// The offending value.
+        value: f64,
+    },
+    /// A machine parameter (α, β, γ) was NaN or negative.
+    InvalidMachine {
+        /// Which parameter (`"alpha"`, `"beta"`, `"gamma"`).
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `M` is below the §6.2 feasibility floor `(mn + mk + nk)/P`: the
+    /// processors cannot even hold one copy of the problem.
+    InfeasibleMemory {
+        /// The floor `(mn + mk + nk)/P` in words.
+        need: f64,
+        /// The budget that was offered.
+        have: f64,
+    },
+    /// `M` clears the floor but no concrete strategy (integer grid or
+    /// 2.5D layout) fits — the floor is a continuous bound, integer
+    /// layouts can need slightly more.
+    NoFeasibleStrategy {
+        /// The floor `(mn + mk + nk)/P` in words.
+        floor: f64,
+        /// The budget that was offered.
+        have: f64,
+    },
+}
+
+impl fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdvisorError::ZeroDimension { which } => {
+                write!(f, "dimension {which} must be >= 1")
+            }
+            AdvisorError::ZeroProcs => write!(f, "processor count must be >= 1"),
+            AdvisorError::InvalidMemory { value } => {
+                write!(f, "memory budget must be a positive number of words, got {value}")
+            }
+            AdvisorError::InvalidMachine { which, value } => {
+                write!(f, "machine parameter {which} must be finite and non-negative, got {value}")
+            }
+            AdvisorError::InfeasibleMemory { need, have } => {
+                write!(f, "memory {have} is below the feasibility floor (mn+mk+nk)/P = {need}")
+            }
+            AdvisorError::NoFeasibleStrategy { floor, have } => {
+                write!(
+                    f,
+                    "no integer strategy fits in {have} words \
+                     (continuous floor (mn+mk+nk)/P = {floor})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// Validated [`recommend`] over a *raw* query, as it arrives off the
+/// wire: every invalid input is a typed [`AdvisorError`], never a panic,
+/// and — unlike [`recommend`], which signals infeasibility with an empty
+/// vector — the `Ok` ranking is guaranteed non-empty.
+///
+/// Accepts the memory budget as `f64` so `∞` (no memory constraint) is
+/// expressible; `P` is `u64` to match the parsed wire format.
+///
+/// ```
+/// use pmm_core::advisor::{try_recommend, AdvisorError};
+/// use pmm_model::MachineParams;
+///
+/// let recs =
+///     try_recommend(96, 96, 96, 8, f64::INFINITY, MachineParams::BANDWIDTH_ONLY).unwrap();
+/// assert!(!recs.is_empty());
+///
+/// let err = try_recommend(96, 0, 96, 8, f64::INFINITY, MachineParams::BANDWIDTH_ONLY);
+/// assert_eq!(err, Err(AdvisorError::ZeroDimension { which: "n2" }));
+/// ```
+pub fn try_recommend(
+    n1: u64,
+    n2: u64,
+    n3: u64,
+    p: u64,
+    m_words: f64,
+    params: MachineParams,
+) -> Result<Vec<Recommendation>, AdvisorError> {
+    for (which, v) in [("n1", n1), ("n2", n2), ("n3", n3)] {
+        if v == 0 {
+            return Err(AdvisorError::ZeroDimension { which });
+        }
+    }
+    if p == 0 {
+        return Err(AdvisorError::ZeroProcs);
+    }
+    if m_words.is_nan() || m_words <= 0.0 {
+        return Err(AdvisorError::InvalidMemory { value: m_words });
+    }
+    for (which, v) in [("alpha", params.alpha), ("beta", params.beta), ("gamma", params.gamma)] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(AdvisorError::InvalidMachine { which, value: v });
+        }
+    }
+    let dims = MatMulDims::new(n1, n2, n3);
+    let p = usize::try_from(p).map_err(|_| AdvisorError::NoFeasibleStrategy {
+        floor: min_memory_words(dims, p as f64),
+        have: m_words,
+    })?;
+    let floor = min_memory_words(dims, p as f64);
+    if floor > m_words {
+        return Err(AdvisorError::InfeasibleMemory { need: floor, have: m_words });
+    }
+    let recs = recommend(dims, p, m_words, params);
+    if recs.is_empty() {
+        return Err(AdvisorError::NoFeasibleStrategy { floor, have: m_words });
+    }
+    Ok(recs)
+}
+
 /// Rank all memory-feasible strategies for `(dims, p)` under local memory
 /// `m_words` and machine `params`. Returns candidates sorted by predicted
 /// time (best first); empty only if *nothing* fits (i.e. `M` cannot even
 /// hold the problem).
+///
+/// Panics if `dims` or `p` are degenerate; [`try_recommend`] is the
+/// panic-free variant for queries that arrive off the wire.
 pub fn recommend(
     dims: MatMulDims,
     p: usize,
@@ -249,5 +390,64 @@ mod tests {
     #[should_panic(expected = "c | q")]
     fn twofived_cost_rejects_bad_layers() {
         twofived_cost(SQ, 9, 2);
+    }
+
+    #[test]
+    fn try_recommend_rejects_degenerate_queries_with_typed_errors() {
+        let bw = MachineParams::BANDWIDTH_ONLY;
+        assert_eq!(
+            try_recommend(0, 4, 4, 2, f64::INFINITY, bw),
+            Err(AdvisorError::ZeroDimension { which: "n1" })
+        );
+        assert_eq!(
+            try_recommend(4, 0, 4, 2, f64::INFINITY, bw),
+            Err(AdvisorError::ZeroDimension { which: "n2" })
+        );
+        assert_eq!(
+            try_recommend(4, 4, 0, 2, f64::INFINITY, bw),
+            Err(AdvisorError::ZeroDimension { which: "n3" })
+        );
+        assert_eq!(try_recommend(4, 4, 4, 0, f64::INFINITY, bw), Err(AdvisorError::ZeroProcs));
+        assert!(matches!(
+            try_recommend(4, 4, 4, 2, f64::NAN, bw),
+            Err(AdvisorError::InvalidMemory { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            try_recommend(4, 4, 4, 2, -1.0, bw),
+            Err(AdvisorError::InvalidMemory { value: -1.0 })
+        );
+        let bad = MachineParams { alpha: f64::NAN, beta: 1.0, gamma: 0.0 };
+        assert!(matches!(
+            try_recommend(4, 4, 4, 2, f64::INFINITY, bad),
+            Err(AdvisorError::InvalidMachine { which: "alpha", .. })
+        ));
+    }
+
+    #[test]
+    fn try_recommend_reports_the_feasibility_floor() {
+        // M = 10 words cannot hold 3·4096²/8 words: a typed error naming
+        // the §6.2 floor, where `recommend` returns an empty ranking.
+        let err = try_recommend(4096, 4096, 4096, 8, 10.0, MachineParams::BANDWIDTH_ONLY);
+        match err {
+            Err(AdvisorError::InfeasibleMemory { need, have }) => {
+                assert_eq!(have, 10.0);
+                assert_eq!(need, 3.0 * 4096.0 * 4096.0 / 8.0);
+            }
+            other => panic!("expected InfeasibleMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_recommend_agrees_with_recommend_on_valid_queries() {
+        let recs =
+            try_recommend(4096, 4096, 4096, 512, f64::INFINITY, MachineParams::TYPICAL_CLUSTER)
+                .expect("valid query");
+        let cold = recommend(SQ, 512, f64::INFINITY, MachineParams::TYPICAL_CLUSTER);
+        assert_eq!(recs.len(), cold.len());
+        for (a, b) in recs.iter().zip(&cold) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.cost.words.to_bits(), b.cost.words.to_bits());
+        }
     }
 }

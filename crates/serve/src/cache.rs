@@ -1,0 +1,241 @@
+//! Memoized Lemma-2/KKT recommendations.
+//!
+//! The advisor's hot path — rank every feasible grid and 2.5D layout for
+//! a `(n1, n2, n3, P, M, α, β, γ)` query — is pure, so repeated queries
+//! are answered from a bounded map. The key leads with the **Theorem 3
+//! case classification** of the query's aspect ratios (`SortedDims::
+//! classify`): two queries can only share an entry when they agree on
+//! the regime *and* on every raw parameter, so there is no false sharing
+//! across the 1D/2D/3D cases or across machine models (the
+//! memoization-correctness suite asserts hits are bitwise identical to
+//! cold computes in all three regimes and on both boundaries).
+//!
+//! Eviction is FIFO at a fixed capacity: the cache can never grow
+//! unboundedly no matter what traffic it sees, which is part of the
+//! service's bounded-memory contract.
+
+use std::collections::{HashMap, VecDeque};
+
+use pmm_core::advisor::{try_recommend, AdvisorError, Recommendation};
+use pmm_model::{Case, MachineParams, MatMulDims};
+
+/// Cache key: the case classification first, then the raw query
+/// parameters (floats by bit pattern, so `inf` and every finite budget
+/// are distinct keys and NaN never reaches the map — validation rejects
+/// it upstream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Theorem 3 regime of `(sorted dims, P)`.
+    pub case: Case,
+    /// Raw dimensions, unsorted (the recommendation is axis-specific).
+    pub dims: (u64, u64, u64),
+    /// Processor count.
+    pub p: u64,
+    /// Memory budget bit pattern.
+    pub m_bits: u64,
+    /// `(α, β, γ)` bit patterns.
+    pub machine_bits: (u64, u64, u64),
+}
+
+impl CacheKey {
+    /// Build the key for a query, or `None` if the query is degenerate
+    /// (zero dims or procs, NaN memory/machine) — degenerate queries
+    /// bypass the cache and fall through to [`try_recommend`] for their
+    /// typed error.
+    pub fn try_new(
+        n1: u64,
+        n2: u64,
+        n3: u64,
+        p: u64,
+        m_words: f64,
+        params: MachineParams,
+    ) -> Option<CacheKey> {
+        if n1 == 0 || n2 == 0 || n3 == 0 || p == 0 || m_words.is_nan() {
+            return None;
+        }
+        if params.alpha.is_nan() || params.beta.is_nan() || params.gamma.is_nan() {
+            return None;
+        }
+        let case = MatMulDims::new(n1, n2, n3).sorted().classify(p as f64);
+        Some(CacheKey {
+            case,
+            dims: (n1, n2, n3),
+            p,
+            m_bits: m_words.to_bits(),
+            machine_bits: (params.alpha.to_bits(), params.beta.to_bits(), params.gamma.to_bits()),
+        })
+    }
+}
+
+/// Whether a lookup was served from the cache or computed cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Entry was present.
+    Hit,
+    /// Entry was computed and inserted.
+    Miss,
+    /// Query was degenerate (or the advisor rejected it): nothing cached.
+    Uncacheable,
+}
+
+/// A bounded FIFO-evicting memo of advisor rankings.
+///
+/// Not internally synchronized — the server wraps it in a `Mutex`; the
+/// critical section is a hash lookup or insert, never the KKT solve
+/// misses compute outside any lock (see `engine.rs`, which pairs
+/// [`RecCache::get`] and [`RecCache::insert`] around an unlocked KKT
+/// solve).
+#[derive(Debug)]
+pub struct RecCache {
+    map: HashMap<CacheKey, Vec<Recommendation>>,
+    order: VecDeque<CacheKey>,
+    capacity: usize,
+}
+
+impl RecCache {
+    /// A cache holding at most `capacity` rankings (`capacity == 0`
+    /// disables memoization entirely).
+    pub fn new(capacity: usize) -> RecCache {
+        RecCache { map: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    /// Current number of cached rankings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fetch the ranking for `key` if present.
+    pub fn get(&self, key: &CacheKey) -> Option<&Vec<Recommendation>> {
+        self.map.get(key)
+    }
+
+    /// Insert a computed ranking, evicting the oldest entry at capacity.
+    pub fn insert(&mut self, key: CacheKey, recs: Vec<Recommendation>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.contains_key(&key) {
+            return; // racing cold computes of the same key are identical
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(key);
+        self.map.insert(key, recs);
+    }
+}
+
+/// Memoized [`try_recommend`]: look `(n1…params)` up in `cache`, compute
+/// on a miss, and report which happened. Degenerate and rejected queries
+/// are never inserted.
+pub fn cached_recommend(
+    cache: &std::sync::Mutex<RecCache>,
+    n1: u64,
+    n2: u64,
+    n3: u64,
+    p: u64,
+    m_words: f64,
+    params: MachineParams,
+) -> (Result<Vec<Recommendation>, AdvisorError>, CacheOutcome) {
+    let Some(key) = CacheKey::try_new(n1, n2, n3, p, m_words, params) else {
+        return (try_recommend(n1, n2, n3, p, m_words, params), CacheOutcome::Uncacheable);
+    };
+    {
+        let cache = cache.lock().expect("cache lock poisoned (worker panics are caught upstream)");
+        if let Some(recs) = cache.get(&key) {
+            return (Ok(recs.clone()), CacheOutcome::Hit);
+        }
+    }
+    // Compute outside the lock: the KKT solve and grid search are the
+    // expensive part and must not serialize the worker pool.
+    match try_recommend(n1, n2, n3, p, m_words, params) {
+        Ok(recs) => {
+            let mut cache =
+                cache.lock().expect("cache lock poisoned (worker panics are caught upstream)");
+            cache.insert(key, recs.clone());
+            (Ok(recs), CacheOutcome::Miss)
+        }
+        Err(e) => (Err(e), CacheOutcome::Uncacheable),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    const BW: MachineParams = MachineParams::BANDWIDTH_ONLY;
+
+    #[test]
+    fn key_embeds_the_case_classification() {
+        // Same dims, different P: the sorted dims (96, 24, 6) have
+        // thresholds m/n = 4 and mn/k² = 64.
+        let k1 = CacheKey::try_new(96, 24, 6, 2, f64::INFINITY, BW).unwrap();
+        let k2 = CacheKey::try_new(96, 24, 6, 36, f64::INFINITY, BW).unwrap();
+        let k3 = CacheKey::try_new(96, 24, 6, 512, f64::INFINITY, BW).unwrap();
+        assert_eq!(k1.case, Case::OneD);
+        assert_eq!(k2.case, Case::TwoD);
+        assert_eq!(k3.case, Case::ThreeD);
+        assert_ne!(k1, k2);
+        assert_ne!(k2, k3);
+    }
+
+    #[test]
+    fn degenerate_queries_have_no_key() {
+        assert!(CacheKey::try_new(0, 1, 1, 1, 1.0, BW).is_none());
+        assert!(CacheKey::try_new(1, 1, 1, 0, 1.0, BW).is_none());
+        assert!(CacheKey::try_new(1, 1, 1, 1, f64::NAN, BW).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_caps_the_map() {
+        let mut c = RecCache::new(2);
+        let keys: Vec<CacheKey> = (1..=3)
+            .map(|p| CacheKey::try_new(64, 64, 64, p * 8, f64::INFINITY, BW).unwrap())
+            .collect();
+        for k in &keys {
+            c.insert(*k, Vec::new());
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&keys[0]).is_none(), "oldest entry evicted");
+        assert!(c.get(&keys[1]).is_some());
+        assert!(c.get(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let c = Mutex::new(RecCache::new(0));
+        let (r1, o1) = cached_recommend(&c, 64, 64, 64, 8, f64::INFINITY, BW);
+        assert!(r1.is_ok());
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (_, o2) = cached_recommend(&c, 64, 64, 64, 8, f64::INFINITY, BW);
+        assert_eq!(o2, CacheOutcome::Miss, "nothing was retained");
+        assert!(c.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn hit_after_miss_returns_the_same_ranking() {
+        let c = Mutex::new(RecCache::new(16));
+        let (cold, o1) = cached_recommend(&c, 96, 24, 6, 36, f64::INFINITY, BW);
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (hot, o2) = cached_recommend(&c, 96, 24, 6, 36, f64::INFINITY, BW);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(cold.unwrap(), hot.unwrap());
+    }
+
+    #[test]
+    fn rejected_queries_are_uncacheable() {
+        let c = Mutex::new(RecCache::new(16));
+        let (r, o) = cached_recommend(&c, 4096, 4096, 4096, 8, 10.0, BW);
+        assert!(r.is_err());
+        assert_eq!(o, CacheOutcome::Uncacheable);
+        assert!(c.lock().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Request execution: one parsed line in, one [`Response`] out.
+//!
+//! The engine owns the memoized recommendation cache and the service
+//! counters but knows nothing about transports, queues, or threads —
+//! `server.rs` wraps it in the bounded-queue worker pool. [`Engine::
+//! handle`] is *allowed to panic* (that is the point of the `__PANIC`
+//! chaos verb); the worker pool calls it under `catch_unwind` and turns
+//! a panic into a structured `ERR internal` while the worker survives.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pmm_core::advisor::{Recommendation, Strategy};
+
+use crate::cache::{cached_recommend, CacheOutcome, RecCache};
+use crate::protocol::{parse_request, Request, Response};
+use crate::stats::Stats;
+use crate::ServeConfig;
+
+/// The transport-independent request handler.
+#[derive(Debug)]
+pub struct Engine {
+    config: ServeConfig,
+    cache: Mutex<RecCache>,
+    stats: Stats,
+    started: Instant,
+}
+
+/// Render a strategy as wire tokens (`algo=… grid=…` / `algo=… q=… c=…`).
+fn strategy_tokens(s: &Strategy) -> String {
+    match s {
+        Strategy::Alg1 { grid } => format!("algo=alg1 grid={}x{}x{}", grid[0], grid[1], grid[2]),
+        Strategy::TwoFiveD { q, c } => format!("algo=2.5d q={q} c={c}"),
+    }
+}
+
+impl Engine {
+    /// An engine with a fresh cache and zeroed counters.
+    pub fn new(config: ServeConfig) -> Engine {
+        Engine {
+            cache: Mutex::new(RecCache::new(config.cache_capacity)),
+            config,
+            stats: Stats::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The live counters (shared with transports, which tally responses
+    /// and connection events).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serve one raw request line (no trailing newline).
+    ///
+    /// Total except for the chaos verbs: every malformed or invalid
+    /// input returns a typed `ERR`. `__PANIC` panics **by design** —
+    /// callers that must survive hostile traffic wrap this in
+    /// `catch_unwind`, as the worker pool does.
+    pub fn handle(&self, line: &[u8]) -> Response {
+        let request = match parse_request(line, self.config.chaos_verbs) {
+            Ok(r) => r,
+            Err(e) => return e.into(),
+        };
+        match request {
+            Request::Advise { n1, n2, n3, p, m_words, params } => {
+                let (result, outcome) =
+                    cached_recommend(&self.cache, n1, n2, n3, p, m_words, params);
+                match outcome {
+                    CacheOutcome::Hit => Stats::bump(&self.stats.cache_hits),
+                    CacheOutcome::Miss => Stats::bump(&self.stats.cache_misses),
+                    CacheOutcome::Uncacheable => {}
+                }
+                match result {
+                    Ok(recs) => Response::Ok(render_advice(&recs, n1, n2, n3, p, outcome)),
+                    Err(e) => e.into(),
+                }
+            }
+            Request::Stats => {
+                let snap = self.stats.snapshot();
+                let cache_size =
+                    self.cache.lock().unwrap_or_else(|poison| poison.into_inner()).len();
+                Response::Ok(format!(
+                    "{} cache_size={cache_size} workers={} queue_depth={} deadline_ms={} \
+                     uptime_ms={}",
+                    snap.render(),
+                    self.config.workers,
+                    self.config.queue_depth,
+                    self.config.deadline.as_millis(),
+                    self.started.elapsed().as_millis(),
+                ))
+            }
+            Request::Ping => Response::Ok("pong".to_string()),
+            Request::ChaosPanic(msg) => panic!("chaos verb: {msg}"),
+            Request::ChaosSleep(ms) => {
+                // Cap so a hostile sleep cannot pin a worker for longer
+                // than a handful of deadlines even in chaos mode.
+                let cap = (self.config.deadline.as_millis() as u64).saturating_mul(20).max(1000);
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(cap)));
+                Response::Ok(format!("slept ms={}", ms.min(cap)))
+            }
+        }
+    }
+}
+
+/// The `OK advise …` payload: the winning strategy, its full predicted
+/// cost, the regime, and whether the ranking came from the cache.
+fn render_advice(
+    recs: &[Recommendation],
+    n1: u64,
+    n2: u64,
+    n3: u64,
+    p: u64,
+    outcome: CacheOutcome,
+) -> String {
+    let best = &recs[0];
+    let case = pmm_model::MatMulDims::new(n1, n2, n3).sorted().classify(p as f64);
+    let cache = match outcome {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Uncacheable => "bypass",
+    };
+    format!(
+        "advise case={case} {} time={} words={} msgs={} flops={} mem={} alts={} cache={cache}",
+        strategy_tokens(&best.strategy),
+        best.time,
+        best.cost.words,
+        best.cost.messages,
+        best.cost.flops,
+        best.memory_words,
+        recs.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ErrCode;
+
+    fn engine(chaos: bool) -> Engine {
+        Engine::new(ServeConfig { chaos_verbs: chaos, ..ServeConfig::default() })
+    }
+
+    #[test]
+    fn advise_round_trip_reports_case_strategy_and_cache_state() {
+        let e = engine(false);
+        let r1 = e.handle(b"ADVISE 96 24 6 36 inf 0 1 0");
+        match &r1 {
+            Response::Ok(p) => {
+                assert!(p.contains("case=2D"), "{p}");
+                assert!(p.contains("algo="), "{p}");
+                assert!(p.contains("cache=miss"), "{p}");
+            }
+            other => panic!("expected OK, got {other:?}"),
+        }
+        let r2 = e.handle(b"ADVISE 96 24 6 36 inf 0 1 0");
+        match &r2 {
+            Response::Ok(p) => assert!(p.contains("cache=hit"), "{p}"),
+            other => panic!("expected OK, got {other:?}"),
+        }
+        assert_eq!(e.stats().snapshot().cache_hits, 1);
+        assert_eq!(e.stats().snapshot().cache_misses, 1);
+    }
+
+    #[test]
+    fn invalid_queries_get_typed_advisor_errors() {
+        let e = engine(false);
+        match e.handle(b"ADVISE 0 8 8 4 inf") {
+            Response::Err { code, detail } => {
+                assert_eq!(code, ErrCode::Advisor);
+                assert!(detail.contains("n1"), "{detail}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        match e.handle(b"ADVISE 4096 4096 4096 8 10") {
+            Response::Err { code, detail } => {
+                assert_eq!(code, ErrCode::Advisor);
+                assert!(detail.contains("floor"), "{detail}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_verb_reports_counters_and_config() {
+        let e = engine(false);
+        let _ = e.handle(b"ADVISE 8 8 8 4 inf");
+        match e.handle(b"STATS") {
+            Response::Ok(p) => {
+                assert!(p.starts_with("stats "), "{p}");
+                assert!(p.contains("cache_misses=1"), "{p}");
+                assert!(p.contains("cache_size=1"), "{p}");
+                assert!(p.contains("queue_depth="), "{p}");
+                assert!(p.contains("deadline_ms="), "{p}");
+            }
+            other => panic!("expected OK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_pongs() {
+        assert_eq!(engine(false).handle(b"PING"), Response::Ok("pong".into()));
+    }
+
+    #[test]
+    fn chaos_panic_panics_only_when_enabled() {
+        let quiet = engine(false);
+        assert!(matches!(
+            quiet.handle(b"__PANIC boom"),
+            Response::Err { code: ErrCode::UnknownVerb, .. }
+        ));
+        let chaotic = engine(true);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaotic.handle(b"__PANIC boom")
+        }));
+        assert!(caught.is_err(), "__PANIC must actually panic in chaos mode");
+    }
+}

@@ -1,0 +1,373 @@
+//! The wire protocol: one request line in, exactly one response line out.
+//!
+//! Requests are single UTF-8 lines of whitespace-separated tokens; the
+//! first token is the verb. Responses are single lines beginning with one
+//! of four status words — `OK`, `ERR`, `SHED`, `TIMEOUT` — so a client
+//! can always classify the outcome from the first word. The parser is
+//! **total**: every byte sequence, including invalid UTF-8, embedded NUL
+//! bytes, overlong tokens, and truncated lines, maps to either a
+//! [`Request`] or a typed [`RequestError`], never a panic (the proptest
+//! fuzz suite in `tests/fuzz_protocol.rs` holds the service to this).
+//!
+//! ```text
+//! ADVISE n1 n2 n3 P M [alpha beta gamma]   → OK advise case=… algo=… grid=…
+//! STATS                                    → OK stats received=… shed=…
+//! PING                                     → OK pong
+//! ```
+//!
+//! `M` may be `inf` (no memory constraint). Two extra verbs, `__PANIC`
+//! and `__SLEEP ms`, exist only when the server is configured with
+//! [`chaos_verbs`](crate::ServeConfig::chaos_verbs) and let the chaos
+//! harness drive the failure paths (panic isolation, deadline timeouts)
+//! deliberately.
+
+use std::fmt;
+
+use pmm_core::advisor::AdvisorError;
+use pmm_model::MachineParams;
+
+/// Hard cap on request-line length unless overridden by
+/// [`ServeConfig::max_line_bytes`](crate::ServeConfig::max_line_bytes):
+/// a line longer than this is answered with `ERR line-too-long` and the
+/// excess bytes are *discarded as they stream in*, never buffered.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4096;
+
+/// A fully parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `ADVISE n1 n2 n3 P M [alpha beta gamma]` — rank strategies for
+    /// the query. Dimensions and `P` are raw `u64`s (validated by the
+    /// advisor, not the parser, so validation errors are typed advisor
+    /// errors); `M` is words, `f64::INFINITY` when given as `inf`.
+    Advise {
+        /// Rows of `A`/`C`.
+        n1: u64,
+        /// The contracted dimension.
+        n2: u64,
+        /// Columns of `B`/`C`.
+        n3: u64,
+        /// Processor count.
+        p: u64,
+        /// Local memory in words (`inf` ⇒ unconstrained).
+        m_words: f64,
+        /// α-β-γ machine used for ranking.
+        params: MachineParams,
+    },
+    /// `STATS` — service counters.
+    Stats,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `__PANIC [msg]` — panic inside the worker (chaos mode only).
+    ChaosPanic(String),
+    /// `__SLEEP ms` — hold the worker for `ms` milliseconds (chaos mode
+    /// only); used to drive requests past their deadline on purpose.
+    ChaosSleep(u64),
+}
+
+/// Machine-readable error codes carried by `ERR` responses.
+///
+/// Codes are lowercase tokens so clients can switch on them without
+/// parsing prose; the prose after the colon is for humans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The line was not valid UTF-8 or contained a NUL byte.
+    Encoding,
+    /// The line exceeded the configured maximum length.
+    LineTooLong,
+    /// The request was empty (bare newline).
+    Empty,
+    /// Unknown verb.
+    UnknownVerb,
+    /// Wrong token count or an unparsable number.
+    Parse,
+    /// The advisor rejected the query values (dims, procs, memory…).
+    Advisor,
+    /// The worker panicked while serving the request (caught; the
+    /// worker survives).
+    Internal,
+    /// The connection stalled past its read timeout.
+    ReadTimeout,
+    /// The server is draining for shutdown and not accepting work.
+    Draining,
+}
+
+impl ErrCode {
+    /// The wire token for this code.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrCode::Encoding => "encoding",
+            ErrCode::LineTooLong => "line-too-long",
+            ErrCode::Empty => "empty",
+            ErrCode::UnknownVerb => "unknown-verb",
+            ErrCode::Parse => "parse",
+            ErrCode::Advisor => "advisor",
+            ErrCode::Internal => "internal",
+            ErrCode::ReadTimeout => "read-timeout",
+            ErrCode::Draining => "draining",
+        }
+    }
+}
+
+/// A request that could not be parsed, with the `ERR` code it maps to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// The machine-readable code.
+    pub code: ErrCode,
+    /// Human-readable detail (sanitized before rendering).
+    pub detail: String,
+}
+
+impl RequestError {
+    fn new(code: ErrCode, detail: impl Into<String>) -> RequestError {
+        RequestError { code, detail: detail.into() }
+    }
+}
+
+/// One response line. Rendering ([`Response::render`]) always yields a
+/// single `\n`-terminated line whose first word is the status.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success; `payload` is the rest of the line after `OK `.
+    Ok(String),
+    /// Typed failure: `ERR <code>: <detail>`.
+    Err {
+        /// Machine-readable code.
+        code: ErrCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Load shed: the bounded queue was full when the request arrived.
+    Shed {
+        /// The configured queue depth that was exhausted.
+        queue_depth: usize,
+    },
+    /// Deadline exceeded: accepted, but not answered in time.
+    Timeout {
+        /// The configured deadline budget, in milliseconds.
+        deadline_ms: u64,
+        /// How long the request had been in flight when it was
+        /// abandoned, in milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl Response {
+    /// Shorthand for an `ERR` response.
+    pub fn err(code: ErrCode, detail: impl Into<String>) -> Response {
+        Response::Err { code, detail: detail.into() }
+    }
+
+    /// True if this is an `OK` response.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+
+    /// Render as exactly one protocol line, newline-terminated. Interior
+    /// newlines, carriage returns, and NUL bytes in payloads are replaced
+    /// with spaces so a response can never masquerade as two.
+    pub fn render(&self) -> String {
+        let line = match self {
+            Response::Ok(payload) if payload.is_empty() => "OK".to_string(),
+            Response::Ok(payload) => format!("OK {payload}"),
+            Response::Err { code, detail } => format!("ERR {}: {detail}", code.token()),
+            Response::Shed { queue_depth } => format!("SHED queue-full depth={queue_depth}"),
+            Response::Timeout { deadline_ms, waited_ms } => {
+                format!("TIMEOUT deadline-ms={deadline_ms} waited-ms={waited_ms}")
+            }
+        };
+        let mut sanitized: String = line
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' || c == '\0' { ' ' } else { c })
+            .collect();
+        sanitized.push('\n');
+        sanitized
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.render().trim_end())
+    }
+}
+
+impl From<RequestError> for Response {
+    fn from(e: RequestError) -> Response {
+        Response::Err { code: e.code, detail: e.detail }
+    }
+}
+
+impl From<AdvisorError> for Response {
+    fn from(e: AdvisorError) -> Response {
+        Response::err(ErrCode::Advisor, e.to_string())
+    }
+}
+
+fn parse_u64(tok: &str, what: &str) -> Result<u64, RequestError> {
+    tok.parse::<u64>().map_err(|_| {
+        RequestError::new(
+            ErrCode::Parse,
+            format!("{what} must be an unsigned integer, got {tok:?}"),
+        )
+    })
+}
+
+fn parse_f64(tok: &str, what: &str) -> Result<f64, RequestError> {
+    if tok.eq_ignore_ascii_case("inf") {
+        return Ok(f64::INFINITY);
+    }
+    tok.parse::<f64>().map_err(|_| {
+        RequestError::new(ErrCode::Parse, format!("{what} must be a number, got {tok:?}"))
+    })
+}
+
+/// Parse one request line from raw bytes (without the trailing newline).
+///
+/// Total: every input maps to `Ok` or a typed `Err`. `chaos` gates the
+/// `__PANIC`/`__SLEEP` verbs — with it off they are unknown verbs, so a
+/// production service cannot be panicked or stalled from the wire.
+pub fn parse_request(line: &[u8], chaos: bool) -> Result<Request, RequestError> {
+    if line.contains(&0) {
+        return Err(RequestError::new(ErrCode::Encoding, "request contains a NUL byte"));
+    }
+    let text = std::str::from_utf8(line)
+        .map_err(|e| RequestError::new(ErrCode::Encoding, format!("request is not UTF-8: {e}")))?;
+    let mut tokens = text.split_whitespace();
+    let Some(verb) = tokens.next() else {
+        return Err(RequestError::new(ErrCode::Empty, "empty request line"));
+    };
+    let rest: Vec<&str> = tokens.collect();
+    match verb {
+        "ADVISE" => {
+            if rest.len() != 5 && rest.len() != 8 {
+                return Err(RequestError::new(
+                    ErrCode::Parse,
+                    format!(
+                        "ADVISE takes `n1 n2 n3 P M [alpha beta gamma]` \
+                         (5 or 8 arguments), got {}",
+                        rest.len()
+                    ),
+                ));
+            }
+            let n1 = parse_u64(rest[0], "n1")?;
+            let n2 = parse_u64(rest[1], "n2")?;
+            let n3 = parse_u64(rest[2], "n3")?;
+            let p = parse_u64(rest[3], "P")?;
+            let m_words = parse_f64(rest[4], "M")?;
+            let params = if rest.len() == 8 {
+                MachineParams {
+                    alpha: parse_f64(rest[5], "alpha")?,
+                    beta: parse_f64(rest[6], "beta")?,
+                    gamma: parse_f64(rest[7], "gamma")?,
+                }
+            } else {
+                MachineParams::TYPICAL_CLUSTER
+            };
+            Ok(Request::Advise { n1, n2, n3, p, m_words, params })
+        }
+        "STATS" => {
+            if !rest.is_empty() {
+                return Err(RequestError::new(ErrCode::Parse, "STATS takes no arguments"));
+            }
+            Ok(Request::Stats)
+        }
+        "PING" => {
+            if !rest.is_empty() {
+                return Err(RequestError::new(ErrCode::Parse, "PING takes no arguments"));
+            }
+            Ok(Request::Ping)
+        }
+        "__PANIC" if chaos => Ok(Request::ChaosPanic(rest.join(" "))),
+        "__SLEEP" if chaos => {
+            let ms = rest.first().map(|t| parse_u64(t, "ms")).transpose()?.unwrap_or(0);
+            Ok(Request::ChaosSleep(ms))
+        }
+        other => {
+            // Truncate so a hostile verb can't balloon the response.
+            let shown: String = other.chars().take(32).collect();
+            Err(RequestError::new(ErrCode::UnknownVerb, format!("unknown verb {shown:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_advise_with_and_without_machine() {
+        let r = parse_request(b"ADVISE 96 24 6 36 inf", false).unwrap();
+        assert_eq!(
+            r,
+            Request::Advise {
+                n1: 96,
+                n2: 24,
+                n3: 6,
+                p: 36,
+                m_words: f64::INFINITY,
+                params: MachineParams::TYPICAL_CLUSTER,
+            }
+        );
+        let r = parse_request(b"ADVISE 8 8 8 4 1000 0 1 0", false).unwrap();
+        match r {
+            Request::Advise { m_words, params, .. } => {
+                assert_eq!(m_words, 1000.0);
+                assert_eq!(params, MachineParams::BANDWIDTH_ONLY);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_typed_codes() {
+        let code = |b: &[u8]| parse_request(b, false).unwrap_err().code;
+        assert_eq!(code(b""), ErrCode::Empty);
+        assert_eq!(code(b"   \t "), ErrCode::Empty);
+        assert_eq!(code(b"FROB 1 2"), ErrCode::UnknownVerb);
+        assert_eq!(code(b"ADVISE 1 2 3"), ErrCode::Parse);
+        assert_eq!(code(b"ADVISE 1 2 3 4 5 6"), ErrCode::Parse);
+        assert_eq!(code(b"ADVISE a 2 3 4 inf"), ErrCode::Parse);
+        assert_eq!(code(b"ADVISE 1 2 3 4 bogus"), ErrCode::Parse);
+        assert_eq!(code(b"ADVISE -1 2 3 4 inf"), ErrCode::Parse);
+        assert_eq!(code(b"STATS now"), ErrCode::Parse);
+        assert_eq!(code(b"ADVISE 1 2 3 4\x00inf"), ErrCode::Encoding);
+        assert_eq!(code(&[0xFF, 0xFE, b'A']), ErrCode::Encoding);
+    }
+
+    #[test]
+    fn chaos_verbs_are_unknown_unless_enabled() {
+        assert_eq!(parse_request(b"__PANIC boom", false).unwrap_err().code, ErrCode::UnknownVerb);
+        assert_eq!(
+            parse_request(b"__PANIC boom", true).unwrap(),
+            Request::ChaosPanic("boom".into())
+        );
+        assert_eq!(parse_request(b"__SLEEP 50", true).unwrap(), Request::ChaosSleep(50));
+        assert_eq!(parse_request(b"__SLEEP x", true).unwrap_err().code, ErrCode::Parse);
+    }
+
+    #[test]
+    fn responses_render_as_exactly_one_line() {
+        let cases = [
+            Response::Ok("pong".into()),
+            Response::err(ErrCode::Parse, "evil\ndetail\r\0here"),
+            Response::Shed { queue_depth: 64 },
+            Response::Timeout { deadline_ms: 50, waited_ms: 61 },
+        ];
+        for r in cases {
+            let line = r.render();
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "{line:?}");
+            assert!(!line.trim_end().is_empty());
+            let first = line.split_whitespace().next().unwrap();
+            assert!(["OK", "ERR", "SHED", "TIMEOUT"].contains(&first), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn shed_and_timeout_lines_carry_their_budgets() {
+        assert_eq!(Response::Shed { queue_depth: 8 }.render(), "SHED queue-full depth=8\n");
+        assert_eq!(
+            Response::Timeout { deadline_ms: 50, waited_ms: 172 }.render(),
+            "TIMEOUT deadline-ms=50 waited-ms=172\n"
+        );
+    }
+}

@@ -1,0 +1,501 @@
+//! The hardened service shell around [`Engine`]: bounded queue, worker
+//! pool, deadlines, panic isolation, and the stdin/TCP transports.
+//!
+//! The request path is:
+//!
+//! ```text
+//! transport ── read_line_bounded ──► Server::submit
+//!                  │ (length cap,         │ try_send on the bounded queue
+//!                  │  read timeout)       │   full  → SHED (never buffer)
+//!                  ▼                      ▼
+//!            ERR line-too-long     worker pool (catch_unwind)
+//!            ERR read-timeout         │ stale in queue → TIMEOUT
+//!                                     │ panic          → ERR internal
+//!                                     ▼
+//!                              reply channel ──► recv_timeout(deadline)
+//!                                                  late → TIMEOUT
+//! ```
+//!
+//! Every overload knob is explicit: the queue depth bounds buffered
+//! requests, the per-request deadline bounds client wait, the read
+//! timeout bounds how long a slow (or slowloris) client can hold a
+//! connection thread, and the line cap bounds per-connection buffering.
+//! Workers never die: panics are caught, counted, and answered.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use crate::protocol::{ErrCode, Response};
+use crate::stats::Stats;
+use crate::ServeConfig;
+
+/// Lock, recovering from poisoning: the protected state (queue handles,
+/// cache maps, counter vectors) stays structurally valid even if a
+/// holder panicked, and the service's whole job is to outlive panics.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// One queued request: the raw line plus the channel the transport is
+/// waiting on and the enqueue instant its deadline is measured from.
+struct Job {
+    line: Vec<u8>,
+    reply: SyncSender<Response>,
+    enqueued: Instant,
+}
+
+/// The advisor service: an [`Engine`] behind a bounded queue and a pool
+/// of panic-isolated workers. Transports call [`Server::submit`]; the
+/// chaos harness and tests drive it directly.
+pub struct Server {
+    engine: Arc<Engine>,
+    config: ServeConfig,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start the worker pool and return the ready-to-submit server.
+    pub fn start(config: ServeConfig) -> Server {
+        let engine = Arc::new(Engine::new(config.clone()));
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = Arc::clone(&rx);
+                let deadline = config.deadline;
+                std::thread::Builder::new()
+                    .name(format!("pmm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, deadline))
+                    .expect("spawning a service worker thread")
+            })
+            .collect();
+        Server { engine, config, tx: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
+    }
+
+    /// The engine (for stats and direct handling in oneshot mode).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Run one request line through the full hardened pipeline and wait
+    /// for its outcome. Exactly one [`Response`] comes back:
+    ///
+    /// * queue full → [`Response::Shed`] immediately (backpressure —
+    ///   nothing is ever buffered beyond the queue depth);
+    /// * no answer within the deadline → [`Response::Timeout`] (a late
+    ///   worker reply is discarded);
+    /// * worker panic → `ERR internal` (the worker survives);
+    /// * after [`Server::shutdown`] began → `ERR draining`.
+    pub fn submit(&self, line: Vec<u8>) -> Response {
+        let sender = lock_recover(&self.tx).clone();
+        let Some(sender) = sender else {
+            return Response::err(ErrCode::Draining, "server is shutting down");
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let enqueued = Instant::now();
+        match sender.try_send(Job { line, reply: reply_tx, enqueued }) {
+            Err(TrySendError::Full(_)) => Response::Shed { queue_depth: self.config.queue_depth },
+            Err(TrySendError::Disconnected(_)) => {
+                Response::err(ErrCode::Draining, "server is shutting down")
+            }
+            Ok(()) => match reply_rx.recv_timeout(self.config.deadline) {
+                Ok(resp) => resp,
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    Response::Timeout {
+                        deadline_ms: self.config.deadline.as_millis() as u64,
+                        waited_ms: enqueued.elapsed().as_millis() as u64,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Graceful shutdown: stop accepting new work, let the workers drain
+    /// every request already in the queue (each still gets its response
+    /// or typed timeout), and join them. Idempotent.
+    pub fn shutdown(&self) {
+        let tx = lock_recover(&self.tx).take();
+        drop(tx); // workers exit once the queue is drained
+        let handles: Vec<_> = lock_recover(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(engine: &Arc<Engine>, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Duration) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the compute.
+        let job = { lock_recover(rx).recv() };
+        let Ok(job) = job else { break };
+        let waited = job.enqueued.elapsed();
+        if waited > deadline {
+            // Stale before we even started: shed the compute, answer
+            // with the typed timeout (the transport may itself have
+            // synthesized one already; its channel is then gone and this
+            // send is a no-op).
+            let _ = job.reply.send(Response::Timeout {
+                deadline_ms: deadline.as_millis() as u64,
+                waited_ms: waited.as_millis() as u64,
+            });
+            continue;
+        }
+        let response = match catch_unwind(AssertUnwindSafe(|| engine.handle(&job.line))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                Stats::bump(&engine.stats().panics);
+                Response::err(
+                    ErrCode::Internal,
+                    format!("request handler panicked: {}", panic_message(payload.as_ref())),
+                )
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Outcome of one bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line (without the newline), within the cap.
+    Line(Vec<u8>),
+    /// The line exceeded the cap; the excess was *streamed to the bin*
+    /// (consumed without buffering) up to the next newline or EOF.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Read one `\n`-terminated line, buffering at most `max` bytes and
+/// enforcing `budget` wall-clock per line when given. Oversized lines
+/// are discarded as they stream in, so per-connection memory is bounded
+/// by `max` regardless of what a client sends. An `Err` means the
+/// connection stalled (read timeout / budget exhausted) or broke.
+pub fn read_line_bounded(
+    reader: &mut impl BufRead,
+    max: usize,
+    budget: Option<Duration>,
+) -> io::Result<LineRead> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        let (consumed, done) = {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF: a partial unterminated line still counts.
+                return Ok(if discarding {
+                    LineRead::TooLong
+                } else if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(buf)
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !discarding {
+                        buf.extend_from_slice(&chunk[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !discarding {
+                        buf.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if !discarding && buf.len() > max {
+            buf = Vec::new(); // hand the allocation back immediately
+            discarding = true;
+        }
+        if done {
+            return Ok(if discarding { LineRead::TooLong } else { LineRead::Line(buf) });
+        }
+        if let Some(budget) = budget {
+            if start.elapsed() > budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request line stalled past the read budget",
+                ));
+            }
+        }
+    }
+}
+
+/// True for error kinds produced by a stalled read (`SO_RCVTIMEO`
+/// surfaces as either, platform-dependent).
+fn is_stall(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Serve a line stream: read requests from `input`, write one response
+/// line each to `output`, until EOF or a broken pipe. This is the stdin
+/// transport and the per-connection loop of the TCP transport.
+fn serve_lines(
+    server: &Server,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+    budget: Option<Duration>,
+    stop: Option<&AtomicBool>,
+) {
+    let stats = server.engine().stats();
+    let max = server.config().max_line_bytes;
+    loop {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            break;
+        }
+        let response = match read_line_bounded(input, max, budget) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line(line)) => {
+                Stats::bump(&stats.received);
+                server.submit(line)
+            }
+            Ok(LineRead::TooLong) => {
+                Stats::bump(&stats.received);
+                Stats::bump(&stats.oversized_lines);
+                Response::err(ErrCode::LineTooLong, format!("request line exceeds {max} bytes"))
+            }
+            Err(e) if is_stall(e.kind()) => {
+                // The partial line counts as received so that the
+                // farewell ERR keeps `received == ok+errors+shed+timeouts`
+                // exact after a drain.
+                Stats::bump(&stats.received);
+                Stats::bump(&stats.read_timeouts);
+                let resp = Response::err(ErrCode::ReadTimeout, "connection stalled");
+                stats.count_response(&resp);
+                let _ = output.write_all(resp.render().as_bytes());
+                break;
+            }
+            Err(_) => break,
+        };
+        stats.count_response(&response);
+        if output.write_all(response.render().as_bytes()).is_err() {
+            break;
+        }
+        let _ = output.flush();
+    }
+}
+
+/// Serve stdin → stdout until EOF, then drain and shut down. Returns the
+/// final stats snapshot.
+pub fn serve_stdio(server: &Server) -> crate::stats::StatsSnapshot {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    serve_lines(server, &mut input, &mut output, None, None);
+    server.shutdown();
+    server.engine().stats().snapshot()
+}
+
+/// Answer exactly one request from `input` without spinning up the
+/// queue/worker machinery (`pmm serve --oneshot`). Returns the rendered
+/// response line and the process exit code: `0` for `OK`, `1` for
+/// anything else (including an empty stream).
+pub fn oneshot(config: ServeConfig, input: &mut impl BufRead) -> (String, u8) {
+    let engine = Engine::new(config.clone());
+    let response = match read_line_bounded(input, config.max_line_bytes, None) {
+        Ok(LineRead::Line(line)) => match catch_unwind(AssertUnwindSafe(|| engine.handle(&line))) {
+            Ok(resp) => resp,
+            Err(payload) => Response::err(
+                ErrCode::Internal,
+                format!("request handler panicked: {}", panic_message(payload.as_ref())),
+            ),
+        },
+        Ok(LineRead::TooLong) => Response::err(
+            ErrCode::LineTooLong,
+            format!("request line exceeds {} bytes", config.max_line_bytes),
+        ),
+        Ok(LineRead::Eof) => Response::err(ErrCode::Empty, "no request on stdin"),
+        Err(e) => Response::err(ErrCode::ReadTimeout, format!("could not read stdin: {e}")),
+    };
+    let code = u8::from(!response.is_ok());
+    (response.render(), code)
+}
+
+/// A live TCP listener: accepts connections, one thread per connection,
+/// each with read timeouts so stalled clients are disconnected instead
+/// of pinning anything.
+pub struct TcpService {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpService {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting.
+    pub fn bind(config: ServeConfig, addr: impl ToSocketAddrs) -> io::Result<TcpService> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let server = Arc::new(Server::start(config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("pmm-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &server, &stop, &conns))
+                .expect("spawning the accept thread")
+        };
+        Ok(TcpService { server, addr: local, stop, accept: Some(accept), conns })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying server (stats, config, direct submits).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Graceful shutdown: stop accepting, let every open connection
+    /// finish its current request (bounded by the read timeout), drain
+    /// the queue, join all threads. Returns the final stats snapshot.
+    pub fn shutdown(mut self) -> crate::stats::StatsSnapshot {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = lock_recover(&self.conns).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.server.shutdown();
+        self.server.engine().stats().snapshot()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<Server>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        Stats::bump(&server.engine().stats().connections);
+        let server = Arc::clone(server);
+        let stop_conn = Arc::clone(stop);
+        let handle = std::thread::Builder::new()
+            .name("pmm-serve-conn".to_string())
+            .spawn(move || handle_connection(&server, stream, &stop_conn))
+            .expect("spawning a connection thread");
+        let mut guard = lock_recover(conns);
+        guard.retain(|h| !h.is_finished());
+        guard.push(handle);
+    }
+}
+
+fn handle_connection(server: &Arc<Server>, stream: TcpStream, stop: &AtomicBool) {
+    let read_timeout = server.config().read_timeout;
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = stream;
+    serve_lines(server, &mut reader, &mut writer, Some(read_timeout), Some(stop));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_reader_splits_lines_and_reports_eof() {
+        let mut input = io::Cursor::new(b"PING\nSTATS\ntail".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut input, 64, None).unwrap(),
+            LineRead::Line(b"PING".to_vec())
+        );
+        assert_eq!(
+            read_line_bounded(&mut input, 64, None).unwrap(),
+            LineRead::Line(b"STATS".to_vec())
+        );
+        // Unterminated trailing bytes still form a line, then EOF.
+        assert_eq!(
+            read_line_bounded(&mut input, 64, None).unwrap(),
+            LineRead::Line(b"tail".to_vec())
+        );
+        assert_eq!(read_line_bounded(&mut input, 64, None).unwrap(), LineRead::Eof);
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversized_lines_without_buffering() {
+        let mut big = vec![b'x'; 1 << 20];
+        big.push(b'\n');
+        big.extend_from_slice(b"PING\n");
+        let mut input = io::Cursor::new(big);
+        assert_eq!(read_line_bounded(&mut input, 64, None).unwrap(), LineRead::TooLong);
+        // The stream is resynchronized at the newline.
+        assert_eq!(
+            read_line_bounded(&mut input, 64, None).unwrap(),
+            LineRead::Line(b"PING".to_vec())
+        );
+    }
+
+    #[test]
+    fn oneshot_ok_and_err_exit_codes() {
+        let cfg = ServeConfig::default();
+        let (line, code) = oneshot(cfg.clone(), &mut io::Cursor::new(b"PING\n".to_vec()));
+        assert_eq!((line.as_str(), code), ("OK pong\n", 0));
+        let (line, code) = oneshot(cfg.clone(), &mut io::Cursor::new(b"FROB\n".to_vec()));
+        assert!(line.starts_with("ERR unknown-verb"), "{line}");
+        assert_eq!(code, 1);
+        let (line, code) = oneshot(cfg, &mut io::Cursor::new(Vec::new()));
+        assert!(line.starts_with("ERR empty"), "{line}");
+        assert_eq!(code, 1);
+    }
+}

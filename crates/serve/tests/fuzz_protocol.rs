@@ -1,0 +1,106 @@
+//! Proptest fuzz of the line protocol: arbitrary byte sequences —
+//! including embedded NUL, invalid UTF-8, overlong tokens, and truncated
+//! lines — never panic the parser or the engine, and every request line
+//! yields exactly one well-formed response line.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pmm_serve::{oneshot, parse_request, Engine, ServeConfig};
+
+/// A full-range byte (the shim has no inclusive ranges, so `0u8..=255`
+/// is spelled as a widened half-open range).
+fn any_byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|b| b as u8)
+}
+
+/// Token-soup lines: protocol-adjacent fragments that reach the deeper
+/// parse paths (argument counts, number parsing, chaos gating) far more
+/// often than uniform bytes do.
+fn token_soup() -> impl Strategy<Value = Vec<u8>> {
+    let token = (0usize..16).prop_map(|i| {
+        [
+            "ADVISE",
+            "STATS",
+            "PING",
+            "__PANIC",
+            "__SLEEP",
+            "inf",
+            "nan",
+            "-1",
+            "0",
+            "1",
+            "96",
+            "24",
+            "1e300",
+            "18446744073709551616",
+            "x",
+            "\u{fffd}",
+        ][i]
+    });
+    vec(token, 0..10).prop_map(|toks| toks.join(" ").into_bytes())
+}
+
+/// Check the one-request/one-response contract on a rendered line.
+fn assert_single_well_formed_line(line: &str, statuses: &[&str]) {
+    assert!(line.ends_with('\n'), "unterminated response: {line:?}");
+    assert_eq!(line.matches('\n').count(), 1, "multi-line response: {line:?}");
+    assert!(!line.contains('\r') && !line.contains('\0'), "unsanitized response: {line:?}");
+    let first = line.split_whitespace().next().unwrap_or("");
+    assert!(statuses.contains(&first), "unknown status in {line:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_is_total_on_arbitrary_bytes(line in vec(any_byte(), 0..256), chaos in 0u8..2) {
+        // Totality: `parse_request` returns, it never panics — reaching
+        // the assertion below is the property.
+        let parsed = parse_request(&line, chaos == 1);
+        if let Err(e) = parsed {
+            prop_assert!(!e.detail.is_empty(), "typed errors carry detail");
+        }
+    }
+
+    #[test]
+    fn engine_answers_arbitrary_bytes_with_one_well_formed_line(
+        line in vec(any_byte(), 0..256),
+    ) {
+        let engine = Engine::new(ServeConfig::default());
+        let rendered = engine.handle(&line).render();
+        // Chaos verbs are off by default, so the engine is panic-free and
+        // only OK/ERR can come back at this layer.
+        assert_single_well_formed_line(&rendered, &["OK", "ERR"]);
+    }
+
+    #[test]
+    fn engine_answers_token_soup_with_one_well_formed_line(line in token_soup()) {
+        let engine = Engine::new(ServeConfig::default());
+        let rendered = engine.handle(&line).render();
+        assert_single_well_formed_line(&rendered, &["OK", "ERR"]);
+    }
+
+    #[test]
+    fn truncated_valid_requests_get_typed_errors(cut in 0usize..22, chaos in 0u8..2) {
+        // Every prefix of a valid request is still answered, not panicked
+        // on: shorter prefixes hit Empty/UnknownVerb, longer ones Parse.
+        let full = b"ADVISE 96 24 6 36 inf";
+        let parsed = parse_request(&full[..cut.min(full.len())], chaos == 1);
+        if cut < full.len() {
+            prop_assert!(parsed.is_err(), "truncated line must not parse: cut={cut}");
+        } else {
+            prop_assert!(parsed.is_ok());
+        }
+    }
+
+    #[test]
+    fn oneshot_is_panic_free_and_exit_code_matches_status(
+        line in vec(any_byte(), 0..128),
+    ) {
+        let mut input = std::io::Cursor::new(line);
+        let (rendered, code) = oneshot(ServeConfig::default(), &mut input);
+        assert_single_well_formed_line(&rendered, &["OK", "ERR"]);
+        prop_assert_eq!(code == 0, rendered.starts_with("OK"), "{}", rendered);
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`bounds`] (`pmm-core`) | **the paper**: Lemma 2, Theorem 3, grids |
 //! | [`algs`] (`pmm-algs`) | Algorithm 1 + Cannon/SUMMA/2.5D baselines |
 //! | [`explore`] (`pmm-explore`) | schedule-space exploration + program synthesis |
+//! | [`serve`] (`pmm-serve`) | hardened line-protocol advisor service (`pmm serve`) |
 
 pub use pmm_algs as algs;
 pub use pmm_collectives as collectives;
@@ -57,6 +58,7 @@ pub use pmm_core as bounds;
 pub use pmm_dense as dense;
 pub use pmm_explore as explore;
 pub use pmm_model as model;
+pub use pmm_serve as serve;
 pub use pmm_simnet as simnet;
 
 /// One-stop imports for the common workflow (bounds → grid → simulated

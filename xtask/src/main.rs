@@ -41,6 +41,14 @@
 //!   against the intent oracle. Collects the tests' `DPOR:` metric lines
 //!   into `BENCH_explore.json` (schedules/sec, states pruned, programs
 //!   generated). Failures print a `PMM_SCHEDULE=prefix:...` repro line.
+//! * `cargo xtask serve-soak [budget-secs]` — the chaos load harness for
+//!   the `pmm serve` advisor service (`pmm-bench`'s `serve_chaos` bin,
+//!   release mode): mixed valid/burst/panic/malformed/oversized/slowloris
+//!   traffic against a deliberately tiny queue for the wall-clock budget
+//!   (default 10 s), asserting the robustness invariants (every request
+//!   answered, panics isolated, memory bounded). Collects the harness's
+//!   `SERVE: key=value` metric lines into `BENCH_serve.json` (throughput,
+//!   p50/p99 latency, shed rate, cache hit rate).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -83,6 +91,13 @@ fn main() -> ExitCode {
                 .unwrap_or(300);
             dpor(Duration::from_secs(budget))
         }
+        Some("serve-soak") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(10);
+            serve_soak(Duration::from_secs(budget))
+        }
         other => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
@@ -106,7 +121,10 @@ fn main() -> ExitCode {
                  \x20 dpor            [budget-secs] run the schedule-space race checker\n\
                  \x20                 (tests/explore.rs): exhaustive interleaving\n\
                  \x20                 certificates, budgeted frontier exploration, and a\n\
-                 \x20                 1000-program generator soak; emits BENCH_explore.json"
+                 \x20                 1000-program generator soak; emits BENCH_explore.json\n\
+                 \x20 serve-soak      [budget-secs] run the pmm-serve chaos load harness\n\
+                 \x20                 (mixed valid/malformed/overload/slowloris traffic,\n\
+                 \x20                 default 10 s) and emit BENCH_serve.json"
             );
             if other.is_none() {
                 ExitCode::FAILURE
@@ -418,6 +436,101 @@ fn dpor(budget: Duration) -> ExitCode {
          {:.0} generated programs; metrics in {}",
         sum("pruned"),
         sum("programs"),
+        bench.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `pmm serve` chaos soak: run `pmm-bench`'s `serve_chaos` binary in
+/// release mode with the wall-clock budget exported as
+/// `PMM_SERVE_SOAK_SECS`, let its own invariant checks gate the exit
+/// status, and collect its `SERVE: key=value` metric lines into
+/// `BENCH_serve.json` at the workspace root (client-side tally,
+/// server-side counters, and derived throughput / latency-percentile /
+/// shed-rate / cache-hit-rate figures).
+fn serve_soak(budget: Duration) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    eprintln!("xtask: serve-soak — pmm-serve chaos harness ({}s budget)", budget.as_secs());
+    let start = Instant::now();
+    let output = match Command::new(&cargo)
+        .args(["run", "--release", "-p", "pmm-bench", "--bin", "serve_chaos"])
+        .env("PMM_SERVE_SOAK_SECS", budget.as_secs().to_string())
+        .current_dir(&root)
+        .output()
+    {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("xtask: could not launch the serve_chaos harness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    print!("{stdout}");
+    eprint!("{stderr}");
+    if !output.status.success() {
+        eprintln!("xtask: serve-soak FAILED");
+        return ExitCode::FAILURE;
+    }
+
+    // The harness prints one `SERVE: key=value ...` line per section;
+    // each section carries a marker key to recognise it by.
+    let lines: Vec<Vec<(&str, &str)>> = stdout
+        .lines()
+        .filter_map(|l| l.find("SERVE:").map(|i| &l[i + "SERVE:".len()..]))
+        .map(|l| l.split_whitespace().filter_map(|tok| tok.split_once('=')).collect())
+        .collect();
+    let section = |marker: &str| -> Option<&Vec<(&str, &str)>> {
+        lines.iter().find(|entry| entry.iter().any(|(k, _)| *k == marker))
+    };
+    let render = |entry: &[(&str, &str)]| -> String {
+        let fields: Vec<String> = entry
+            .iter()
+            .map(|(k, v)| {
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{k}\": {v}")
+                } else {
+                    format!("\"{k}\": \"{v}\"")
+                }
+            })
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    };
+    let (Some(client), Some(server), Some(derived)) =
+        (section("requests"), section("received"), section("throughput_rps"))
+    else {
+        eprintln!("xtask: serve-soak passed but its SERVE: metric lines are missing");
+        return ExitCode::FAILURE;
+    };
+    let verdict = section("verdict")
+        .and_then(|e| e.iter().find(|(k, _)| *k == "verdict").map(|(_, v)| *v))
+        .unwrap_or("unknown");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"budget_secs\": {},\n", budget.as_secs()));
+    json.push_str(&format!("  \"wall_secs\": {:.3},\n", start.elapsed().as_secs_f64()));
+    json.push_str(&format!("  \"verdict\": \"{verdict}\",\n"));
+    json.push_str(&format!("  \"client\": {},\n", render(client)));
+    json.push_str(&format!("  \"server\": {},\n", render(server)));
+    json.push_str(&format!("  \"derived\": {}\n", render(derived)));
+    json.push_str("}\n");
+    let bench = root.join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&bench, &json) {
+        eprintln!("xtask: could not write {}: {e}", bench.display());
+        return ExitCode::FAILURE;
+    }
+    let derived_field = |key: &str| -> &str {
+        derived.iter().find(|(k, _)| *k == key).map(|(_, v)| *v).unwrap_or("?")
+    };
+    eprintln!(
+        "xtask: serve-soak passed — {} rps, p50 {} µs, p99 {} µs, shed rate {}, \
+         cache hit rate {}; metrics in {}",
+        derived_field("throughput_rps"),
+        derived_field("p50_us"),
+        derived_field("p99_us"),
+        derived_field("shed_rate"),
+        derived_field("cache_hit_rate"),
         bench.display()
     );
     ExitCode::SUCCESS
