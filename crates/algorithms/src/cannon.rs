@@ -16,7 +16,7 @@
 
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::Rank;
+use pmm_simnet::{poll_now, Rank};
 
 /// Configuration for [`cannon`].
 #[derive(Debug, Clone)]
@@ -57,6 +57,11 @@ fn owned_blocks(
 /// Run Cannon's algorithm. `a`/`b` are the global inputs, read only for
 /// this rank's owned blocks.
 pub fn cannon(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> CannonOutput {
+    poll_now(cannon_a(rank, cfg, a, b))
+}
+
+/// Async form of [`cannon`] (event-loop programs).
+pub async fn cannon_a(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> CannonOutput {
     let q = cfg.q;
     assert_eq!(rank.world_size(), q * q, "world size must be q²");
     let dims = cfg.dims;
@@ -65,8 +70,8 @@ pub fn cannon(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> Ca
     let (i, j) = (me / q, me % q);
 
     let world = rank.world_comm();
-    let row = rank.split(&world, i as i64, j as i64).expect("row comm");
-    let col = rank.split(&world, (q + j) as i64, i as i64).expect("col comm");
+    let row = rank.split_a(&world, i as i64, j as i64).await.expect("row comm");
+    let col = rank.split_a(&world, (q + j) as i64, i as i64).await.expect("col comm");
     debug_assert_eq!(row.size(), q);
     debug_assert_eq!(col.size(), q);
 
@@ -90,13 +95,13 @@ pub fn cannon(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> Ca
         if q > 1 && i > 0 {
             let to = (j + q - i) % q;
             let from = (j + i) % q;
-            let msg = rank.exchange(&row, to, from, a_cur.as_slice());
+            let msg = rank.exchange_a(&row, to, from, a_cur.as_slice()).await;
             a_cur = Matrix::from_vec(my_rows, inner_len(inner), msg.payload);
         }
         if q > 1 && j > 0 {
             let to = (i + q - j) % q;
             let from = (i + j) % q;
-            let msg = rank.exchange(&col, to, from, b_cur.as_slice());
+            let msg = rank.exchange_a(&col, to, from, b_cur.as_slice()).await;
             b_cur = Matrix::from_vec(inner_len(inner), my_cols, msg.payload);
         }
     });
@@ -111,9 +116,11 @@ pub fn cannon(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> Ca
             // Rotate A left by one, B up by one.
             pmm_simnet::phase!(rank, "rotate", {
                 let next_inner = (inner + 1) % q;
-                let msg = rank.exchange(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice());
+                let msg =
+                    rank.exchange_a(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice()).await;
                 a_cur = Matrix::from_vec(my_rows, inner_len(next_inner), msg.payload);
-                let msg = rank.exchange(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice());
+                let msg =
+                    rank.exchange_a(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice()).await;
                 b_cur = Matrix::from_vec(inner_len(next_inner), my_cols, msg.payload);
                 inner = next_inner;
             });

@@ -3,7 +3,7 @@
 
 use pmm_dense::{block_range, Matrix};
 use pmm_model::Grid3;
-use pmm_simnet::{Comm, Meter, Rank};
+use pmm_simnet::{poll_now, Comm, Meter, Rank};
 
 /// Traffic attributed to one named phase of an algorithm (diff of two
 /// meter snapshots).
@@ -25,12 +25,37 @@ impl PhaseMeter {
         label: &'static str,
         f: impl FnOnce(&mut Rank) -> T,
     ) -> (T, PhaseMeter) {
+        let probe = PhaseProbe::begin(rank, label);
+        let out = f(rank);
+        (out, probe.finish(rank))
+    }
+}
+
+/// An in-flight phase measurement. [`PhaseMeter::measure`] wraps the
+/// phase body in a closure, which cannot hold the rank borrow across an
+/// `.await`; async algorithm bodies instead bracket the phase manually:
+/// [`PhaseProbe::begin`], run the body (awaiting freely), then
+/// [`PhaseProbe::finish`]. Both paths emit the same trace scope and meter
+/// diff.
+#[must_use = "a phase probe measures nothing until finished"]
+pub struct PhaseProbe {
+    label: &'static str,
+    before: Meter,
+}
+
+impl PhaseProbe {
+    /// Snapshot the meter and open the labelled phase scope.
+    pub fn begin(rank: &mut Rank, label: &'static str) -> PhaseProbe {
         let before = rank.meter();
         rank.phase_begin(label);
-        let out = f(rank);
-        rank.phase_end(label);
-        let meter = rank.meter().diff(&before);
-        (out, PhaseMeter { label, meter })
+        PhaseProbe { label, before }
+    }
+
+    /// Close the phase scope and return the meter diff across it.
+    pub fn finish(self, rank: &mut Rank) -> PhaseMeter {
+        rank.phase_end(self.label);
+        let meter = rank.meter().diff(&self.before);
+        PhaseMeter { label: self.label, meter }
     }
 }
 
@@ -46,24 +71,47 @@ pub fn fiber_comms(rank: &mut Rank, grid: Grid3) -> [Comm; 3] {
     fiber_comms_on(rank, &world, grid)
 }
 
+/// Async form of [`fiber_comms`] (event-loop programs).
+pub async fn fiber_comms_a(rank: &mut Rank, grid: Grid3) -> [Comm; 3] {
+    let world = rank.world_comm();
+    fiber_comms_on_a(rank, &world, grid).await
+}
+
 /// [`fiber_comms`] generalized to an arbitrary base communicator: this
 /// rank's grid coordinate is derived from its index *in `base`*, whose
 /// size must equal the grid size. This is what failure recovery needs —
 /// after a rank dies, the survivors' communicator is no longer the world,
 /// and the shrunken grid is laid out over it.
 pub fn fiber_comms_on(rank: &mut Rank, base: &Comm, grid: Grid3) -> [Comm; 3] {
+    poll_now(fiber_comms_on_a(rank, base, grid))
+}
+
+/// Async form of [`fiber_comms_on`] (event-loop programs).
+pub async fn fiber_comms_on_a(rank: &mut Rank, base: &Comm, grid: Grid3) -> [Comm; 3] {
     assert_eq!(base.size(), grid.size(), "base communicator size must equal grid size");
     let coord = grid.coord_of(base.index());
-    let make = |rank: &mut Rank, axis: usize| {
+    async fn make(
+        rank: &mut Rank,
+        base: &Comm,
+        grid: Grid3,
+        coord: [usize; 3],
+        axis: usize,
+    ) -> Comm {
         let color = grid.fiber_color(coord, axis) as i64;
         let key = coord[axis] as i64;
-        let comm =
-            rank.split(base, color, key).expect("non-negative color always yields a communicator");
+        let comm = rank
+            .split_a(base, color, key)
+            .await
+            .expect("non-negative color always yields a communicator");
         assert_eq!(comm.size(), grid.dims()[axis]);
         assert_eq!(comm.index(), coord[axis]);
         comm
-    };
-    [make(rank, 0), make(rank, 1), make(rank, 2)]
+    }
+    [
+        make(rank, base, grid, coord, 0).await,
+        make(rank, base, grid, coord, 1).await,
+        make(rank, base, grid, coord, 2).await,
+    ]
 }
 
 /// Reassemble a global matrix from per-coordinate owned blocks.

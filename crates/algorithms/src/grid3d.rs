@@ -28,14 +28,15 @@
 //! and with the §5.2 optimal grid this *equals* the Theorem 3 bound.
 
 use pmm_collectives::{
-    all_gather_v, all_to_all, reduce_scatter_v, AllGatherAlgo, AllToAllAlgo, ReduceScatterAlgo,
+    all_gather_v_a, all_to_all_a, reduce_scatter_v_a, AllGatherAlgo, AllToAllAlgo,
+    ReduceScatterAlgo,
 };
 use pmm_core::gridopt::best_grid;
 use pmm_dense::{block_range, chunk_of_block, gemm, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};
-use pmm_simnet::{Comm, Rank, RankFailed};
+use pmm_simnet::{poll_now, Comm, Rank, RankFailed};
 
-use crate::common::{fiber_comms_on, flatten_block, PhaseMeter};
+use crate::common::{fiber_comms_on_a, flatten_block, PhaseMeter, PhaseProbe};
 
 /// How the partial products `D` are combined into `C` (line 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,8 +114,13 @@ pub fn owned_c_range(dims: MatMulDims, grid: Grid3, coord: [usize; 3]) -> std::o
 /// closure only as a convenient source of this rank's owned chunks — the
 /// algorithm reads nothing else from them).
 pub fn alg1(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -> Alg1Output {
+    poll_now(alg1_a(rank, cfg, a, b))
+}
+
+/// Async form of [`alg1`] (event-loop programs).
+pub async fn alg1_a(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -> Alg1Output {
     let world = rank.world_comm();
-    alg1_on(rank, &world, cfg, a, b)
+    alg1_on_a(rank, &world, cfg, a, b).await
 }
 
 /// [`alg1`] generalized to an arbitrary base communicator (whose size
@@ -123,6 +129,17 @@ pub fn alg1(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -> Alg1Ou
 /// is the entry point failure recovery uses to re-run the multiplication
 /// on the surviving ranks — see [`alg1_with_recovery`].
 pub fn alg1_on(
+    rank: &mut Rank,
+    base: &Comm,
+    cfg: &Alg1Config,
+    a: &Matrix,
+    b: &Matrix,
+) -> Alg1Output {
+    poll_now(alg1_on_a(rank, base, cfg, a, b))
+}
+
+/// Async form of [`alg1_on`] (event-loop programs).
+pub async fn alg1_on_a(
     rank: &mut Rank,
     base: &Comm,
     cfg: &Alg1Config,
@@ -138,7 +155,7 @@ pub fn alg1_on(
     );
     let [p1, p2, p3] = grid.dims();
     let coord = grid.coord_of(base.index());
-    let comms = fiber_comms_on(rank, base, grid);
+    let comms = fiber_comms_on_a(rank, base, grid).await;
 
     // ----- owned input chunks (initial distribution) -----------------------
     let a_own = owned_a_chunk(dims, grid, coord, a);
@@ -157,18 +174,18 @@ pub fn alg1_on(
     let a_counts: Vec<usize> =
         (0..p3).map(|t| chunk_of_block(a_block_words, p3, t).len()).collect();
     rank.mem_acquire(a_block_words as u64);
-    let (a_flat, ph_a) = PhaseMeter::measure(rank, "all-gather A", |rank| {
-        all_gather_v(rank, &comms[2], &a_own, &a_counts, AllGatherAlgo::Auto)
-    });
+    let probe = PhaseProbe::begin(rank, "all-gather A");
+    let a_flat = all_gather_v_a(rank, &comms[2], &a_own, &a_counts, AllGatherAlgo::Auto).await;
+    let ph_a = probe.finish(rank);
     let a_block = Matrix::from_vec(h1, h2, a_flat);
 
     // ----- line 4: All-Gather B over fiber (:, p2', p3') -------------------
     let b_counts: Vec<usize> =
         (0..p1).map(|t| chunk_of_block(b_block_words, p1, t).len()).collect();
     rank.mem_acquire(b_block_words as u64);
-    let (b_flat, ph_b) = PhaseMeter::measure(rank, "all-gather B", |rank| {
-        all_gather_v(rank, &comms[0], &b_own, &b_counts, AllGatherAlgo::Auto)
-    });
+    let probe = PhaseProbe::begin(rank, "all-gather B");
+    let b_flat = all_gather_v_a(rank, &comms[0], &b_own, &b_counts, AllGatherAlgo::Auto).await;
+    let ph_b = probe.finish(rank);
     let b_block = Matrix::from_vec(h2, h3, b_flat);
 
     // ----- line 6: local computation D = A_block · B_block -----------------
@@ -185,12 +202,23 @@ pub fn alg1_on(
     let c_counts: Vec<usize> =
         (0..p2).map(|t| chunk_of_block(c_block_words, p2, t).len()).collect();
     let (c_chunk, ph_c) = match cfg.assembly {
-        Assembly::ReduceScatter => PhaseMeter::measure(rank, "reduce-scatter C", |rank| {
-            reduce_scatter_v(rank, &comms[1], d.as_slice(), &c_counts, ReduceScatterAlgo::Auto)
-        }),
-        Assembly::AllToAllSum => PhaseMeter::measure(rank, "all-to-all C", |rank| {
-            all_to_all_sum(rank, &comms[1], d.as_slice(), &c_counts)
-        }),
+        Assembly::ReduceScatter => {
+            let probe = PhaseProbe::begin(rank, "reduce-scatter C");
+            let c = reduce_scatter_v_a(
+                rank,
+                &comms[1],
+                d.as_slice(),
+                &c_counts,
+                ReduceScatterAlgo::Auto,
+            )
+            .await;
+            (c, probe.finish(rank))
+        }
+        Assembly::AllToAllSum => {
+            let probe = PhaseProbe::begin(rank, "all-to-all C");
+            let c = all_to_all_sum(rank, &comms[1], d.as_slice(), &c_counts).await;
+            (c, probe.finish(rank))
+        }
     };
 
     // Release gathered blocks and D; retain owned inputs + owned C chunk.
@@ -246,19 +274,34 @@ pub fn alg1_with_recovery(
     a: &Matrix,
     b: &Matrix,
 ) -> Result<RecoveryOutput, RankFailed> {
+    poll_now(alg1_with_recovery_a(rank, dims, kernel, assembly, a, b))
+}
+
+/// Async form of [`alg1_with_recovery`] (event-loop programs).
+pub async fn alg1_with_recovery_a(
+    rank: &mut Rank,
+    dims: MatMulDims,
+    kernel: Kernel,
+    assembly: Assembly,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<RecoveryOutput, RankFailed> {
     let world_size = rank.world_size();
     let mut attempt_grids = Vec::new();
     let mut round: u64 = 0;
     loop {
         let dead = rank.dead_ranks();
         let survivors: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
-        let base = if dead.is_empty() { rank.world_comm() } else { rank.recovery_split(round) };
+        let base =
+            if dead.is_empty() { rank.world_comm() } else { rank.recovery_split_a(round).await };
         debug_assert_eq!(base.members(), &survivors[..]);
         let choice = best_grid(dims, survivors.len());
         let grid = Grid3::from_dims(choice.grid);
         attempt_grids.push(choice.grid);
         let cfg = Alg1Config { dims, grid, kernel, assembly };
-        let completed = match rank.catch_failures(|r| alg1_on(r, &base, &cfg, a, b)) {
+        let attempt =
+            pmm_simnet::catch_failures_async!(rank, alg1_on_a(&mut *rank, &base, &cfg, a, b));
+        let completed = match attempt {
             // This rank is the casualty: it must fall silent — the
             // survivors' barrier already counts it as arrived.
             Err(failed) if failed.rank == rank.world_rank() => return Err(failed),
@@ -268,7 +311,7 @@ pub fn alg1_with_recovery(
         // Rally every survivor (the barrier counts dead ranks as arrived)
         // so all of them observe the same post-attempt dead set and make
         // the same retry-or-return decision.
-        rank.hard_sync();
+        rank.hard_sync_a().await;
         round += 1;
         if let Some(output) = completed {
             if rank.dead_ranks() == dead {
@@ -286,7 +329,7 @@ pub fn alg1_with_recovery(
 /// [`Assembly::AllToAllSum`] ablation). Requires uniform `counts` (pads
 /// internally when uneven by falling back to per-destination sends of the
 /// exact segments).
-fn all_to_all_sum(
+async fn all_to_all_sum(
     rank: &mut Rank,
     comm: &pmm_simnet::Comm,
     data: &[f64],
@@ -310,7 +353,7 @@ fn all_to_all_sum(
     // Temporary memory for the p−1 received chunks (the ablation's cost).
     rank.mem_acquire((data.len() - acc.len()) as u64);
     if uniform && counts[0] > 0 {
-        let recv = all_to_all(rank, comm, data, AllToAllAlgo::Pairwise);
+        let recv = all_to_all_a(rank, comm, data, AllToAllAlgo::Pairwise).await;
         for src in 0..p {
             if src == me {
                 continue;
@@ -327,7 +370,7 @@ fn all_to_all_sum(
             let to = (me + s) % p;
             let from = (me + p - s) % p;
             let payload = &data[offsets[to]..offsets[to + 1]];
-            let msg = rank.exchange(comm, to, from, payload);
+            let msg = rank.exchange_a(comm, to, from, payload).await;
             assert_eq!(msg.payload.len(), counts[me]);
             for (a, &v) in acc.iter_mut().zip(&msg.payload) {
                 *a += v;

@@ -37,15 +37,19 @@ pub mod streamed;
 pub mod summa;
 pub mod twofived;
 
-pub use cannon::{cannon, CannonConfig, CannonOutput};
-pub use common::{assemble_from_blocks, fiber_comms, fiber_comms_on, PhaseMeter};
+pub use cannon::{cannon, cannon_a, CannonConfig, CannonOutput};
+pub use common::{
+    assemble_from_blocks, fiber_comms, fiber_comms_a, fiber_comms_on, fiber_comms_on_a, PhaseMeter,
+    PhaseProbe,
+};
 pub use grid3d::{
-    alg1, alg1_on, alg1_with_recovery, assemble_c, Alg1Config, Alg1Output, Assembly, RecoveryOutput,
+    alg1, alg1_a, alg1_on, alg1_on_a, alg1_with_recovery, alg1_with_recovery_a, assemble_c,
+    Alg1Config, Alg1Output, Assembly, RecoveryOutput,
 };
-pub use recursive::{carma, carma_assemble_c, carma_cost_words, carma_shares};
-pub use streamed::alg1_streamed;
+pub use recursive::{carma, carma_a, carma_assemble_c, carma_cost_words, carma_shares};
+pub use streamed::{alg1_streamed, alg1_streamed_a};
 pub use summa::{
-    near_square_factors, summa, summa_on, summa_with_recovery, SummaConfig, SummaOutput,
-    SummaRecovery,
+    near_square_factors, summa, summa_a, summa_on, summa_on_a, summa_with_recovery,
+    summa_with_recovery_a, SummaConfig, SummaOutput, SummaRecovery,
 };
-pub use twofived::{twofived, TwoFiveDConfig, TwoFiveDOutput};
+pub use twofived::{twofived, twofived_a, TwoFiveDConfig, TwoFiveDOutput};

@@ -31,7 +31,7 @@
 
 use pmm_dense::{gemm, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::{Comm, Rank};
+use pmm_simnet::{poll_now, Comm, LocalBoxFuture, Rank};
 
 /// Per-processor communication (words) of the recursive CARMA-style
 /// algorithm, unlimited memory. Panics unless `p` is a power of two.
@@ -136,76 +136,98 @@ pub fn carma(
     a_share: Vec<f64>,
     b_share: Vec<f64>,
 ) -> Vec<f64> {
-    let p = comm.size();
-    assert!(p.is_power_of_two(), "CARMA requires power-of-two P");
-    let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
-    if p == 1 {
-        return pmm_simnet::phase!(rank, "local multiply", {
-            let a = Matrix::from_vec(n1, n2, a_share);
-            let b = Matrix::from_vec(n2, n3, b_share);
-            rank.compute((n1 * n2 * n3) as f64);
-            gemm(&a, &b, kernel).into_vec()
-        });
-    }
-    let half = p / 2;
-    let me = comm.index();
-    let lower = me < half;
-    let partner = if lower { me + half } else { me - half };
-    let sub = |rank: &mut Rank, comm: &Comm| {
-        rank.split(comm, if lower { 0 } else { 1 }, me as i64).expect("subcommunicator")
-    };
-    match split_dim(n1, n2, n3) {
-        0 => {
-            // split n1: exchange B shares so both halves hold the full
-            // (p/2)-distribution of B.
-            let msg =
-                pmm_simnet::phase!(rank, "exchange B", rank.sendrecv(comm, partner, &b_share));
-            let combined = if lower {
-                [b_share, msg.payload].concat()
-            } else {
-                [msg.payload, b_share].concat()
-            };
-            rank.mem_acquire((combined.len() / 2) as u64);
-            let subcomm = sub(rank, comm);
-            let subdims = MatMulDims::new(dims.n1 / 2, dims.n2, dims.n3);
-            carma(rank, &subcomm, subdims, kernel, a_share, combined)
+    poll_now(carma_a(rank, comm, dims, kernel, a_share, b_share))
+}
+
+/// Async form of [`carma`] (event-loop programs). Boxed because the
+/// recursion would otherwise make the future type infinitely sized.
+pub fn carma_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    dims: MatMulDims,
+    kernel: Kernel,
+    a_share: Vec<f64>,
+    b_share: Vec<f64>,
+) -> LocalBoxFuture<'r, Vec<f64>> {
+    Box::pin(async move {
+        let p = comm.size();
+        assert!(p.is_power_of_two(), "CARMA requires power-of-two P");
+        let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
+        if p == 1 {
+            return pmm_simnet::phase!(rank, "local multiply", {
+                let a = Matrix::from_vec(n1, n2, a_share);
+                let b = Matrix::from_vec(n2, n3, b_share);
+                rank.compute((n1 * n2 * n3) as f64);
+                gemm(&a, &b, kernel).into_vec()
+            });
         }
-        2 => {
-            // split n3: exchange A shares.
-            let msg =
-                pmm_simnet::phase!(rank, "exchange A", rank.sendrecv(comm, partner, &a_share));
-            let combined = if lower {
-                [a_share, msg.payload].concat()
-            } else {
-                [msg.payload, a_share].concat()
-            };
-            rank.mem_acquire((combined.len() / 2) as u64);
-            let subcomm = sub(rank, comm);
-            let subdims = MatMulDims::new(dims.n1, dims.n2, dims.n3 / 2);
-            carma(rank, &subcomm, subdims, kernel, combined, b_share)
+        let half = p / 2;
+        let me = comm.index();
+        let lower = me < half;
+        let partner = if lower { me + half } else { me - half };
+        let sub_color = if lower { 0 } else { 1 };
+        match split_dim(n1, n2, n3) {
+            0 => {
+                // split n1: exchange B shares so both halves hold the full
+                // (p/2)-distribution of B.
+                let msg = pmm_simnet::phase!(
+                    rank,
+                    "exchange B",
+                    rank.sendrecv_a(comm, partner, &b_share).await
+                );
+                let combined = if lower {
+                    [b_share, msg.payload].concat()
+                } else {
+                    [msg.payload, b_share].concat()
+                };
+                rank.mem_acquire((combined.len() / 2) as u64);
+                let subcomm =
+                    rank.split_a(comm, sub_color, me as i64).await.expect("subcommunicator");
+                let subdims = MatMulDims::new(dims.n1 / 2, dims.n2, dims.n3);
+                carma_a(rank, &subcomm, subdims, kernel, a_share, combined).await
+            }
+            2 => {
+                // split n3: exchange A shares.
+                let msg = pmm_simnet::phase!(
+                    rank,
+                    "exchange A",
+                    rank.sendrecv_a(comm, partner, &a_share).await
+                );
+                let combined = if lower {
+                    [a_share, msg.payload].concat()
+                } else {
+                    [msg.payload, a_share].concat()
+                };
+                rank.mem_acquire((combined.len() / 2) as u64);
+                let subcomm =
+                    rank.split_a(comm, sub_color, me as i64).await.expect("subcommunicator");
+                let subdims = MatMulDims::new(dims.n1, dims.n2, dims.n3 / 2);
+                carma_a(rank, &subcomm, subdims, kernel, combined, b_share).await
+            }
+            _ => {
+                // split n2: recurse first, then combine the partial C shares —
+                // keep my half of the distribution, send the other half.
+                let subcomm =
+                    rank.split_a(comm, sub_color, me as i64).await.expect("subcommunicator");
+                let subdims = MatMulDims::new(dims.n1, dims.n2 / 2, dims.n3);
+                let partial = carma_a(rank, &subcomm, subdims, kernel, a_share, b_share).await;
+                let l = partial.len();
+                assert!(l.is_multiple_of(2), "partial C share must split evenly");
+                let (keep_range, send_range) =
+                    if lower { (0..l / 2, l / 2..l) } else { (l / 2..l, 0..l / 2) };
+                pmm_simnet::phase!(rank, "combine C", {
+                    let msg = rank.sendrecv_a(comm, partner, &partial[send_range]).await;
+                    let mut kept = partial[keep_range].to_vec();
+                    assert_eq!(msg.payload.len(), kept.len(), "partial C exchange mismatch");
+                    for (x, &y) in kept.iter_mut().zip(&msg.payload) {
+                        *x += y;
+                    }
+                    rank.compute(kept.len() as f64);
+                    kept
+                })
+            }
         }
-        _ => {
-            // split n2: recurse first, then combine the partial C shares —
-            // keep my half of the distribution, send the other half.
-            let subcomm = sub(rank, comm);
-            let subdims = MatMulDims::new(dims.n1, dims.n2 / 2, dims.n3);
-            let partial = carma(rank, &subcomm, subdims, kernel, a_share, b_share);
-            let l = partial.len();
-            assert!(l.is_multiple_of(2), "partial C share must split evenly");
-            let (keep_range, send_range) =
-                if lower { (0..l / 2, l / 2..l) } else { (l / 2..l, 0..l / 2) };
-            pmm_simnet::phase!(rank, "combine C", {
-                let msg = rank.sendrecv(comm, partner, &partial[send_range]);
-                let mut kept = partial[keep_range].to_vec();
-                assert_eq!(msg.payload.len(), kept.len(), "partial C exchange mismatch");
-                for (x, &y) in kept.iter_mut().zip(&msg.payload) {
-                    *x += y;
-                }
-                rank.compute(kept.len() as f64);
-                kept
-            })
-        }
-    }
+    })
 }
 
 /// Reassemble the global `C` from every rank's CARMA-layout share

@@ -15,13 +15,12 @@
 //! fiber (the lower bound makes no assumption on distribution beyond the
 //! single-copy rule, so the variant is free to choose).
 
-use pmm_collectives::{all_gather_v, reduce_scatter_v, AllGatherAlgo, ReduceScatterAlgo};
+use pmm_collectives::{all_gather_v_a, reduce_scatter_v_a, AllGatherAlgo, ReduceScatterAlgo};
 use pmm_dense::{block_range, chunk_of_block, gemm_acc, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};
-use pmm_simnet::Rank;
+use pmm_simnet::{poll_now, Rank};
 
-use crate::common::fiber_comms;
-use crate::common::PhaseMeter;
+use crate::common::{fiber_comms_a, PhaseMeter, PhaseProbe};
 use crate::grid3d::Alg1Output;
 
 /// Run the streamed Algorithm 1 with `slabs` inner-dimension slabs
@@ -38,10 +37,23 @@ pub fn alg1_streamed(
     a: &Matrix,
     b: &Matrix,
 ) -> Alg1Output {
+    poll_now(alg1_streamed_a(rank, dims, grid, slabs, kernel, a, b))
+}
+
+/// Async form of [`alg1_streamed`] (event-loop programs).
+pub async fn alg1_streamed_a(
+    rank: &mut Rank,
+    dims: MatMulDims,
+    grid: Grid3,
+    slabs: usize,
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+) -> Alg1Output {
     assert!(slabs >= 1, "need at least one slab");
     let [p1, p2, p3] = grid.dims();
     let coord = grid.coord_of(rank.world_rank());
-    let comms = fiber_comms(rank, grid);
+    let comms = fiber_comms_a(rank, grid).await;
 
     let rows_a = block_range(dims.n1 as usize, p1, coord[0]);
     let cols_b = block_range(dims.n3 as usize, p3, coord[2]);
@@ -73,7 +85,7 @@ pub fn alg1_streamed(
         rank.mem_acquire(a_slab_words as u64);
         let before = rank.meter();
         let a_flat = pmm_simnet::phase!(rank, "all-gather A (streamed)", {
-            all_gather_v(rank, &comms[2], &a_own, &a_counts, AllGatherAlgo::Auto)
+            all_gather_v_a(rank, &comms[2], &a_own, &a_counts, AllGatherAlgo::Auto).await
         });
         accumulate(&mut words_a_phase, rank.meter().diff(&before));
         let a_mat = Matrix::from_vec(h1, slab.len(), a_flat);
@@ -89,7 +101,7 @@ pub fn alg1_streamed(
         rank.mem_acquire(b_slab_words as u64);
         let before = rank.meter();
         let b_flat = pmm_simnet::phase!(rank, "all-gather B (streamed)", {
-            all_gather_v(rank, &comms[0], &b_own, &b_counts, AllGatherAlgo::Auto)
+            all_gather_v_a(rank, &comms[0], &b_own, &b_counts, AllGatherAlgo::Auto).await
         });
         accumulate(&mut words_b_phase, rank.meter().diff(&before));
         let b_mat = Matrix::from_vec(slab.len(), h3, b_flat);
@@ -107,9 +119,10 @@ pub fn alg1_streamed(
     let c_block_words = h1 * h3;
     let c_counts: Vec<usize> =
         (0..p2).map(|r| chunk_of_block(c_block_words, p2, r).len()).collect();
-    let (c_chunk, ph_c) = PhaseMeter::measure(rank, "reduce-scatter C", |rank| {
-        reduce_scatter_v(rank, &comms[1], d.as_slice(), &c_counts, ReduceScatterAlgo::Auto)
-    });
+    let probe = PhaseProbe::begin(rank, "reduce-scatter C");
+    let c_chunk =
+        reduce_scatter_v_a(rank, &comms[1], d.as_slice(), &c_counts, ReduceScatterAlgo::Auto).await;
+    let ph_c = probe.finish(rank);
     rank.mem_acquire(c_chunk.len() as u64);
     rank.mem_release(c_block_words as u64);
 

@@ -18,9 +18,9 @@
 
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::{Comm, Rank, RankFailed};
+use pmm_simnet::{poll_now, Comm, Rank, RankFailed};
 
-use pmm_collectives::{bcast, BcastAlgo};
+use pmm_collectives::{bcast_a, BcastAlgo};
 
 /// Configuration for [`summa`].
 #[derive(Debug, Clone)]
@@ -55,8 +55,13 @@ fn lcm(a: usize, b: usize) -> usize {
 /// Run SUMMA. `a`/`b` are the global inputs, read only for this rank's
 /// owned panels.
 pub fn summa(rank: &mut Rank, cfg: &SummaConfig, a: &Matrix, b: &Matrix) -> SummaOutput {
+    poll_now(summa_a(rank, cfg, a, b))
+}
+
+/// Async form of [`summa`] (event-loop programs).
+pub async fn summa_a(rank: &mut Rank, cfg: &SummaConfig, a: &Matrix, b: &Matrix) -> SummaOutput {
     let world = rank.world_comm();
-    summa_on(rank, &world, cfg, a, b)
+    summa_on_a(rank, &world, cfg, a, b).await
 }
 
 /// [`summa`] generalized to an arbitrary base communicator of size
@@ -71,6 +76,17 @@ pub fn summa_on(
     a: &Matrix,
     b: &Matrix,
 ) -> SummaOutput {
+    poll_now(summa_on_a(rank, base, cfg, a, b))
+}
+
+/// Async form of [`summa_on`] (event-loop programs).
+pub async fn summa_on_a(
+    rank: &mut Rank,
+    base: &Comm,
+    cfg: &SummaConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> SummaOutput {
     let (pr, pc) = (cfg.pr, cfg.pc);
     assert_eq!(base.size(), pr * pc, "base communicator size must be pr·pc");
     let dims = cfg.dims;
@@ -78,8 +94,8 @@ pub fn summa_on(
     let me = base.index();
     let (i, j) = (me / pc, me % pc);
 
-    let row = rank.split(base, i as i64, j as i64).expect("row comm");
-    let col = rank.split(base, (pr + j) as i64, i as i64).expect("col comm");
+    let row = rank.split_a(base, i as i64, j as i64).await.expect("row comm");
+    let col = rank.split_a(base, (pr + j) as i64, i as i64).await.expect("col comm");
 
     let s = lcm(pr, pc);
     let my_rows = block_range(n1, pr, i).len();
@@ -99,8 +115,11 @@ pub fn summa_on(
         } else {
             vec![0.0; a_panel_words]
         };
-        let a_panel =
-            pmm_simnet::phase!(rank, "broadcast A", bcast_panel(rank, &row, &a_data, root_col));
+        let a_panel = pmm_simnet::phase!(
+            rank,
+            "broadcast A",
+            bcast_panel(rank, &row, &a_data, root_col).await
+        );
         let a_panel = Matrix::from_vec(my_rows, panel.len(), a_panel);
 
         // --- broadcast B(t, j) down the process column ---------------------
@@ -111,8 +130,11 @@ pub fn summa_on(
         } else {
             vec![0.0; b_panel_words]
         };
-        let b_panel =
-            pmm_simnet::phase!(rank, "broadcast B", bcast_panel(rank, &col, &b_data, root_row));
+        let b_panel = pmm_simnet::phase!(
+            rank,
+            "broadcast B",
+            bcast_panel(rank, &col, &b_data, root_row).await
+        );
         let b_panel = Matrix::from_vec(panel.len(), my_cols, b_panel);
 
         pmm_simnet::phase!(rank, "local multiply", {
@@ -169,22 +191,36 @@ pub fn summa_with_recovery(
     a: &Matrix,
     b: &Matrix,
 ) -> Result<SummaRecovery, RankFailed> {
+    poll_now(summa_with_recovery_a(rank, dims, kernel, a, b))
+}
+
+/// Async form of [`summa_with_recovery`] (event-loop programs).
+pub async fn summa_with_recovery_a(
+    rank: &mut Rank,
+    dims: MatMulDims,
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<SummaRecovery, RankFailed> {
     let world_size = rank.world_size();
     let mut attempts = 0;
     let mut round: u64 = 0;
     loop {
         let dead = rank.dead_ranks();
         let survivors: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
-        let base = if dead.is_empty() { rank.world_comm() } else { rank.recovery_split(round) };
+        let base =
+            if dead.is_empty() { rank.world_comm() } else { rank.recovery_split_a(round).await };
         let (pr, pc) = near_square_factors(survivors.len());
         let cfg = SummaConfig { dims, pr, pc, kernel };
         attempts += 1;
-        let completed = match rank.catch_failures(|r| summa_on(r, &base, &cfg, a, b)) {
+        let attempt =
+            pmm_simnet::catch_failures_async!(rank, summa_on_a(&mut *rank, &base, &cfg, a, b));
+        let completed = match attempt {
             Err(failed) if failed.rank == rank.world_rank() => return Err(failed),
             Err(_) => None,
             Ok(output) => Some(output),
         };
-        rank.hard_sync();
+        rank.hard_sync_a().await;
         round += 1;
         if let Some(output) = completed {
             if rank.dead_ranks() == dead {
@@ -194,13 +230,18 @@ pub fn summa_with_recovery(
     }
 }
 
-fn bcast_panel(rank: &mut Rank, comm: &pmm_simnet::Comm, data: &[f64], root: usize) -> Vec<f64> {
+async fn bcast_panel(
+    rank: &mut Rank,
+    comm: &pmm_simnet::Comm,
+    data: &[f64],
+    root: usize,
+) -> Vec<f64> {
     let algo = if comm.size() > 1 && !data.is_empty() && data.len().is_multiple_of(comm.size()) {
         BcastAlgo::ScatterAllGather
     } else {
         BcastAlgo::Binomial
     };
-    bcast(rank, comm, data, root, algo)
+    bcast_a(rank, comm, data, root, algo).await
 }
 
 #[cfg(test)]

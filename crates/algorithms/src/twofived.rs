@@ -18,10 +18,10 @@
 //! degenerates to Cannon; at `c = q` (i.e. `P = q³`) it is a 3D
 //! algorithm.
 
-use pmm_collectives::{bcast, reduce, BcastAlgo, ReduceAlgo};
+use pmm_collectives::{bcast_a, reduce_a, BcastAlgo, ReduceAlgo};
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::Rank;
+use pmm_simnet::{poll_now, Rank};
 
 /// Configuration for [`twofived`].
 #[derive(Debug, Clone)]
@@ -47,6 +47,16 @@ pub struct TwoFiveDOutput {
 /// Run the 2.5D algorithm. `a`/`b` are the global inputs, read only by
 /// the layer-0 owner of each block.
 pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -> TwoFiveDOutput {
+    poll_now(twofived_a(rank, cfg, a, b))
+}
+
+/// Async form of [`twofived`] (event-loop programs).
+pub async fn twofived_a(
+    rank: &mut Rank,
+    cfg: &TwoFiveDConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> TwoFiveDOutput {
     let (q, c) = (cfg.q, cfg.c);
     assert_eq!(rank.world_size(), c * q * q, "world size must be c·q²");
     assert!(q % c == 0, "2.5D requires c | q (got q={q}, c={c})");
@@ -61,9 +71,10 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
     let world = rank.world_comm();
     // Row comm within my layer (vary j), column comm within my layer
     // (vary i), fiber comm across layers (vary l).
-    let row = rank.split(&world, (l * q + i) as i64, j as i64).expect("row comm");
-    let col = rank.split(&world, (q * q + l * q + j) as i64, i as i64).expect("col comm");
-    let fiber = rank.split(&world, (2 * q * q + i * q + j) as i64, l as i64).expect("fiber comm");
+    let row = rank.split_a(&world, (l * q + i) as i64, j as i64).await.expect("row comm");
+    let col = rank.split_a(&world, (q * q + l * q + j) as i64, i as i64).await.expect("col comm");
+    let fiber =
+        rank.split_a(&world, (2 * q * q + i * q + j) as i64, l as i64).await.expect("fiber comm");
     debug_assert_eq!(row.size(), q);
     debug_assert_eq!(col.size(), q);
     debug_assert_eq!(fiber.size(), c);
@@ -87,10 +98,16 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
     };
     rank.mem_acquire((a_words + b_words) as u64);
     let (mut a_cur, mut b_cur) = pmm_simnet::phase!(rank, "replicate inputs", {
-        let a =
-            Matrix::from_vec(ra.len(), ca.len(), bcast(rank, &fiber, &a0, 0, BcastAlgo::Binomial));
-        let b =
-            Matrix::from_vec(rb.len(), cb.len(), bcast(rank, &fiber, &b0, 0, BcastAlgo::Binomial));
+        let a = Matrix::from_vec(
+            ra.len(),
+            ca.len(),
+            bcast_a(rank, &fiber, &a0, 0, BcastAlgo::Binomial).await,
+        );
+        let b = Matrix::from_vec(
+            rb.len(),
+            cb.len(),
+            bcast_a(rank, &fiber, &b0, 0, BcastAlgo::Binomial).await,
+        );
         (a, b)
     });
 
@@ -114,14 +131,14 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
         if q > 1 && shift_a > 0 {
             let to = (j + q - shift_a) % q;
             let from = (j + shift_a) % q;
-            let msg = rank.exchange(&row, to, from, a_cur.as_slice());
+            let msg = rank.exchange_a(&row, to, from, a_cur.as_slice()).await;
             a_cur = Matrix::from_vec(my_rows, inner_len(inner), msg.payload);
         }
         let shift_b = (j + l * (q / c)) % q;
         if q > 1 && shift_b > 0 {
             let to = (i + q - shift_b) % q;
             let from = (i + shift_b) % q;
-            let msg = rank.exchange(&col, to, from, b_cur.as_slice());
+            let msg = rank.exchange_a(&col, to, from, b_cur.as_slice()).await;
             b_cur = Matrix::from_vec(inner_len(inner), my_cols, msg.payload);
         }
     });
@@ -136,9 +153,11 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
         if t + 1 < steps {
             pmm_simnet::phase!(rank, "rotate", {
                 let next_inner = (inner + 1) % q;
-                let msg = rank.exchange(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice());
+                let msg =
+                    rank.exchange_a(&row, (j + q - 1) % q, (j + 1) % q, a_cur.as_slice()).await;
                 a_cur = Matrix::from_vec(my_rows, inner_len(next_inner), msg.payload);
-                let msg = rank.exchange(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice());
+                let msg =
+                    rank.exchange_a(&col, (i + q - 1) % q, (i + 1) % q, b_cur.as_slice()).await;
                 b_cur = Matrix::from_vec(inner_len(next_inner), my_cols, msg.payload);
                 inner = next_inner;
             });
@@ -147,7 +166,7 @@ pub fn twofived(rank: &mut Rank, cfg: &TwoFiveDConfig, a: &Matrix, b: &Matrix) -
 
     // ---- step 3: sum partial C over the fiber to layer 0 ------------------
     let summed = pmm_simnet::phase!(rank, "reduce C over fiber", {
-        reduce(rank, &fiber, cmat.as_slice(), 0, ReduceAlgo::Binomial)
+        reduce_a(rank, &fiber, cmat.as_slice(), 0, ReduceAlgo::Binomial).await
     });
     let c_block = (l == 0).then(|| Matrix::from_vec(my_rows, my_cols, summed));
     TwoFiveDOutput { c_block }

@@ -6,7 +6,7 @@
 use std::fmt;
 
 use pmm_model::MatMulDims;
-use pmm_simnet::FaultPlan;
+use pmm_simnet::{Engine, FaultPlan};
 
 /// A fully parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,13 +25,14 @@ pub enum Command {
         gamma: f64,
     },
     /// `pmm simulate --dims AxBxC --procs P [--grid AxBxC] [--seed S]
-    /// [--faults SPEC]`
+    /// [--faults SPEC] [--engine E]`
     Simulate {
         dims: MatMulDims,
         procs: usize,
         grid: Option<[usize; 3]>,
         seed: u64,
         faults: Option<FaultPlan>,
+        engine: Option<Engine>,
     },
     /// `pmm trace --dims AxBxC --procs P [--grid AxBxC] [--seed S]
     /// [--out FILE]`
@@ -222,7 +223,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         }
         "simulate" => {
             let flags = Flags::parse(rest)?;
-            flags.reject_unknown(&["dims", "procs", "grid", "seed", "faults"])?;
+            flags.reject_unknown(&["dims", "procs", "grid", "seed", "faults", "engine"])?;
             let procs = flags
                 .require("procs")?
                 .parse::<usize>()
@@ -236,12 +237,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 .get("faults")
                 .map(|s| FaultPlan::parse(s).map_err(|e| err(format!("--faults: {e}"))))
                 .transpose()?;
+            let engine = flags
+                .get("engine")
+                .map(|s| s.parse::<Engine>().map_err(|e| err(format!("--engine: {e}"))))
+                .transpose()?;
             Ok(Command::Simulate {
                 dims: parse_dims(flags.require("dims")?)?,
                 procs,
                 grid,
                 seed,
                 faults,
+                engine,
             })
         }
         "trace" => {
@@ -332,13 +338,16 @@ USAGE:
                [--alpha A] [--beta B] [--gamma G]
       Rank execution strategies by predicted time on an α-β-γ machine.
   pmm simulate --dims N1xN2xN3 --procs P [--grid AxBxC] [--seed S]
-               [--faults SPEC]
+               [--faults SPEC] [--engine E]
       Run Algorithm 1 on the simulated machine, verify the product, and
-      report measured communication vs the bound. --faults injects
-      seeded message faults and rank failures (recovered by re-running
-      on the surviving grid); SPEC is comma-separated key=value pairs:
-      drop/dup/corrupt/delay (rates), timeout, cap, retries,
-      seed (fault seed), kill=RANK@OP, slow=RANKxFACTOR — e.g.
+      report measured communication vs the bound. --engine picks the
+      execution backend: 'event-loop' (default — single-threaded rank
+      continuations; executes P up to 10^5-10^6 for real) or 'threads'
+      (one OS thread per rank); PMM_ENGINE sets the default. --faults
+      injects seeded message faults and rank failures (recovered by
+      re-running on the surviving grid); SPEC is comma-separated
+      key=value pairs: drop/dup/corrupt/delay (rates), timeout, cap,
+      retries, seed (fault seed), kill=RANK@OP, slow=RANKxFACTOR — e.g.
       --faults drop=0.05,kill=2@5,seed=0xFA. Exits nonzero if the
       product is wrong or a failure is not recovered.
   pmm trace    --dims N1xN2xN3 --procs P [--grid AxBxC] [--seed S]
@@ -403,8 +412,26 @@ mod tests {
                 grid: Some([4, 1, 1]),
                 seed: 7,
                 faults: None,
+                engine: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_simulate_engine() {
+        for (spec, want) in [
+            ("event-loop", Engine::EventLoop),
+            ("eventloop", Engine::EventLoop),
+            ("threads", Engine::Threads),
+        ] {
+            let c = parse_args(&argv(&format!("simulate --dims 8x8x8 --procs 2 --engine {spec}")))
+                .unwrap();
+            match c {
+                Command::Simulate { engine, .. } => assert_eq!(engine, Some(want), "{spec}"),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        assert!(parse_args(&argv("simulate --dims 8x8x8 --procs 2 --engine fibers")).is_err());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! Both move exactly `W − w_me` words per rank, i.e. `(1 − 1/p)·W` for
 //! uniform blocks, which is optimal.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 use crate::util::{is_pow2, offsets};
 
@@ -40,8 +43,22 @@ pub enum AllGatherAlgo {
 /// length); returns the concatenation in communicator order.
 #[track_caller]
 pub fn all_gather(rank: &mut Rank, comm: &Comm, mine: &[f64], algo: AllGatherAlgo) -> Vec<f64> {
-    let counts = vec![mine.len(); comm.size()];
-    all_gather_v(rank, comm, mine, &counts, algo)
+    poll_now(all_gather_a(rank, comm, mine, algo))
+}
+
+/// Async form of [`all_gather`] (event-loop programs).
+#[track_caller]
+pub fn all_gather_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    mine: &'r [f64],
+    algo: AllGatherAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let counts = vec![mine.len(); comm.size()];
+        all_gather_v_at(rank, comm, mine, &counts, algo, site).await
+    }
 }
 
 /// All-Gather with per-rank block sizes (`MPI_Allgatherv`).
@@ -56,25 +73,48 @@ pub fn all_gather_v(
     counts: &[usize],
     algo: AllGatherAlgo,
 ) -> Vec<f64> {
+    poll_now(all_gather_v_a(rank, comm, mine, counts, algo))
+}
+
+/// Async form of [`all_gather_v`] (event-loop programs).
+#[track_caller]
+pub fn all_gather_v_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    mine: &'r [f64],
+    counts: &'r [usize],
+    algo: AllGatherAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    all_gather_v_at(rank, comm, mine, counts, algo, Location::caller())
+}
+
+pub(crate) async fn all_gather_v_at(
+    rank: &mut Rank,
+    comm: &Comm,
+    mine: &[f64],
+    counts: &[usize],
+    algo: AllGatherAlgo,
+    site: &'static Location<'static>,
+) -> Vec<f64> {
     let p = comm.size();
     assert_eq!(counts.len(), p, "counts length must equal communicator size");
     assert_eq!(counts[comm.index()], mine.len(), "own count disagrees with contribution");
-    rank.collective_begin(comm, CollectiveOp::AllGather, mine.len() as u64);
+    rank.collective_begin_at(comm, CollectiveOp::AllGather, mine.len() as u64, site).await;
     if p == 1 {
         return mine.to_vec();
     }
     match algo {
-        AllGatherAlgo::Ring => ring(rank, comm, mine, counts),
+        AllGatherAlgo::Ring => ring(rank, comm, mine, counts).await,
         AllGatherAlgo::RecursiveDoubling => {
             assert!(is_pow2(p), "recursive doubling requires power-of-two communicator");
-            recursive_doubling(rank, comm, mine, counts)
+            recursive_doubling(rank, comm, mine, counts).await
         }
-        AllGatherAlgo::Bruck => bruck(rank, comm, mine, counts),
+        AllGatherAlgo::Bruck => bruck(rank, comm, mine, counts).await,
         AllGatherAlgo::Auto => {
             if is_pow2(p) {
-                recursive_doubling(rank, comm, mine, counts)
+                recursive_doubling(rank, comm, mine, counts).await
             } else {
-                ring(rank, comm, mine, counts)
+                ring(rank, comm, mine, counts).await
             }
         }
     }
@@ -85,7 +125,7 @@ pub fn all_gather_v(
 /// `min(2^s, p − 2^s)` blocks to `r − 2^s` and receives the next blocks
 /// from `r + 2^s`. `⌈log2 p⌉` rounds for any `p`; moves the same
 /// `W − w_me` words as the ring.
-fn bruck(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f64> {
+async fn bruck(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     // Blocks held, in relative order starting at my own block.
@@ -103,7 +143,7 @@ fn bruck(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f6
         let payload: Vec<f64> = have[..n_this_round].iter().flatten().copied().collect();
         let to = (me + p - dist) % p;
         let from = (me + dist) % p;
-        let msg = rank.exchange(comm, to, from, &payload);
+        let msg = rank.exchange_a(comm, to, from, &payload).await;
         // Received: blocks (me + dist), (me + dist + 1), … in relative
         // order — split by their global counts.
         let mut off = 0usize;
@@ -127,7 +167,7 @@ fn bruck(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f6
     out
 }
 
-fn ring(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f64> {
+async fn ring(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     let off = offsets(counts);
@@ -143,14 +183,19 @@ fn ring(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f64
         let send_block = (me + p - s) % p;
         let recv_block = (me + p - 1 - s) % p;
         let payload = out[off[send_block]..off[send_block + 1]].to_vec();
-        let msg = rank.exchange(comm, right, left, &payload);
+        let msg = rank.exchange_a(comm, right, left, &payload).await;
         assert_eq!(msg.payload.len(), counts[recv_block], "ring block size mismatch");
         out[off[recv_block]..off[recv_block + 1]].copy_from_slice(&msg.payload);
     }
     out
 }
 
-fn recursive_doubling(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usize]) -> Vec<f64> {
+async fn recursive_doubling(
+    rank: &mut Rank,
+    comm: &Comm,
+    mine: &[f64],
+    counts: &[usize],
+) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     let off = offsets(counts);
@@ -166,7 +211,7 @@ fn recursive_doubling(rank: &mut Rank, comm: &Comm, mine: &[f64], counts: &[usiz
         let g_mine = (me / mask) * mask;
         let g_theirs = (partner / mask) * mask;
         let payload = out[off[g_mine]..off[g_mine + mask]].to_vec();
-        let msg = rank.exchange(comm, partner, partner, &payload);
+        let msg = rank.exchange_a(comm, partner, partner, &payload).await;
         let expect: usize = off[g_theirs + mask] - off[g_theirs];
         assert_eq!(msg.payload.len(), expect, "recursive-doubling block size mismatch");
         out[off[g_theirs]..off[g_theirs + mask]].copy_from_slice(&msg.payload);

@@ -1,10 +1,13 @@
 //! All-Reduce: element-wise sum of every rank's buffer, delivered at every
 //! rank.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
 
-use crate::allgather::{all_gather_v, AllGatherAlgo};
-use crate::reduce_scatter::{reduce_scatter_v, ReduceScatterAlgo};
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
+
+use crate::allgather::{all_gather_v_a, AllGatherAlgo};
+use crate::reduce_scatter::{reduce_scatter_v_a, ReduceScatterAlgo};
 use crate::util::{axpy1, is_pow2};
 
 /// Algorithm selector for [`all_reduce`].
@@ -24,39 +27,55 @@ pub enum AllReduceAlgo {
 /// element-wise sum.
 #[track_caller]
 pub fn all_reduce(rank: &mut Rank, comm: &Comm, data: &[f64], algo: AllReduceAlgo) -> Vec<f64> {
-    let p = comm.size();
-    rank.collective_begin(comm, CollectiveOp::AllReduce, data.len() as u64);
-    if p == 1 {
-        return data.to_vec();
-    }
-    match algo {
-        AllReduceAlgo::ReduceScatterAllGather | AllReduceAlgo::Auto => rsag(rank, comm, data),
-        AllReduceAlgo::RecursiveDoubling => {
-            assert!(is_pow2(p), "recursive-doubling all-reduce requires power-of-two p");
-            recursive_doubling(rank, comm, data)
+    poll_now(all_reduce_a(rank, comm, data, algo))
+}
+
+/// Async form of [`all_reduce`] (event-loop programs).
+#[track_caller]
+pub fn all_reduce_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    algo: AllReduceAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        rank.collective_begin_at(comm, CollectiveOp::AllReduce, data.len() as u64, site).await;
+        if p == 1 {
+            return data.to_vec();
+        }
+        match algo {
+            AllReduceAlgo::ReduceScatterAllGather | AllReduceAlgo::Auto => {
+                rsag(rank, comm, data).await
+            }
+            AllReduceAlgo::RecursiveDoubling => {
+                assert!(is_pow2(p), "recursive-doubling all-reduce requires power-of-two p");
+                recursive_doubling(rank, comm, data).await
+            }
         }
     }
 }
 
-fn rsag(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
+async fn rsag(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
     let p = comm.size();
     // Split the buffer into p near-equal segments (first `rem` segments one
     // word longer) so any length works.
     let base = data.len() / p;
     let rem = data.len() % p;
     let counts: Vec<usize> = (0..p).map(|i| base + usize::from(i < rem)).collect();
-    let seg = reduce_scatter_v(rank, comm, data, &counts, ReduceScatterAlgo::Auto);
-    all_gather_v(rank, comm, &seg, &counts, AllGatherAlgo::Auto)
+    let seg = reduce_scatter_v_a(rank, comm, data, &counts, ReduceScatterAlgo::Auto).await;
+    all_gather_v_a(rank, comm, &seg, &counts, AllGatherAlgo::Auto).await
 }
 
-fn recursive_doubling(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
+async fn recursive_doubling(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     let mut acc = data.to_vec();
     let mut mask = 1usize;
     while mask < p {
         let partner = me ^ mask;
-        let msg = rank.exchange(comm, partner, partner, &acc);
+        let msg = rank.exchange_a(comm, partner, partner, &acc).await;
         assert_eq!(msg.payload.len(), acc.len(), "all-reduce length mismatch");
         axpy1(&mut acc, &msg.payload);
         rank.compute(acc.len() as f64);

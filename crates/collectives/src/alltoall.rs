@@ -5,7 +5,10 @@
 //! Reduce-Scatter (§5.1); the All-to-All is provided both for completeness
 //! and so the ablation benches can compare the two assembly strategies.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 use crate::util::is_pow2;
 
@@ -22,34 +25,50 @@ pub enum AllToAllAlgo {
 /// concatenation of the blocks received from each member (own block
 /// copied locally).
 #[track_caller]
-pub fn all_to_all(rank: &mut Rank, comm: &Comm, data: &[f64], _algo: AllToAllAlgo) -> Vec<f64> {
-    let p = comm.size();
-    assert!(data.len().is_multiple_of(p), "all_to_all data length must be divisible by p");
-    rank.collective_begin(comm, CollectiveOp::AllToAll, data.len() as u64);
-    let w = data.len() / p;
-    let me = comm.index();
-    let mut out = vec![0.0f64; data.len()];
-    out[me * w..(me + 1) * w].copy_from_slice(&data[me * w..(me + 1) * w]);
-    if p == 1 {
-        return out;
-    }
-    if is_pow2(p) {
-        for s in 1..p {
-            let partner = me ^ s;
-            let msg = rank.exchange(comm, partner, partner, &data[partner * w..(partner + 1) * w]);
-            assert_eq!(msg.payload.len(), w);
-            out[partner * w..(partner + 1) * w].copy_from_slice(&msg.payload);
+pub fn all_to_all(rank: &mut Rank, comm: &Comm, data: &[f64], algo: AllToAllAlgo) -> Vec<f64> {
+    poll_now(all_to_all_a(rank, comm, data, algo))
+}
+
+/// Async form of [`all_to_all`] (event-loop programs).
+#[track_caller]
+pub fn all_to_all_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    _algo: AllToAllAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        assert!(data.len().is_multiple_of(p), "all_to_all data length must be divisible by p");
+        rank.collective_begin_at(comm, CollectiveOp::AllToAll, data.len() as u64, site).await;
+        let w = data.len() / p;
+        let me = comm.index();
+        let mut out = vec![0.0f64; data.len()];
+        out[me * w..(me + 1) * w].copy_from_slice(&data[me * w..(me + 1) * w]);
+        if p == 1 {
+            return out;
         }
-    } else {
-        for s in 1..p {
-            let to = (me + s) % p;
-            let from = (me + p - s) % p;
-            let msg = rank.exchange(comm, to, from, &data[to * w..(to + 1) * w]);
-            assert_eq!(msg.payload.len(), w);
-            out[from * w..(from + 1) * w].copy_from_slice(&msg.payload);
+        if is_pow2(p) {
+            for s in 1..p {
+                let partner = me ^ s;
+                let msg = rank
+                    .exchange_a(comm, partner, partner, &data[partner * w..(partner + 1) * w])
+                    .await;
+                assert_eq!(msg.payload.len(), w);
+                out[partner * w..(partner + 1) * w].copy_from_slice(&msg.payload);
+            }
+        } else {
+            for s in 1..p {
+                let to = (me + s) % p;
+                let from = (me + p - s) % p;
+                let msg = rank.exchange_a(comm, to, from, &data[to * w..(to + 1) * w]).await;
+                assert_eq!(msg.payload.len(), w);
+                out[from * w..(from + 1) * w].copy_from_slice(&msg.payload);
+            }
         }
+        out
     }
-    out
 }
 
 #[cfg(test)]

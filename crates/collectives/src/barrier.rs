@@ -1,25 +1,37 @@
 //! Dissemination barrier: `⌈log2 p⌉` rounds of empty messages; works for
 //! any `p`.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 /// Synchronize all members of `comm`. Unlike
 /// [`Rank::hard_sync`](pmm_simnet::Rank::hard_sync) this is a *metered*
 /// barrier: it exchanges real (empty) messages and pays `⌈log2 p⌉·α`.
 #[track_caller]
 pub fn barrier(rank: &mut Rank, comm: &Comm) {
-    let p = comm.size();
-    rank.collective_begin(comm, CollectiveOp::Barrier, 0);
-    if p == 1 {
-        return;
-    }
-    let me = comm.index();
-    let mut dist = 1usize;
-    while dist < p {
-        let to = (me + dist) % p;
-        let from = (me + p - dist) % p;
-        rank.exchange(comm, to, from, &[]);
-        dist <<= 1;
+    poll_now(barrier_a(rank, comm));
+}
+
+/// Async form of [`barrier`] (event-loop programs).
+#[track_caller]
+pub fn barrier_a<'r>(rank: &'r mut Rank, comm: &'r Comm) -> impl Future<Output = ()> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        rank.collective_begin_at(comm, CollectiveOp::Barrier, 0, site).await;
+        if p == 1 {
+            return;
+        }
+        let me = comm.index();
+        let mut dist = 1usize;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist) % p;
+            rank.exchange_a(comm, to, from, &[]).await;
+            dist <<= 1;
+        }
     }
 }
 

@@ -1,9 +1,12 @@
 //! Broadcast: the root's buffer is replicated to every rank.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
 
-use crate::allgather::{all_gather_v, AllGatherAlgo};
-use crate::gather_scatter::{scatter_v, ScatterAlgo};
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
+
+use crate::allgather::{all_gather_v_a, AllGatherAlgo};
+use crate::gather_scatter::{scatter_v_a, ScatterAlgo};
 
 /// Algorithm selector for [`bcast`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,19 +26,34 @@ pub enum BcastAlgo {
 /// ignored (pass `&[]`). Returns the broadcast message on every rank.
 #[track_caller]
 pub fn bcast(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize, algo: BcastAlgo) -> Vec<f64> {
-    let p = comm.size();
-    assert!(root < p, "root out of communicator");
-    rank.collective_begin(comm, CollectiveOp::Bcast, data.len() as u64);
-    if p == 1 {
-        return data.to_vec();
-    }
-    match algo {
-        BcastAlgo::Binomial | BcastAlgo::Auto => binomial(rank, comm, data, root),
-        BcastAlgo::ScatterAllGather => scatter_allgather(rank, comm, data, root),
+    poll_now(bcast_a(rank, comm, data, root, algo))
+}
+
+/// Async form of [`bcast`] (event-loop programs).
+#[track_caller]
+pub fn bcast_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    root: usize,
+    algo: BcastAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        assert!(root < p, "root out of communicator");
+        rank.collective_begin_at(comm, CollectiveOp::Bcast, data.len() as u64, site).await;
+        if p == 1 {
+            return data.to_vec();
+        }
+        match algo {
+            BcastAlgo::Binomial | BcastAlgo::Auto => binomial(rank, comm, data, root).await,
+            BcastAlgo::ScatterAllGather => scatter_allgather(rank, comm, data, root).await,
+        }
     }
 }
 
-fn binomial(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) -> Vec<f64> {
+async fn binomial(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     let vrank = (me + p - root) % p;
@@ -48,7 +66,7 @@ fn binomial(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) -> Vec<f64>
     while mask < p {
         if vrank & mask != 0 {
             let src = unvrank(vrank - mask);
-            buf = rank.recv(comm, src).payload;
+            buf = rank.recv_a(comm, src).await.payload;
             break;
         }
         mask <<= 1;
@@ -58,14 +76,14 @@ fn binomial(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) -> Vec<f64>
     while mask > 0 {
         if vrank + mask < p {
             let dst = unvrank(vrank + mask);
-            rank.send(comm, dst, &buf);
+            rank.send_a(comm, dst, &buf).await;
         }
         mask >>= 1;
     }
     buf
 }
 
-fn scatter_allgather(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) -> Vec<f64> {
+async fn scatter_allgather(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) -> Vec<f64> {
     let p = comm.size();
     // MPI convention: the message length is collective knowledge, so every
     // rank must pass a `data` slice of the same length (contents only
@@ -77,11 +95,11 @@ fn scatter_allgather(rank: &mut Rank, comm: &Comm, data: &[f64], root: usize) ->
     );
     let chunk = data.len() / p;
     let counts = vec![chunk; p];
-    let mine = scatter_v(rank, comm, data, &counts, root, ScatterAlgo::Binomial);
+    let mine = scatter_v_a(rank, comm, data, &counts, root, ScatterAlgo::Binomial).await;
     debug_assert_eq!(mine.len(), chunk);
     // Ring all-gather reassembles the full message everywhere. Blocks are
     // indexed by communicator order, matching the scatter.
-    all_gather_v(rank, comm, &mine, &counts, AllGatherAlgo::Ring)
+    all_gather_v_a(rank, comm, &mine, &counts, AllGatherAlgo::Ring).await
 }
 
 #[cfg(test)]

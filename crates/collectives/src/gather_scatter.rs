@@ -5,7 +5,10 @@
 //! ranks, so messages carry concatenations of whole blocks and receivers
 //! can split them using `counts`.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 use crate::util::offsets;
 
@@ -33,62 +36,78 @@ pub fn gather_v(
     mine: &[f64],
     counts: &[usize],
     root: usize,
-    _algo: GatherAlgo,
+    algo: GatherAlgo,
 ) -> Vec<f64> {
-    let p = comm.size();
-    assert_eq!(counts.len(), p, "counts length must equal communicator size");
-    assert_eq!(counts[comm.index()], mine.len(), "own count disagrees with contribution");
-    assert!(root < p, "root out of communicator");
-    rank.collective_begin(comm, CollectiveOp::Gather, mine.len() as u64);
-    if p == 1 {
-        return mine.to_vec();
-    }
-    let me = comm.index();
-    let vrank = (me + p - root) % p;
-    let unvrank = |v: usize| (v + root) % p;
-    // counts in virtual-rank order
-    let vcounts: Vec<usize> = (0..p).map(|v| counts[unvrank(v)]).collect();
-    let voff = offsets(&vcounts);
+    poll_now(gather_v_a(rank, comm, mine, counts, root, algo))
+}
 
-    // Blocks held so far: virtual range [vrank, vrank + held).
-    let mut held = 1usize;
-    let mut buf = mine.to_vec();
+/// Async form of [`gather_v`] (event-loop programs).
+#[track_caller]
+pub fn gather_v_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    mine: &'r [f64],
+    counts: &'r [usize],
+    root: usize,
+    _algo: GatherAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        assert_eq!(counts.len(), p, "counts length must equal communicator size");
+        assert_eq!(counts[comm.index()], mine.len(), "own count disagrees with contribution");
+        assert!(root < p, "root out of communicator");
+        rank.collective_begin_at(comm, CollectiveOp::Gather, mine.len() as u64, site).await;
+        if p == 1 {
+            return mine.to_vec();
+        }
+        let me = comm.index();
+        let vrank = (me + p - root) % p;
+        let unvrank = |v: usize| (v + root) % p;
+        // counts in virtual-rank order
+        let vcounts: Vec<usize> = (0..p).map(|v| counts[unvrank(v)]).collect();
+        let voff = offsets(&vcounts);
 
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            // Send everything held to the parent and stop.
-            let parent = unvrank(vrank - mask);
-            rank.send(comm, parent, &buf);
-            buf.clear();
-            break;
-        }
-        // Receive the child subtree [vrank+mask, vrank+mask+subtree).
-        let child_v = vrank + mask;
-        if child_v < p {
-            let subtree = mask.min(p - child_v);
-            let expect = voff[child_v + subtree] - voff[child_v];
-            let msg = rank.recv(comm, unvrank(child_v));
-            assert_eq!(msg.payload.len(), expect, "gather subtree size mismatch");
-            buf.extend_from_slice(&msg.payload);
-            held += subtree;
-        }
-        mask <<= 1;
-    }
+        // Blocks held so far: virtual range [vrank, vrank + held).
+        let mut held = 1usize;
+        let mut buf = mine.to_vec();
 
-    if me == root {
-        debug_assert_eq!(held, p);
-        // buf is in virtual order starting at vrank = 0; rotate to
-        // communicator order: virtual v corresponds to member (v+root)%p.
-        let mut out = vec![0.0f64; voff[p]];
-        let off = offsets(counts);
-        for v in 0..p {
-            let member = unvrank(v);
-            out[off[member]..off[member + 1]].copy_from_slice(&buf[voff[v]..voff[v + 1]]);
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                // Send everything held to the parent and stop.
+                let parent = unvrank(vrank - mask);
+                rank.send_a(comm, parent, &buf).await;
+                buf.clear();
+                break;
+            }
+            // Receive the child subtree [vrank+mask, vrank+mask+subtree).
+            let child_v = vrank + mask;
+            if child_v < p {
+                let subtree = mask.min(p - child_v);
+                let expect = voff[child_v + subtree] - voff[child_v];
+                let msg = rank.recv_a(comm, unvrank(child_v)).await;
+                assert_eq!(msg.payload.len(), expect, "gather subtree size mismatch");
+                buf.extend_from_slice(&msg.payload);
+                held += subtree;
+            }
+            mask <<= 1;
         }
-        out
-    } else {
-        Vec::new()
+
+        if me == root {
+            debug_assert_eq!(held, p);
+            // buf is in virtual order starting at vrank = 0; rotate to
+            // communicator order: virtual v corresponds to member (v+root)%p.
+            let mut out = vec![0.0f64; voff[p]];
+            let off = offsets(counts);
+            for v in 0..p {
+                let member = unvrank(v);
+                out[off[member]..off[member + 1]].copy_from_slice(&buf[voff[v]..voff[v + 1]]);
+            }
+            out
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -102,87 +121,104 @@ pub fn scatter_v(
     data: &[f64],
     counts: &[usize],
     root: usize,
-    _algo: ScatterAlgo,
+    algo: ScatterAlgo,
 ) -> Vec<f64> {
-    let p = comm.size();
-    assert_eq!(counts.len(), p, "counts length must equal communicator size");
-    assert!(root < p, "root out of communicator");
-    rank.collective_begin(comm, CollectiveOp::Scatter, data.len() as u64);
-    if p == 1 {
-        return data.to_vec();
-    }
-    let me = comm.index();
-    let vrank = (me + p - root) % p;
-    let unvrank = |v: usize| (v + root) % p;
-    let vcounts: Vec<usize> = (0..p).map(|v| counts[unvrank(v)]).collect();
-    let voff = offsets(&vcounts);
+    poll_now(scatter_v_a(rank, comm, data, counts, root, algo))
+}
 
-    // The root rearranges into virtual order; every holder owns a virtual
-    // range [vrank, vrank + span).
-    let mut buf: Vec<f64>;
-    let mut span: usize;
-    if me == root {
-        let off = offsets(counts);
-        assert_eq!(data.len(), off[p], "scatter data length disagrees with counts");
-        let mut v_ordered = vec![0.0f64; off[p]];
-        for v in 0..p {
-            let member = unvrank(v);
-            v_ordered[voff[v]..voff[v + 1]].copy_from_slice(&data[off[member]..off[member + 1]]);
+/// Async form of [`scatter_v`] (event-loop programs).
+#[track_caller]
+pub fn scatter_v_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    counts: &'r [usize],
+    root: usize,
+    _algo: ScatterAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        assert_eq!(counts.len(), p, "counts length must equal communicator size");
+        assert!(root < p, "root out of communicator");
+        rank.collective_begin_at(comm, CollectiveOp::Scatter, data.len() as u64, site).await;
+        if p == 1 {
+            return data.to_vec();
         }
-        buf = v_ordered;
-        span = p;
-    } else {
-        buf = Vec::new();
-        span = 0;
-    }
+        let me = comm.index();
+        let vrank = (me + p - root) % p;
+        let unvrank = |v: usize| (v + root) % p;
+        let vcounts: Vec<usize> = (0..p).map(|v| counts[unvrank(v)]).collect();
+        let voff = offsets(&vcounts);
 
-    // Receive phase: find the bit where we hang off our parent.
-    let mut mask = 1usize;
-    let mut recv_mask = 0usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            let parent = unvrank(vrank - mask);
-            let subtree = mask.min(p - vrank);
-            let expect = voff[vrank + subtree] - voff[vrank];
-            let msg = rank.recv(comm, parent);
-            assert_eq!(msg.payload.len(), expect, "scatter subtree size mismatch");
-            buf = msg.payload;
-            span = subtree;
-            recv_mask = mask;
-            break;
-        }
-        mask <<= 1;
-    }
-    if me == root {
-        recv_mask = {
-            // root never receives; it sends at every bit below p
-            let mut m = 1usize;
-            while m < p {
-                m <<= 1;
+        // The root rearranges into virtual order; every holder owns a virtual
+        // range [vrank, vrank + span).
+        let mut buf: Vec<f64>;
+        let mut span: usize;
+        if me == root {
+            let off = offsets(counts);
+            assert_eq!(data.len(), off[p], "scatter data length disagrees with counts");
+            let mut v_ordered = vec![0.0f64; off[p]];
+            for v in 0..p {
+                let member = unvrank(v);
+                v_ordered[voff[v]..voff[v + 1]]
+                    .copy_from_slice(&data[off[member]..off[member + 1]]);
             }
-            m
-        };
-    }
-
-    // Send phase: peel off the upper halves at decreasing distances.
-    let mut mask = recv_mask >> 1;
-    while mask > 0 {
-        if vrank + mask < p && mask < span {
-            let child_v = vrank + mask;
-            let child_span = span - mask;
-            let start = voff[child_v] - voff[vrank];
-            let end = voff[child_v + child_span] - voff[vrank];
-            let payload = buf[start..end].to_vec();
-            rank.send(comm, unvrank(child_v), &payload);
-            buf.truncate(start);
-            span = mask;
+            buf = v_ordered;
+            span = p;
+        } else {
+            buf = Vec::new();
+            span = 0;
         }
-        mask >>= 1;
-    }
 
-    debug_assert_eq!(span, 1);
-    debug_assert_eq!(buf.len(), counts[me]);
-    buf
+        // Receive phase: find the bit where we hang off our parent.
+        let mut mask = 1usize;
+        let mut recv_mask = 0usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent = unvrank(vrank - mask);
+                let subtree = mask.min(p - vrank);
+                let expect = voff[vrank + subtree] - voff[vrank];
+                let msg = rank.recv_a(comm, parent).await;
+                assert_eq!(msg.payload.len(), expect, "scatter subtree size mismatch");
+                buf = msg.payload;
+                span = subtree;
+                recv_mask = mask;
+                break;
+            }
+            mask <<= 1;
+        }
+        if me == root {
+            recv_mask = {
+                // root never receives; it sends at every bit below p
+                let mut m = 1usize;
+                while m < p {
+                    m <<= 1;
+                }
+                m
+            };
+        }
+
+        // Send phase: peel off the upper halves at decreasing distances.
+        let mut mask = recv_mask >> 1;
+        while mask > 0 {
+            if vrank + mask < p && mask < span {
+                let child_v = vrank + mask;
+                let child_span = span - mask;
+                let start = voff[child_v] - voff[vrank];
+                let end = voff[child_v + child_span] - voff[vrank];
+                let payload = buf[start..end].to_vec();
+                rank.send_a(comm, unvrank(child_v), &payload).await;
+                buf.truncate(start);
+                span = mask;
+            }
+            mask >>= 1;
+        }
+
+        debug_assert_eq!(span, 1);
+        debug_assert_eq!(buf.len(), counts[me]);
+        buf
+    }
 }
 
 #[cfg(test)]

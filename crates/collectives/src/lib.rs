@@ -49,12 +49,14 @@ pub mod reduce_scatter;
 pub mod scan;
 pub(crate) mod util;
 
-pub use allgather::{all_gather, all_gather_v, AllGatherAlgo};
-pub use allreduce::{all_reduce, AllReduceAlgo};
-pub use alltoall::{all_to_all, AllToAllAlgo};
-pub use barrier::barrier;
-pub use bcast::{bcast, BcastAlgo};
-pub use gather_scatter::{gather_v, scatter_v, GatherAlgo, ScatterAlgo};
-pub use reduce::{reduce, ReduceAlgo};
-pub use reduce_scatter::{reduce_scatter, reduce_scatter_v, ReduceScatterAlgo};
-pub use scan::{exscan, scan};
+pub use allgather::{all_gather, all_gather_a, all_gather_v, all_gather_v_a, AllGatherAlgo};
+pub use allreduce::{all_reduce, all_reduce_a, AllReduceAlgo};
+pub use alltoall::{all_to_all, all_to_all_a, AllToAllAlgo};
+pub use barrier::{barrier, barrier_a};
+pub use bcast::{bcast, bcast_a, BcastAlgo};
+pub use gather_scatter::{gather_v, gather_v_a, scatter_v, scatter_v_a, GatherAlgo, ScatterAlgo};
+pub use reduce::{reduce, reduce_a, ReduceAlgo};
+pub use reduce_scatter::{
+    reduce_scatter, reduce_scatter_a, reduce_scatter_v, reduce_scatter_v_a, ReduceScatterAlgo,
+};
+pub use scan::{exscan, exscan_a, scan, scan_a};

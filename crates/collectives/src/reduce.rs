@@ -1,6 +1,9 @@
 //! Reduce: element-wise sum of every rank's buffer, delivered at the root.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 use crate::util::axpy1;
 
@@ -20,37 +23,52 @@ pub fn reduce(
     comm: &Comm,
     data: &[f64],
     root: usize,
-    _algo: ReduceAlgo,
+    algo: ReduceAlgo,
 ) -> Vec<f64> {
-    let p = comm.size();
-    assert!(root < p, "root out of communicator");
-    rank.collective_begin(comm, CollectiveOp::Reduce, data.len() as u64);
-    if p == 1 {
-        return data.to_vec();
-    }
-    let me = comm.index();
-    let vrank = (me + p - root) % p;
-    let unvrank = |v: usize| (v + root) % p;
+    poll_now(reduce_a(rank, comm, data, root, algo))
+}
 
-    let mut acc = data.to_vec();
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            let parent = unvrank(vrank - mask);
-            rank.send(comm, parent, &acc);
-            return Vec::new();
+/// Async form of [`reduce`] (event-loop programs).
+#[track_caller]
+pub fn reduce_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    root: usize,
+    _algo: ReduceAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        assert!(root < p, "root out of communicator");
+        rank.collective_begin_at(comm, CollectiveOp::Reduce, data.len() as u64, site).await;
+        if p == 1 {
+            return data.to_vec();
         }
-        let child_v = vrank | mask;
-        if child_v < p {
-            let msg = rank.recv(comm, unvrank(child_v));
-            assert_eq!(msg.payload.len(), acc.len(), "reduce length mismatch");
-            axpy1(&mut acc, &msg.payload);
-            rank.compute(acc.len() as f64);
+        let me = comm.index();
+        let vrank = (me + p - root) % p;
+        let unvrank = |v: usize| (v + root) % p;
+
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent = unvrank(vrank - mask);
+                rank.send_a(comm, parent, &acc).await;
+                return Vec::new();
+            }
+            let child_v = vrank | mask;
+            if child_v < p {
+                let msg = rank.recv_a(comm, unvrank(child_v)).await;
+                assert_eq!(msg.payload.len(), acc.len(), "reduce length mismatch");
+                axpy1(&mut acc, &msg.payload);
+                rank.compute(acc.len() as f64);
+            }
+            mask <<= 1;
         }
-        mask <<= 1;
+        debug_assert_eq!(me, root);
+        acc
     }
-    debug_assert_eq!(me, root);
-    acc
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@
 //! words per rank for uniform segments and performing the same number of
 //! additions.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 use crate::util::{axpy1, is_pow2, offsets};
 
@@ -35,14 +38,28 @@ pub fn reduce_scatter(
     data: &[f64],
     algo: ReduceScatterAlgo,
 ) -> Vec<f64> {
-    let p = comm.size();
-    assert!(
-        data.len().is_multiple_of(p),
-        "reduce_scatter data length {} not divisible by communicator size {p}",
-        data.len()
-    );
-    let counts = vec![data.len() / p; p];
-    reduce_scatter_v(rank, comm, data, &counts, algo)
+    poll_now(reduce_scatter_a(rank, comm, data, algo))
+}
+
+/// Async form of [`reduce_scatter`] (event-loop programs).
+#[track_caller]
+pub fn reduce_scatter_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    algo: ReduceScatterAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        let p = comm.size();
+        assert!(
+            data.len().is_multiple_of(p),
+            "reduce_scatter data length {} not divisible by communicator size {p}",
+            data.len()
+        );
+        let counts = vec![data.len() / p; p];
+        reduce_scatter_v_at(rank, comm, data, &counts, algo, site).await
+    }
 }
 
 /// Reduce-Scatter with per-rank segment sizes (`MPI_Reduce_scatter`).
@@ -58,31 +75,54 @@ pub fn reduce_scatter_v(
     counts: &[usize],
     algo: ReduceScatterAlgo,
 ) -> Vec<f64> {
+    poll_now(reduce_scatter_v_a(rank, comm, data, counts, algo))
+}
+
+/// Async form of [`reduce_scatter_v`] (event-loop programs).
+#[track_caller]
+pub fn reduce_scatter_v_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+    counts: &'r [usize],
+    algo: ReduceScatterAlgo,
+) -> impl Future<Output = Vec<f64>> + 'r {
+    reduce_scatter_v_at(rank, comm, data, counts, algo, Location::caller())
+}
+
+pub(crate) async fn reduce_scatter_v_at(
+    rank: &mut Rank,
+    comm: &Comm,
+    data: &[f64],
+    counts: &[usize],
+    algo: ReduceScatterAlgo,
+    site: &'static Location<'static>,
+) -> Vec<f64> {
     let p = comm.size();
     assert_eq!(counts.len(), p, "counts length must equal communicator size");
     let total: usize = counts.iter().sum();
     assert_eq!(data.len(), total, "data length disagrees with counts");
-    rank.collective_begin(comm, CollectiveOp::ReduceScatter, total as u64);
+    rank.collective_begin_at(comm, CollectiveOp::ReduceScatter, total as u64, site).await;
     if p == 1 {
         return data.to_vec();
     }
     match algo {
-        ReduceScatterAlgo::Ring => ring(rank, comm, data, counts),
+        ReduceScatterAlgo::Ring => ring(rank, comm, data, counts).await,
         ReduceScatterAlgo::RecursiveHalving => {
             assert!(is_pow2(p), "recursive halving requires power-of-two communicator");
-            recursive_halving(rank, comm, data, counts)
+            recursive_halving(rank, comm, data, counts).await
         }
         ReduceScatterAlgo::Auto => {
             if is_pow2(p) {
-                recursive_halving(rank, comm, data, counts)
+                recursive_halving(rank, comm, data, counts).await
             } else {
-                ring(rank, comm, data, counts)
+                ring(rank, comm, data, counts).await
             }
         }
     }
 }
 
-fn ring(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64> {
+async fn ring(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     let off = offsets(counts);
@@ -97,7 +137,7 @@ fn ring(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64
         let send_seg = (me + p - 1 - s) % p;
         let recv_seg = (me + 2 * p - 2 - s) % p;
         let payload = acc[off[send_seg]..off[send_seg + 1]].to_vec();
-        let msg = rank.exchange(comm, right, left, &payload);
+        let msg = rank.exchange_a(comm, right, left, &payload).await;
         assert_eq!(msg.payload.len(), counts[recv_seg], "ring segment size mismatch");
         axpy1(&mut acc[off[recv_seg]..off[recv_seg + 1]], &msg.payload);
         rank.compute(counts[recv_seg] as f64);
@@ -105,7 +145,12 @@ fn ring(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64
     acc[off[me]..off[me + 1]].to_vec()
 }
 
-fn recursive_halving(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64> {
+async fn recursive_halving(
+    rank: &mut Rank,
+    comm: &Comm,
+    data: &[f64],
+    counts: &[usize],
+) -> Vec<f64> {
     let p = comm.size();
     let me = comm.index();
     let off = offsets(counts);
@@ -120,7 +165,7 @@ fn recursive_halving(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize
             if me < mid { (lo, mid, me + size / 2) } else { (mid, hi, me - size / 2) };
         let (send_lo, send_hi) = if me < mid { (mid, hi) } else { (lo, mid) };
         let payload = acc[off[send_lo]..off[send_hi]].to_vec();
-        let msg = rank.exchange(comm, partner, partner, &payload);
+        let msg = rank.exchange_a(comm, partner, partner, &payload).await;
         let keep_words = off[keep_hi] - off[keep_lo];
         assert_eq!(msg.payload.len(), keep_words, "halving segment size mismatch");
         axpy1(&mut acc[off[keep_lo]..off[keep_hi]], &msg.payload);

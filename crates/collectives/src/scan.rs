@@ -6,7 +6,10 @@
 //! over ranks): at step `s`, rank `r` receives from `r − 2^s` (if any) and
 //! sends to `r + 2^s` (if any); `⌈log2 p⌉` rounds, `w` words each.
 
-use pmm_simnet::{CollectiveOp, Comm, Rank};
+use std::future::Future;
+use std::panic::Location;
+
+use pmm_simnet::{poll_now, CollectiveOp, Comm, Rank};
 
 use crate::util::axpy1;
 
@@ -14,8 +17,27 @@ use crate::util::axpy1;
 /// contributions of ranks `0..=r`.
 #[track_caller]
 pub fn scan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
+    poll_now(scan_a(rank, comm, data))
+}
+
+/// Async form of [`scan`] (event-loop programs).
+#[track_caller]
+pub fn scan_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+) -> impl Future<Output = Vec<f64>> + 'r {
+    scan_at(rank, comm, data, Location::caller())
+}
+
+async fn scan_at(
+    rank: &mut Rank,
+    comm: &Comm,
+    data: &[f64],
+    site: &'static Location<'static>,
+) -> Vec<f64> {
     let p = comm.size();
-    rank.collective_begin(comm, CollectiveOp::Scan, data.len() as u64);
+    rank.collective_begin_at(comm, CollectiveOp::Scan, data.len() as u64, site).await;
     let me = comm.index();
     let mut acc = data.to_vec();
     let mut dist = 1usize;
@@ -25,10 +47,10 @@ pub fn scan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
         // one. Sends are non-blocking, so posting first is safe.
         let send_to = me + dist;
         if send_to < p {
-            rank.send(comm, send_to, &acc);
+            rank.send_a(comm, send_to, &acc).await;
         }
         if me >= dist {
-            let msg = rank.recv(comm, me - dist);
+            let msg = rank.recv_a(comm, me - dist).await;
             assert_eq!(msg.payload.len(), acc.len(), "scan length mismatch");
             axpy1(&mut acc, &msg.payload);
             rank.compute(acc.len() as f64);
@@ -42,11 +64,24 @@ pub fn scan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
 /// contributions of ranks `0..r` (zeros on rank 0).
 #[track_caller]
 pub fn exscan(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
-    rank.collective_begin(comm, CollectiveOp::ExScan, data.len() as u64);
-    let incl = scan(rank, comm, data);
-    // exclusive = inclusive − own contribution (exact for the integer-
-    // valued data used throughout; no extra communication).
-    incl.iter().zip(data).map(|(s, d)| s - d).collect()
+    poll_now(exscan_a(rank, comm, data))
+}
+
+/// Async form of [`exscan`] (event-loop programs).
+#[track_caller]
+pub fn exscan_a<'r>(
+    rank: &'r mut Rank,
+    comm: &'r Comm,
+    data: &'r [f64],
+) -> impl Future<Output = Vec<f64>> + 'r {
+    let site = Location::caller();
+    async move {
+        rank.collective_begin_at(comm, CollectiveOp::ExScan, data.len() as u64, site).await;
+        let incl = scan_at(rank, comm, data, site).await;
+        // exclusive = inclusive − own contribution (exact for the integer-
+        // valued data used throughout; no extra communication).
+        incl.iter().zip(data).map(|(s, d)| s - d).collect()
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,9 @@
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
-use pmm_simnet::{ChoicePoint, Rank, Repro, Resource, RunFailure, Schedule, World, WorldResult};
+use pmm_simnet::{
+    ChoicePoint, LocalBoxFuture, Rank, Repro, Resource, RunFailure, Schedule, World, WorldResult,
+};
 
 /// How the explorer walks the choice tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,11 +183,56 @@ pub fn explore_outcomes<T, F, C>(
     world: &World,
     program: F,
     cfg: &ExploreConfig,
-    mut on_schedule: C,
+    on_schedule: C,
 ) -> Result<ExploreReport, ScheduleFailure>
 where
     T: Send,
     F: Fn(&mut Rank) -> T + Send + Sync,
+    C: FnMut(&[usize], ScheduleOutcome<'_, T>) -> Result<(), String>,
+{
+    explore_with_runner(
+        cfg,
+        |prefix| world.clone().with_schedule(Schedule::Prefix(prefix)).try_run(&program),
+        on_schedule,
+    )
+}
+
+/// [`explore_outcomes`] for **async** rank programs: every explored
+/// schedule runs through [`World::run_async`] on the world's resolved
+/// engine, so the same DPOR walk certifies the event-loop engine (or the
+/// thread backend under [`World::with_engine`]). The choice tree is
+/// engine-independent — both engines drive the identical deterministic
+/// scheduler — so certificates (schedule counts) carry across engines.
+pub fn explore_outcomes_async<T, F, C>(
+    world: &World,
+    program: F,
+    cfg: &ExploreConfig,
+    on_schedule: C,
+) -> Result<ExploreReport, ScheduleFailure>
+where
+    T: Send,
+    F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync,
+    C: FnMut(&[usize], ScheduleOutcome<'_, T>) -> Result<(), String>,
+{
+    explore_with_runner(
+        cfg,
+        |prefix| world.clone().with_schedule(Schedule::Prefix(prefix)).try_run_async(&program),
+        on_schedule,
+    )
+}
+
+/// The engine-agnostic DPOR walk: `run_prefix` executes one world run
+/// under a given choice prefix (sync or async backend — the walk only
+/// sees the [`WorldResult`] / [`RunFailure`] artifacts, which both
+/// engines produce identically).
+fn explore_with_runner<T, R, C>(
+    cfg: &ExploreConfig,
+    run_prefix: R,
+    mut on_schedule: C,
+) -> Result<ExploreReport, ScheduleFailure>
+where
+    T: Send,
+    R: Fn(Vec<usize>) -> Result<WorldResult<T>, RunFailure>,
     C: FnMut(&[usize], ScheduleOutcome<'_, T>) -> Result<(), String>,
 {
     let started = Instant::now();
@@ -210,8 +257,7 @@ where
             return Ok(report);
         }
 
-        let outcome =
-            world.clone().with_schedule(Schedule::Prefix(node.prefix.clone())).try_run(&program);
+        let outcome = run_prefix(node.prefix.clone());
         report.runs += 1;
 
         let cps: &[ChoicePoint] = match &outcome {
@@ -361,35 +407,26 @@ struct RankSummary {
     peak_mem_words: u64,
 }
 
-/// Explore and assert, on every explored schedule, that the program
-/// produced bitwise-identical per-rank values, meters, clocks, and
-/// memory peaks as the first explored schedule, that no schedule fails
-/// (verifier report, deadlock, panic), and that the caller's `check`
-/// oracle holds. Returns the exploration report, or the first failing
-/// schedule with its choice-prefix repro.
-pub fn explore_checked<T, F, C>(
-    world: &World,
-    program: F,
-    cfg: &ExploreConfig,
-    mut check: C,
-) -> Result<ExploreReport, ScheduleFailure>
-where
-    T: Send + PartialEq + std::fmt::Debug,
-    F: Fn(&mut Rank) -> T + Send + Sync,
-    C: FnMut(&WorldResult<T>) -> Result<(), String>,
-{
-    let mut baseline: Option<(Vec<String>, Vec<RankSummary>)> = None;
-    explore_outcomes(world, program, cfg, |_choices, outcome| {
-        let out = outcome.map_err(|fail| format!("schedule fails: {}", fail.report))?;
+/// The standard schedule-independence oracle shared by the checked
+/// exploration entry points: the first explored schedule sets the
+/// baseline; every later one must match it bitwise in per-rank values,
+/// meters, clocks, and memory peaks, and no schedule may fail.
+#[derive(Default)]
+struct IndependenceChecker {
+    baseline: Option<(Vec<String>, Vec<RankSummary>)>,
+}
+
+impl IndependenceChecker {
+    fn check<T: std::fmt::Debug>(&mut self, out: &WorldResult<T>) -> Result<(), String> {
         let values: Vec<String> = out.values.iter().map(|v| format!("{v:?}")).collect();
         let summaries: Vec<RankSummary> = out
             .reports
             .iter()
             .map(|r| RankSummary { meter: r.meter, time: r.time, peak_mem_words: r.peak_mem_words })
             .collect();
-        match &baseline {
+        match &self.baseline {
             None => {
-                baseline = Some((values, summaries));
+                self.baseline = Some((values, summaries));
             }
             Some((base_vals, base_sums)) => {
                 for r in 0..base_vals.len() {
@@ -408,8 +445,68 @@ where
                 }
             }
         }
+        Ok(())
+    }
+}
+
+/// Explore and assert, on every explored schedule, that the program
+/// produced bitwise-identical per-rank values, meters, clocks, and
+/// memory peaks as the first explored schedule, that no schedule fails
+/// (verifier report, deadlock, panic), and that the caller's `check`
+/// oracle holds. Returns the exploration report, or the first failing
+/// schedule with its choice-prefix repro.
+pub fn explore_checked<T, F, C>(
+    world: &World,
+    program: F,
+    cfg: &ExploreConfig,
+    mut check: C,
+) -> Result<ExploreReport, ScheduleFailure>
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: Fn(&mut Rank) -> T + Send + Sync,
+    C: FnMut(&WorldResult<T>) -> Result<(), String>,
+{
+    let mut indep = IndependenceChecker::default();
+    explore_outcomes(world, program, cfg, |_choices, outcome| {
+        let out = outcome.map_err(|fail| format!("schedule fails: {}", fail.report))?;
+        indep.check(out)?;
         check(out)
     })
+}
+
+/// [`explore_checked`] for async rank programs (see
+/// [`explore_outcomes_async`]).
+pub fn explore_checked_async<T, F, C>(
+    world: &World,
+    program: F,
+    cfg: &ExploreConfig,
+    mut check: C,
+) -> Result<ExploreReport, ScheduleFailure>
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync,
+    C: FnMut(&WorldResult<T>) -> Result<(), String>,
+{
+    let mut indep = IndependenceChecker::default();
+    explore_outcomes_async(world, program, cfg, |_choices, outcome| {
+        let out = outcome.map_err(|fail| format!("schedule fails: {}", fail.report))?;
+        indep.check(out)?;
+        check(out)
+    })
+}
+
+/// [`explore`] for async rank programs: schedule-independence and
+/// failure-freedom over the world's resolved engine.
+pub fn explore_async<T, F>(
+    world: &World,
+    program: F,
+    cfg: &ExploreConfig,
+) -> Result<ExploreReport, ScheduleFailure>
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync,
+{
+    explore_checked_async(world, program, cfg, |_| Ok(()))
 }
 
 /// [`explore_checked`] with no extra oracle: schedule-independence and

@@ -52,8 +52,9 @@ pub mod dpor;
 pub mod synth;
 
 pub use dpor::{
-    explore, explore_checked, explore_outcomes, ExploreConfig, ExploreReport, ScheduleFailure,
-    ScheduleOutcome, Strategy,
+    explore, explore_async, explore_checked, explore_checked_async, explore_outcomes,
+    explore_outcomes_async, ExploreConfig, ExploreReport, ScheduleFailure, ScheduleOutcome,
+    Strategy,
 };
 pub use synth::{
     generate, interpret, run_generated, soak, verdict, world_for, GStep, GenOutcome, GenProgram,

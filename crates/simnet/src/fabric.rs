@@ -29,14 +29,18 @@
 //! [`World`]: crate::world::World
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::future::Future;
 use std::panic::Location;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{
     Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
+use std::task::{Context, Poll};
 use std::time::Duration;
 
 use crate::fault::{FaultKick, FaultPlan, FaultState, MsgMeta};
+use crate::readyset::ReadySet;
 use crate::trace::{BlockPoint, ChoicePoint, Repro, Resource, SchedEvent, Schedule, ScheduleTrace};
 use crate::verify::{lock_unpoisoned, CollectiveOp, SlotView, VerifyState, WaitInfo, WaitKind};
 
@@ -52,6 +56,15 @@ pub(crate) const WORLD_CTX: Ctx = 0;
 /// condvar-notified, so this only bounds the wake-up delay if a
 /// notification is missed — it is not a busy-wait interval.
 const ABORT_POLL: Duration = Duration::from_millis(100);
+
+/// Largest world for which barrier/split waits record their full
+/// `waiting_on` rank lists. Building the list is O(P) per blocked
+/// arrival and storing it O(P) per waiter — an O(P^2) time/memory term —
+/// so past this size waits record an empty list. Deadlock detection on
+/// the event-loop engine is counter-based and does not consult the
+/// lists; only report verbosity (and the thread-backend watchdog's
+/// wait-for edges, irrelevant at thread-impossible P) degrades.
+const WAIT_LIST_MAX_WORLD: usize = 4096;
 
 fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(PoisonError::into_inner)
@@ -85,11 +98,16 @@ struct Mailbox {
 }
 
 /// Result of a communicator split for a single color.
+///
+/// `members` is shared behind an `Arc`: the group is computed once at the
+/// rendezvous and every member's `Comm` points at the same vector, so a
+/// world-sized split costs one member list per *group*, not one per rank
+/// (an O(P^2) memory term at 10^5–10^6 ranks otherwise).
 #[derive(Debug, Clone)]
 pub(crate) struct SplitGroup {
     pub ctx: Ctx,
     /// World ranks of the members, ordered by `(key, parent index)`.
-    pub members: Vec<usize>,
+    pub members: Arc<Vec<usize>>,
 }
 
 struct SplitState {
@@ -156,12 +174,131 @@ struct SchedInner {
     attached: usize,
     /// The rank holding the execution baton, if any.
     current: Option<usize>,
+    /// Whether to materialize the event log and [`ChoicePoint`] stream.
+    /// Off for scale runs: recording is O(picks) memory plus an O(P)
+    /// runnable-set snapshot per pick.
+    record: bool,
+    /// Opt-in targeted-wakeup policy: a progress event re-readies only
+    /// the ranks blocked on the touched resource instead of every
+    /// blocked rank. Changes seeded pick streams (fewer spurious
+    /// re-checks), so the default stays broadcast — golden traces and
+    /// DPOR certificates pin the broadcast schedules.
+    targeted: bool,
+    /// Order-statistics mirror of the `Ready` entries of `status`;
+    /// `select(k)` is the k-th smallest runnable rank.
+    ready: ReadySet,
+    /// Number of `Blocked` entries of `status`.
+    blocked: usize,
+    /// Number of `NotAttached` entries of `status`.
+    not_attached: usize,
+    /// Broadcast-policy wake list: every currently-blocked rank, drained
+    /// on each progress event (amortized O(1) per block, where scanning
+    /// `status` would be O(P) per post).
+    blocked_list: Vec<usize>,
+    /// What each blocked rank blocks on (wake-key; `None` when not
+    /// blocked). Guards stale targeted-wakeup registrations.
+    blocked_on: Vec<Option<Resource>>,
+    /// Targeted-policy wake lists, keyed by blocking resource.
+    waiters: HashMap<Resource, Vec<usize>>,
     /// Totally-ordered event log (appended under this mutex).
     events: Vec<SchedEvent>,
     /// First-class pick stream: one entry per scheduler pick, carrying
     /// the runnable set, the chosen rank, and (filled in as the segment
     /// executes) the fabric resources the segment touched.
     choices: Vec<ChoicePoint>,
+}
+
+impl SchedInner {
+    fn push_event(&mut self, ev: SchedEvent) {
+        if self.record {
+            self.events.push(ev);
+        }
+    }
+
+    fn touch(&mut self, res: Resource) {
+        if let Some(cp) = self.choices.last_mut() {
+            if !cp.touched.contains(&res) {
+                cp.touched.push(res);
+            }
+        }
+    }
+
+    fn mark_attached(&mut self, r: usize) {
+        debug_assert_eq!(self.status[r], RankStatus::NotAttached);
+        self.status[r] = RankStatus::Ready;
+        self.ready.insert(r);
+        self.not_attached -= 1;
+        self.attached += 1;
+    }
+
+    fn mark_blocked(&mut self, r: usize, key: Resource) {
+        debug_assert_eq!(self.status[r], RankStatus::Ready);
+        self.status[r] = RankStatus::Blocked;
+        self.ready.remove(r);
+        self.blocked += 1;
+        self.blocked_on[r] = Some(key);
+        if self.targeted {
+            self.waiters.entry(key).or_default().push(r);
+        } else {
+            self.blocked_list.push(r);
+        }
+    }
+
+    fn mark_unblocked(&mut self, r: usize) {
+        debug_assert_eq!(self.status[r], RankStatus::Blocked);
+        self.status[r] = RankStatus::Ready;
+        self.ready.insert(r);
+        self.blocked -= 1;
+        self.blocked_on[r] = None;
+    }
+
+    fn mark_done(&mut self, r: usize) {
+        match self.status[r] {
+            RankStatus::Ready => self.ready.remove(r),
+            RankStatus::Blocked => {
+                self.blocked -= 1;
+                self.blocked_on[r] = None;
+            }
+            RankStatus::NotAttached => self.not_attached -= 1,
+            RankStatus::Done => {}
+        }
+        self.status[r] = RankStatus::Done;
+    }
+
+    /// Re-ready every blocked rank (broadcast progress event). Unblock
+    /// order is irrelevant — readiness is a set, and the next pick is a
+    /// function of the set — so draining the policy-specific structures
+    /// in their own order preserves determinism.
+    fn unblock_all(&mut self) {
+        if self.targeted {
+            let waiters = std::mem::take(&mut self.waiters);
+            for (key, list) in waiters {
+                for r in list {
+                    if self.status[r] == RankStatus::Blocked && self.blocked_on[r] == Some(key) {
+                        self.mark_unblocked(r);
+                    }
+                }
+            }
+        } else {
+            let list = std::mem::take(&mut self.blocked_list);
+            for r in list {
+                if self.status[r] == RankStatus::Blocked {
+                    self.mark_unblocked(r);
+                }
+            }
+        }
+    }
+
+    /// Re-ready only the ranks blocked on `key` (targeted policy).
+    fn unblock_key(&mut self, key: Resource) {
+        if let Some(list) = self.waiters.remove(&key) {
+            for r in list {
+                if self.status[r] == RankStatus::Blocked && self.blocked_on[r] == Some(key) {
+                    self.mark_unblocked(r);
+                }
+            }
+        }
+    }
 }
 
 /// Cooperative deterministic scheduler: present iff the world was built
@@ -203,6 +340,47 @@ enum PickOutcome {
     },
 }
 
+/// What a [`BatonYield`] does on its first poll (the scheduler-visible
+/// event of the yield point it encodes).
+#[derive(Debug, Clone, Copy)]
+enum YieldAction {
+    Post { from_world: usize, ctx: Ctx, to_world: usize, words: u64 },
+    Collective { rank: usize, ctx: Ctx, op: CollectiveOp, elems: u64 },
+    Block { rank: usize, point: BlockPoint },
+}
+
+/// The one suspension point of the event-loop engine: a future whose
+/// first poll performs a scheduler yield (recording the event and
+/// handing the baton to the next pick) and which completes when the
+/// scheduler hands the baton back to `rank`.
+///
+/// The executor upholds the invariant that only the rank named by the
+/// scheduler's `current` is ever polled, so a poll observing
+/// `current == Some(rank)` *is* baton possession — the async analogue of
+/// returning from `sched_wait_for_baton`, with no condvar involved.
+pub(crate) struct BatonYield<'f> {
+    fabric: &'f Fabric,
+    rank: usize,
+    action: Option<YieldAction>,
+}
+
+impl Future for BatonYield<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        // All fields are Unpin, so plain mutable access is fine.
+        let me = &mut *self;
+        if let Some(action) = me.action.take() {
+            me.fabric.sched_yield_action(action);
+        }
+        if me.fabric.sched_baton_ready(me.rank) {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
 /// The shared fabric. One per [`World`](crate::world::World); ranks hold it
 /// behind an `Arc`.
 pub struct Fabric {
@@ -221,6 +399,10 @@ pub struct Fabric {
     /// (the default), in which case every fault hook is a no-op and the
     /// fabric behaves byte-identically to the pre-fault-layer code.
     fault: Option<FaultState>,
+    /// True when the single-threaded event-loop engine drives this world:
+    /// rank primitives suspend their continuation (return `Pending`) at
+    /// yield points instead of parking an OS thread on a condvar.
+    event_loop: bool,
 }
 
 impl Fabric {
@@ -240,7 +422,24 @@ impl Fabric {
             verify: VerifyState::new(world_size),
             det: None,
             fault: None,
+            event_loop: false,
         }
+    }
+
+    /// Switch this fabric into event-loop mode (see the `event_loop`
+    /// field). Requires a deterministic schedule; must run before any
+    /// rank program starts.
+    pub(crate) fn enable_event_loop(&mut self) {
+        assert!(
+            self.det.is_some(),
+            "pmm-simnet: the event-loop engine requires a deterministic schedule"
+        );
+        self.event_loop = true;
+    }
+
+    /// Whether the event-loop engine drives this world.
+    pub(crate) fn is_event_loop(&self) -> bool {
+        self.event_loop
     }
 
     /// Attach a fault plan (validated) with its resolved decision seed.
@@ -341,8 +540,11 @@ impl Fabric {
     /// Switch this fabric into deterministic scheduling mode under a
     /// [`Schedule`]. Must be called before any rank thread starts (the
     /// world does this between constructing the fabric and spawning
-    /// ranks).
-    pub(crate) fn enable_schedule(&mut self, schedule: Schedule) {
+    /// ranks). `record` controls event-log/`ChoicePoint` materialization
+    /// and `targeted` the wake-up policy — see the `SchedInner` field
+    /// docs; `(true, false)` reproduces the seed-era behavior bit for
+    /// bit.
+    pub(crate) fn enable_schedule(&mut self, schedule: Schedule, record: bool, targeted: bool) {
         let n = self.verify.world_size();
         let rng = match &schedule {
             Schedule::Seeded(seed) => *seed,
@@ -356,6 +558,14 @@ impl Fabric {
                 status: vec![RankStatus::NotAttached; n],
                 attached: 0,
                 current: None,
+                record,
+                targeted,
+                ready: ReadySet::new(n),
+                blocked: 0,
+                not_attached: n,
+                blocked_list: Vec::new(),
+                blocked_on: vec![None; n],
+                waiters: HashMap::new(),
                 events: Vec::new(),
                 choices: Vec::new(),
             }),
@@ -386,6 +596,9 @@ impl Fabric {
     pub(crate) fn take_sched_trace(&self) -> Option<ScheduleTrace> {
         let det = self.det.as_ref()?;
         let mut st = lock_unpoisoned(&det.st);
+        if !st.record {
+            return None;
+        }
         let seed = match &det.schedule {
             Schedule::Seeded(seed) => *seed,
             Schedule::Prefix(_) => 0,
@@ -398,6 +611,9 @@ impl Fabric {
     pub(crate) fn take_choice_points(&self) -> Option<Vec<ChoicePoint>> {
         let det = self.det.as_ref()?;
         let mut st = lock_unpoisoned(&det.st);
+        if !st.record {
+            return None;
+        }
         Some(std::mem::take(&mut st.choices))
     }
 
@@ -409,12 +625,7 @@ impl Fabric {
     /// order is primitive → scheduler, never the reverse.
     pub(crate) fn det_touch(&self, res: Resource) {
         let Some(det) = &self.det else { return };
-        let mut st = lock_unpoisoned(&det.st);
-        if let Some(cp) = st.choices.last_mut() {
-            if !cp.touched.contains(&res) {
-                cp.touched.push(res);
-            }
-        }
+        lock_unpoisoned(&det.st).touch(res);
     }
 
     // ----- deterministic scheduler ------------------------------------------
@@ -426,12 +637,36 @@ impl Fabric {
     pub(crate) fn sched_attach(&self, r: usize) {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
-        st.status[r] = RankStatus::Ready;
-        st.attached += 1;
+        st.mark_attached(r);
         if st.attached == st.status.len() {
             self.sched_pick_and_wait(det, st, r);
         } else {
             self.sched_wait_for_baton(det, st, r);
+        }
+    }
+
+    /// Event-loop analogue of per-thread [`Fabric::sched_attach`]:
+    /// register every rank at once and trigger the first pick (the same
+    /// pick, from the same PRNG state, that the last attaching thread
+    /// would have triggered). The executor then polls whichever rank
+    /// holds the baton.
+    pub(crate) fn sched_attach_all(&self) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        let n = st.status.len();
+        for r in 0..n {
+            st.mark_attached(r);
+        }
+        match Self::sched_pick_locked(det, &mut st) {
+            PickOutcome::Picked | PickOutcome::Idle => {}
+            // All ranks are ready, so the first pick cannot deadlock; a
+            // prefix can still demand an out-of-range rank.
+            PickOutcome::Deadlock => unreachable!("deadlock with every rank runnable"),
+            PickOutcome::Diverged { wanted, at } => {
+                let report = Self::diverged_report(det, &st, wanted, at);
+                drop(st);
+                self.abort(report);
+            }
         }
     }
 
@@ -445,25 +680,28 @@ impl Fabric {
     fn sched_block(&self, r: usize, point: BlockPoint) {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
-        st.status[r] = RankStatus::Blocked;
-        st.events.push(SchedEvent::Block { rank: r, point });
-        // The failed condition check *read* the blocking resource: a
-        // reordering against whoever writes it would change what this
-        // segment observed, so it belongs to the footprint.
+        Self::sched_block_locked(&mut st, r, point);
+        self.sched_pick_and_wait(det, st, r);
+    }
+
+    /// Shared body of the thread-backend [`Fabric::sched_block`] and the
+    /// event-loop block yield: park `r`, log the event, charge the
+    /// blocking resource to the running segment's footprint, and release
+    /// the baton. The failed condition check *read* the blocking
+    /// resource: a reordering against whoever writes it would change
+    /// what this segment observed, so it belongs to the footprint.
+    fn sched_block_locked(st: &mut SchedInner, r: usize, point: BlockPoint) {
         let res = match point {
             BlockPoint::Recv { ctx, index } => Resource::Mailbox { ctx, index },
             BlockPoint::Split { ctx, seq } => Resource::SplitCell { ctx, seq },
             BlockPoint::Barrier { .. } => Resource::Barrier,
         };
-        if let Some(cp) = st.choices.last_mut() {
-            if !cp.touched.contains(&res) {
-                cp.touched.push(res);
-            }
-        }
+        st.mark_blocked(r, res);
+        st.push_event(SchedEvent::Block { rank: r, point });
+        st.touch(res);
         if st.current == Some(r) {
             st.current = None;
         }
-        self.sched_pick_and_wait(det, st, r);
     }
 
     /// Re-ready every blocked rank after a progress event (message post,
@@ -471,11 +709,19 @@ impl Fabric {
     /// re-readied ranks re-check their conditions when next picked.
     fn sched_unblock_all(&self) {
         let Some(det) = &self.det else { return };
+        lock_unpoisoned(&det.st).unblock_all();
+    }
+
+    /// Progress event on `key`: under the default broadcast policy every
+    /// blocked rank is re-readied (what the golden traces pin); under
+    /// the opt-in targeted policy only the ranks blocked on `key` wake.
+    fn sched_wake(&self, key: Resource) {
+        let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
-        for s in st.status.iter_mut() {
-            if *s == RankStatus::Blocked {
-                *s = RankStatus::Ready;
-            }
+        if st.targeted {
+            st.unblock_key(key);
+        } else {
+            st.unblock_all();
         }
     }
 
@@ -490,7 +736,7 @@ impl Fabric {
     ) {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
-        st.events.push(SchedEvent::Post { from_world, ctx, to_world, words });
+        st.push_event(SchedEvent::Post { from_world, ctx, to_world, words });
         self.sched_pick_and_wait(det, st, from_world);
     }
 
@@ -507,13 +753,8 @@ impl Fabric {
     ) {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
-        st.events.push(SchedEvent::Collective { rank, ctx, op, elems });
-        let res = Resource::Ledger { ctx };
-        if let Some(cp) = st.choices.last_mut() {
-            if !cp.touched.contains(&res) {
-                cp.touched.push(res);
-            }
-        }
+        st.push_event(SchedEvent::Collective { rank, ctx, op, elems });
+        st.touch(Resource::Ledger { ctx });
         self.sched_pick_and_wait(det, st, rank);
     }
 
@@ -525,8 +766,8 @@ impl Fabric {
     pub(crate) fn sched_finish(&self, r: usize) {
         let Some(det) = &self.det else { return };
         let mut st = lock_unpoisoned(&det.st);
-        st.status[r] = RankStatus::Done;
-        st.events.push(SchedEvent::Done { rank: r });
+        st.mark_done(r);
+        st.push_event(SchedEvent::Done { rank: r });
         if st.current == Some(r) {
             st.current = None;
             if self.verify.is_aborted() {
@@ -565,37 +806,46 @@ impl Fabric {
     /// Hand the baton to the next runnable rank — drawn from the seeded
     /// PRNG, or dictated by the prefix (then the smallest runnable rank,
     /// the canonical completion). Records the pick as a [`ChoicePoint`].
+    ///
+    /// The pick is a deterministic function of (ready set, schedule
+    /// state): `ReadySet::select(k)` is the k-th smallest runnable rank,
+    /// exactly what indexing the old ascending `ready` vector was, so
+    /// pick streams are bit-identical to the seed-era O(P)-per-pick
+    /// implementation.
     fn sched_pick_locked(det: &DetState, st: &mut SchedInner) -> PickOutcome {
-        // `ready` is ascending by construction, so the pick below is a
-        // deterministic function of (status vector, schedule state).
-        let ready: Vec<usize> = st
-            .status
-            .iter()
-            .enumerate()
-            .filter_map(|(r, &s)| (s == RankStatus::Ready).then_some(r))
-            .collect();
-        if ready.is_empty() {
+        let count = st.ready.len();
+        if count == 0 {
             st.current = None;
-            let any_blocked = st.status.contains(&RankStatus::Blocked);
-            let any_unattached = st.status.contains(&RankStatus::NotAttached);
-            return if !any_blocked || any_unattached {
+            return if st.blocked == 0 || st.not_attached > 0 {
                 PickOutcome::Idle
             } else {
                 PickOutcome::Deadlock
             };
         }
         let r = match &det.schedule {
-            Schedule::Seeded(_) => ready[(splitmix64(&mut st.rng) % ready.len() as u64) as usize],
+            Schedule::Seeded(_) => {
+                st.ready.select((splitmix64(&mut st.rng) % count as u64) as usize)
+            }
             Schedule::Prefix(prefix) => match prefix.get(st.cursor) {
-                Some(&want) if ready.contains(&want) => want,
+                Some(&want) if want < st.status.len() && st.status[want] == RankStatus::Ready => {
+                    want
+                }
                 Some(&want) => return PickOutcome::Diverged { wanted: want, at: st.cursor },
-                None => ready[0],
+                None => st.ready.select(0),
             },
         };
         st.cursor += 1;
-        st.choices.push(ChoicePoint { ready, chosen: r, touched: Vec::new() });
+        if st.record {
+            let ready: Vec<usize> = st
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (s == RankStatus::Ready).then_some(i))
+                .collect();
+            st.choices.push(ChoicePoint { ready, chosen: r, touched: Vec::new() });
+            st.events.push(SchedEvent::Pick { rank: r });
+        }
         st.current = Some(r);
-        st.events.push(SchedEvent::Pick { rank: r });
         det.cv.notify_all();
         PickOutcome::Picked
     }
@@ -618,6 +868,25 @@ impl Fabric {
     fn sched_pick_and_wait(&self, det: &DetState, mut st: MutexGuard<'_, SchedInner>, r: usize) {
         match Self::sched_pick_locked(det, &mut st) {
             PickOutcome::Picked | PickOutcome::Idle => self.sched_wait_for_baton(det, st, r),
+            outcome => self.sched_fail_pick(det, st, outcome, r),
+        }
+    }
+
+    /// Abort the world for a failed pick (deadlock or prefix divergence)
+    /// and tear rank `r` down with an `AbortPanic`. Shared by the
+    /// thread-backend pick sites and the event-loop yield path (where the
+    /// panic unwinds out of `poll` into the executor's `catch_unwind`).
+    fn sched_fail_pick(
+        &self,
+        det: &DetState,
+        st: MutexGuard<'_, SchedInner>,
+        outcome: PickOutcome,
+        r: usize,
+    ) -> ! {
+        match outcome {
+            PickOutcome::Picked | PickOutcome::Idle => {
+                unreachable!("sched_fail_pick on a successful pick")
+            }
             PickOutcome::Deadlock => {
                 let stuck: Vec<usize> = st
                     .status
@@ -631,13 +900,13 @@ impl Fabric {
                 let mut report = self.deadlock_report(&views, &stuck);
                 report.push_str(&format!("deterministic schedule — {}\n", repro.hint()));
                 self.abort(report);
-                self.verify.abort_panic(r);
+                self.verify.abort_panic(r)
             }
             PickOutcome::Diverged { wanted, at } => {
                 let report = Self::diverged_report(det, &st, wanted, at);
                 drop(st);
                 self.abort(report);
-                self.verify.abort_panic(r);
+                self.verify.abort_panic(r)
             }
         }
     }
@@ -656,6 +925,141 @@ impl Fabric {
                 return;
             }
             st = det.cv.wait_timeout(st, ABORT_POLL).unwrap_or_else(PoisonError::into_inner).0;
+        }
+    }
+
+    // ----- event-loop engine hooks ------------------------------------------
+
+    /// The rank currently holding the baton (event-loop executor's poll
+    /// target). `None` while attaching, after the last rank finishes, or
+    /// when the world aborted mid-pick.
+    pub(crate) fn sched_current(&self) -> Option<usize> {
+        let det = self.det.as_ref()?;
+        lock_unpoisoned(&det.st).current
+    }
+
+    /// Yield the baton after posting a message (event-loop analogue of
+    /// [`Fabric::sched_post_event`]).
+    pub(crate) fn yield_post(
+        &self,
+        from_world: usize,
+        ctx: Ctx,
+        to_world: usize,
+        words: u64,
+    ) -> BatonYield<'_> {
+        BatonYield {
+            fabric: self,
+            rank: from_world,
+            action: Some(YieldAction::Post { from_world, ctx, to_world, words }),
+        }
+    }
+
+    /// Yield the baton after entering a collective (event-loop analogue
+    /// of [`Fabric::sched_collective_event`]).
+    pub(crate) fn yield_collective(
+        &self,
+        rank: usize,
+        ctx: Ctx,
+        op: CollectiveOp,
+        elems: u64,
+    ) -> BatonYield<'_> {
+        BatonYield {
+            fabric: self,
+            rank,
+            action: Some(YieldAction::Collective { rank, ctx, op, elems }),
+        }
+    }
+
+    /// Yield the baton at a blocking point whose condition is unmet
+    /// (event-loop analogue of [`Fabric::sched_block`]). The await
+    /// completes once this rank is picked again; the caller then
+    /// re-checks its condition and re-blocks if still unmet.
+    pub(crate) fn yield_block(&self, rank: usize, point: BlockPoint) -> BatonYield<'_> {
+        BatonYield { fabric: self, rank, action: Some(YieldAction::Block { rank, point }) }
+    }
+
+    /// First-poll action of a [`BatonYield`]: log the event, update rank
+    /// state, and hand the baton to the next pick — `sched_post_event` /
+    /// `sched_collective_event` / `sched_block` minus the condvar wait.
+    fn sched_yield_action(&self, action: YieldAction) {
+        let Some(det) = &self.det else { return };
+        let mut st = lock_unpoisoned(&det.st);
+        let r = match action {
+            YieldAction::Post { from_world, ctx, to_world, words } => {
+                st.push_event(SchedEvent::Post { from_world, ctx, to_world, words });
+                from_world
+            }
+            YieldAction::Collective { rank, ctx, op, elems } => {
+                st.push_event(SchedEvent::Collective { rank, ctx, op, elems });
+                st.touch(Resource::Ledger { ctx });
+                rank
+            }
+            YieldAction::Block { rank, point } => {
+                Self::sched_block_locked(&mut st, rank, point);
+                rank
+            }
+        };
+        match Self::sched_pick_locked(det, &mut st) {
+            PickOutcome::Picked | PickOutcome::Idle => {}
+            outcome => self.sched_fail_pick(det, st, outcome, r),
+        }
+    }
+
+    /// Event-loop poll check: does `r` hold the baton? Tears the polled
+    /// continuation down with an `AbortPanic` if the world aborted (the
+    /// executor's `catch_unwind` classifies it).
+    fn sched_baton_ready(&self, r: usize) -> bool {
+        if self.verify.is_aborted() {
+            self.verify.abort_panic(r);
+        }
+        let Some(det) = &self.det else { return true };
+        lock_unpoisoned(&det.st).current == Some(r)
+    }
+
+    /// Event-loop analogue of [`Fabric::take_any`]: the identical
+    /// event/footprint sequence as the deterministic branch there, but
+    /// suspending the continuation instead of parking a thread.
+    pub(crate) async fn take_any_a(
+        &self,
+        ctx: Ctx,
+        index: usize,
+        me_world: usize,
+        from_world: usize,
+        site: &'static Location<'static>,
+        fault_watch: Option<u64>,
+    ) -> Option<Message> {
+        let mb = self.mailbox(ctx, index);
+        {
+            let mut q = lock_unpoisoned(&mb.q);
+            if let Some(m) = q.pop_front() {
+                self.det_touch(Resource::Mailbox { ctx, index });
+                return Some(m);
+            }
+            if self.fault_kicked(fault_watch) {
+                return None;
+            }
+        }
+        self.verify.set_wait(
+            me_world,
+            WaitInfo {
+                kind: WaitKind::Recv { from_world, ctx_index: index },
+                ctx,
+                waiting_on: vec![from_world],
+                site,
+            },
+        );
+        loop {
+            self.yield_block(me_world, BlockPoint::Recv { ctx, index }).await;
+            let mut q = lock_unpoisoned(&mb.q);
+            if let Some(m) = q.pop_front() {
+                self.det_touch(Resource::Mailbox { ctx, index });
+                self.verify.clear_wait(me_world);
+                return Some(m);
+            }
+            if self.fault_kicked(fault_watch) {
+                self.verify.clear_wait(me_world);
+                return None;
+            }
         }
     }
 
@@ -687,7 +1091,7 @@ impl Fabric {
         self.det_touch(Resource::Mailbox { ctx, index: to });
         // A delivery is a progress event: re-ready blocked ranks so the
         // deterministic scheduler lets them re-check their conditions.
-        self.sched_unblock_all();
+        self.sched_wake(Resource::Mailbox { ctx, index: to });
     }
 
     /// Blockingly take the next message from member `index`'s mailbox on
@@ -762,13 +1166,12 @@ impl Fabric {
         }
     }
 
-    /// Zero-cost synchronization of all world ranks (not metered; test and
-    /// phase-delimiting use only).
-    pub(crate) fn hard_sync(&self, me_world: usize, site: &'static Location<'static>) {
+    /// Arrive at the barrier: sweep corpses, deposit this rank, and
+    /// either release the barrier (returns `None`, waiters woken) or
+    /// register the verify wait and return the generation to wait out.
+    /// Shared head of the sync and async [`Fabric::hard_sync`] forms.
+    fn barrier_arrive(&self, me_world: usize, site: &'static Location<'static>) -> Option<u64> {
         let world_size = self.verify.world_size();
-        if world_size <= 1 || self.is_dead_rank(me_world) {
-            return;
-        }
         let mut st = lock_unpoisoned(&self.barrier.st);
         // Dead ranks can never arrive; count them so survivors are not
         // stuck waiting for a corpse (no-op without a fault plan).
@@ -782,11 +1185,14 @@ impl Fabric {
             st.arrived.iter_mut().for_each(|a| *a = false);
             st.generation += 1;
             self.barrier.cv.notify_all();
-            self.sched_unblock_all();
-            return;
+            self.sched_wake(Resource::Barrier);
+            return None;
         }
-        let waiting_on: Vec<usize> =
-            st.arrived.iter().enumerate().filter_map(|(r, &a)| (!a).then_some(r)).collect();
+        let waiting_on: Vec<usize> = if world_size > WAIT_LIST_MAX_WORLD {
+            Vec::new()
+        } else {
+            st.arrived.iter().enumerate().filter_map(|(r, &a)| (!a).then_some(r)).collect()
+        };
         self.verify.set_wait(
             me_world,
             WaitInfo {
@@ -796,6 +1202,17 @@ impl Fabric {
                 site,
             },
         );
+        Some(entered_gen)
+    }
+
+    /// Zero-cost synchronization of all world ranks (not metered; test and
+    /// phase-delimiting use only).
+    pub(crate) fn hard_sync(&self, me_world: usize, site: &'static Location<'static>) {
+        if self.verify.world_size() <= 1 || self.is_dead_rank(me_world) {
+            return;
+        }
+        let Some(entered_gen) = self.barrier_arrive(me_world, site) else { return };
+        let mut st = lock_unpoisoned(&self.barrier.st);
         if self.det.is_some() {
             while st.generation == entered_gen {
                 drop(st);
@@ -816,6 +1233,22 @@ impl Fabric {
                 .wait_timeout(st, ABORT_POLL)
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
+        }
+        self.verify.clear_wait(me_world);
+    }
+
+    /// Event-loop analogue of [`Fabric::hard_sync`]: identical arrival,
+    /// event, and wake sequence, suspending instead of parking.
+    pub(crate) async fn hard_sync_a(&self, me_world: usize, site: &'static Location<'static>) {
+        if self.verify.world_size() <= 1 || self.is_dead_rank(me_world) {
+            return;
+        }
+        let Some(entered_gen) = self.barrier_arrive(me_world, site) else { return };
+        loop {
+            self.yield_block(me_world, BlockPoint::Barrier { generation: entered_gen }).await;
+            if lock_unpoisoned(&self.barrier.st).generation != entered_gen {
+                break;
+            }
         }
         self.verify.clear_wait(me_world);
     }
@@ -854,8 +1287,8 @@ impl Fabric {
                 panic!("split rendezvous: color {c} vanished while grouping — fabric bug")
             });
             v.sort_unstable(); // by (key, parent index)
-            let members = v.into_iter().map(|(_, _, w)| w).collect();
-            groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members });
+            let members: Vec<usize> = v.into_iter().map(|(_, _, w)| w).collect();
+            groups.insert(c, SplitGroup { ctx: self.alloc_ctx(), members: Arc::new(members) });
         }
         st.result = Some(Arc::new(groups));
     }
@@ -883,51 +1316,20 @@ impl Fabric {
         site: &'static Location<'static>,
         fault_watch: Option<u64>,
     ) -> Result<Option<SplitGroup>, FaultKick> {
-        let cell = {
-            let mut splits = lock_unpoisoned(&self.splits);
-            splits
-                .entry((parent_ctx, seq))
-                .or_insert_with(|| {
-                    Arc::new(SplitCell {
-                        state: Mutex::new(SplitState {
-                            entries: vec![None; parent_members.len()],
-                            parent_members: parent_members.to_vec(),
-                            arrived: 0,
-                            consumed: 0,
-                            result: None,
-                        }),
-                        cv: Condvar::new(),
-                    })
-                })
-                .clone()
-        };
-
-        let mut st = lock_unpoisoned(&cell.state);
-        if st.entries[my_parent_index].is_some() {
-            drop(st);
-            self.abort(format!(
-                "pmm-verify: world rank {my_world_rank} deposited twice into split #{seq} of \
-                 ctx {parent_ctx} at {site} — members issued splits in different orders"
-            ));
-            self.verify.abort_panic(my_world_rank);
-        }
-        st.entries[my_parent_index] = Some((color, key, my_world_rank));
-        st.arrived += 1;
-        self.det_touch(Resource::SplitCell { ctx: parent_ctx, seq });
-        self.split_try_complete(&mut st);
-        if st.result.is_some() {
-            cell.cv.notify_all();
-            self.sched_unblock_all();
-        } else {
-            let waiting_on: Vec<usize> = parent_members
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &w)| st.entries[i].is_none().then_some(w))
-                .collect();
-            self.verify.set_wait(
-                my_world_rank,
-                WaitInfo { kind: WaitKind::Split { seq }, ctx: parent_ctx, waiting_on, site },
-            );
+        let cell = self.split_cell(parent_ctx, parent_members, seq);
+        let completed = self.split_deposit(
+            &cell,
+            parent_ctx,
+            parent_members,
+            seq,
+            my_parent_index,
+            my_world_rank,
+            color,
+            key,
+            site,
+        );
+        if !completed {
+            let mut st = lock_unpoisoned(&cell.state);
             if self.det.is_some() {
                 while st.result.is_none() {
                     if self.fault_kicked(fault_watch) {
@@ -957,6 +1359,138 @@ impl Fabric {
             }
             self.verify.clear_wait(my_world_rank);
         }
+        Ok(self.split_finish(&cell, parent_ctx, seq, my_world_rank, color))
+    }
+
+    /// Event-loop analogue of [`Fabric::split`]: identical deposit,
+    /// event, and wake sequence as the deterministic branch there,
+    /// suspending instead of parking.
+    #[allow(clippy::too_many_arguments)] // a rendezvous genuinely needs all of these
+    pub(crate) async fn split_a(
+        &self,
+        parent_ctx: Ctx,
+        parent_members: &[usize],
+        seq: u64,
+        my_parent_index: usize,
+        my_world_rank: usize,
+        color: i64,
+        key: i64,
+        site: &'static Location<'static>,
+        fault_watch: Option<u64>,
+    ) -> Result<Option<SplitGroup>, FaultKick> {
+        let cell = self.split_cell(parent_ctx, parent_members, seq);
+        let completed = self.split_deposit(
+            &cell,
+            parent_ctx,
+            parent_members,
+            seq,
+            my_parent_index,
+            my_world_rank,
+            color,
+            key,
+            site,
+        );
+        if !completed {
+            loop {
+                if self.fault_kicked(fault_watch) {
+                    self.verify.clear_wait(my_world_rank);
+                    return Err(FaultKick);
+                }
+                self.yield_block(my_world_rank, BlockPoint::Split { ctx: parent_ctx, seq }).await;
+                if lock_unpoisoned(&cell.state).result.is_some() {
+                    break;
+                }
+            }
+            self.verify.clear_wait(my_world_rank);
+        }
+        Ok(self.split_finish(&cell, parent_ctx, seq, my_world_rank, color))
+    }
+
+    /// Find or create the rendezvous cell for split `seq` of
+    /// `parent_ctx`.
+    fn split_cell(&self, parent_ctx: Ctx, parent_members: &[usize], seq: u64) -> Arc<SplitCell> {
+        let mut splits = lock_unpoisoned(&self.splits);
+        splits
+            .entry((parent_ctx, seq))
+            .or_insert_with(|| {
+                Arc::new(SplitCell {
+                    state: Mutex::new(SplitState {
+                        entries: vec![None; parent_members.len()],
+                        parent_members: parent_members.to_vec(),
+                        arrived: 0,
+                        consumed: 0,
+                        result: None,
+                    }),
+                    cv: Condvar::new(),
+                })
+            })
+            .clone()
+    }
+
+    /// Deposit one member's `(color, key)` into the rendezvous. Returns
+    /// `true` if the split completed (waiters woken); on `false` the
+    /// caller's verify wait is registered and it must wait for the
+    /// result. Aborts the world on a double deposit.
+    #[allow(clippy::too_many_arguments)]
+    fn split_deposit(
+        &self,
+        cell: &SplitCell,
+        parent_ctx: Ctx,
+        parent_members: &[usize],
+        seq: u64,
+        my_parent_index: usize,
+        my_world_rank: usize,
+        color: i64,
+        key: i64,
+        site: &'static Location<'static>,
+    ) -> bool {
+        let mut st = lock_unpoisoned(&cell.state);
+        if st.entries[my_parent_index].is_some() {
+            drop(st);
+            self.abort(format!(
+                "pmm-verify: world rank {my_world_rank} deposited twice into split #{seq} of \
+                 ctx {parent_ctx} at {site} — members issued splits in different orders"
+            ));
+            self.verify.abort_panic(my_world_rank);
+        }
+        st.entries[my_parent_index] = Some((color, key, my_world_rank));
+        st.arrived += 1;
+        self.det_touch(Resource::SplitCell { ctx: parent_ctx, seq });
+        self.split_try_complete(&mut st);
+        if st.result.is_some() {
+            cell.cv.notify_all();
+            self.sched_wake(Resource::SplitCell { ctx: parent_ctx, seq });
+            true
+        } else {
+            let waiting_on: Vec<usize> = if parent_members.len() > WAIT_LIST_MAX_WORLD {
+                Vec::new()
+            } else {
+                parent_members
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &w)| st.entries[i].is_none().then_some(w))
+                    .collect()
+            };
+            self.verify.set_wait(
+                my_world_rank,
+                WaitInfo { kind: WaitKind::Split { seq }, ctx: parent_ctx, waiting_on, site },
+            );
+            false
+        }
+    }
+
+    /// Read the completed result, retire this consumer (freeing the
+    /// rendezvous slot once every depositor has read it), and project out
+    /// the caller's color group.
+    fn split_finish(
+        &self,
+        cell: &SplitCell,
+        parent_ctx: Ctx,
+        seq: u64,
+        my_world_rank: usize,
+        color: i64,
+    ) -> Option<SplitGroup> {
+        let mut st = lock_unpoisoned(&cell.state);
         let result = st
             .result
             .as_ref()
@@ -979,9 +1513,9 @@ impl Fabric {
         }
 
         if color < 0 {
-            Ok(None)
+            None
         } else {
-            Ok(Some(
+            Some(
                 result
                     .get(&color)
                     .unwrap_or_else(|| {
@@ -991,7 +1525,7 @@ impl Fabric {
                         )
                     })
                     .clone(),
-            ))
+            )
         }
     }
 
@@ -1228,10 +1762,10 @@ mod tests {
         let groups: Vec<_> =
             handles.into_iter().map(|h| h.join().unwrap().unwrap().unwrap()).collect();
         // ranks 0 and 2 share color 0; members sorted by key (descending rank)
-        assert_eq!(groups[0].members, vec![2, 0]);
-        assert_eq!(groups[2].members, vec![2, 0]);
-        assert_eq!(groups[1].members, vec![3, 1]);
-        assert_eq!(groups[3].members, vec![3, 1]);
+        assert_eq!(*groups[0].members, vec![2, 0]);
+        assert_eq!(*groups[2].members, vec![2, 0]);
+        assert_eq!(*groups[1].members, vec![3, 1]);
+        assert_eq!(*groups[3].members, vec![3, 1]);
         // distinct colors got distinct contexts
         assert_ne!(groups[0].ctx, groups[1].ctx);
         assert_eq!(groups[0].ctx, groups[2].ctx);
@@ -1245,7 +1779,7 @@ mod tests {
         let g0 = fabric.split(WORLD_CTX, &[0, 1], 0, 0, 0, 0, 0, here(), None).unwrap();
         let g1 = h.join().unwrap().unwrap();
         assert!(g1.is_none());
-        assert_eq!(g0.unwrap().members, vec![0]);
+        assert_eq!(*g0.unwrap().members, vec![0]);
     }
 
     #[test]
@@ -1435,7 +1969,7 @@ mod tests {
         fabric.mark_rank_dead(2, "rank 2 killed by fault-plan entry kill=2@1".to_string());
         for h in handles {
             let group = h.join().unwrap().unwrap().unwrap();
-            assert_eq!(group.members, vec![0, 1], "dead member must be excluded");
+            assert_eq!(*group.members, vec![0, 1], "dead member must be excluded");
         }
     }
 

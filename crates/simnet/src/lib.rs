@@ -80,20 +80,23 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod engine;
 pub mod fabric;
 pub mod fault;
 pub mod meter;
 pub mod rank;
+mod readyset;
 pub mod trace;
 pub mod tracer;
 pub mod verify;
 pub mod world;
 
 pub use comm::Comm;
+pub use engine::{engine_from_env, poll_now, Engine, LocalBoxFuture, ENGINE_ENV};
 pub use fabric::{Ctx, Message};
 pub use fault::{FaultPlan, KillSpec, RankFailed, Straggler};
 pub use meter::{MemTracker, Meter};
-pub use rank::{MemoryLimitExceeded, Rank, RecvRequest};
+pub use rank::{catch_fault_panics, FaultWatch, MemoryLimitExceeded, Rank, RecvRequest};
 pub use trace::{
     fuzz_schedules, repro_hint, schedule_from_env, seed_from_env, BlockPoint, ChoicePoint, Repro,
     Resource, SchedEvent, Schedule, ScheduleDivergence, ScheduleTrace, SCHEDULE_ENV, SEED_ENV,

@@ -1,12 +1,25 @@
-//! The per-thread rank handle: messaging, clocks, meters, memory.
+//! The per-rank handle: messaging, clocks, meters, memory.
+//!
+//! Every communication primitive has two forms sharing one body: the
+//! async `_a` form (what event-loop programs and the async collectives
+//! call) and a sync wrapper that drives the same future to completion in
+//! a single poll via [`poll_now`]. On [`Engine::Threads`](crate::Engine::Threads)
+//! the body blocks inside `poll` exactly as the
+//! seed-era code did, so both forms behave identically there; on the
+//! event-loop engine the body suspends at the scheduler's yield points
+//! and only the `_a` forms may be used.
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
+use std::future::Future;
 use std::panic::Location;
 use std::sync::Arc;
+use std::task::Poll;
 
 use pmm_model::MachineParams;
 
 use crate::comm::Comm;
+use crate::engine::poll_now;
 use crate::fabric::{Ctx, Fabric, Message, WORLD_CTX};
 use crate::fault::{self, FaultAction, FaultKick, FaultPanic, MsgMeta, RankFailed};
 use crate::meter::{MemTracker, Meter};
@@ -17,6 +30,27 @@ use crate::verify::CollectiveOp;
 /// any per-communicator split counter a program could reach, so recovery
 /// splits can never collide with a rendezvous abandoned at a kill.
 const RECOVERY_SPLIT_SEQ_BASE: u64 = 1 << 32;
+
+thread_local! {
+    /// Set by the event-loop executor while it drops the continuations of
+    /// ranks torn down by a world abort — the event-loop analogue of
+    /// `std::thread::panicking()` during a rank thread's unwind, which is
+    /// what keeps the leak checks in `Drop` impls quiet on the thread
+    /// backend.
+    static ABORT_TEARDOWN: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn begin_abort_teardown() {
+    ABORT_TEARDOWN.with(|t| t.set(true));
+}
+
+pub(crate) fn end_abort_teardown() {
+    ABORT_TEARDOWN.with(|t| t.set(false));
+}
+
+fn in_abort_teardown() -> bool {
+    ABORT_TEARDOWN.with(Cell::get)
+}
 
 /// Error returned by [`Rank::try_mem_acquire`] when the configured local
 /// memory `M` would be exceeded (§6.2 limited-memory scenarios).
@@ -55,12 +89,96 @@ pub struct RecvRequest {
 impl Drop for RecvRequest {
     fn drop(&mut self) {
         debug_assert!(
-            self.redeemed || std::thread::panicking(),
+            self.redeemed || std::thread::panicking() || in_abort_teardown(),
             "RecvRequest dropped without wait() — a message from {} on ctx {} was leaked",
             self.from,
             self.ctx
         );
     }
+}
+
+/// Token of an open fault-catching scope (see [`Rank::fault_watch_arm`]).
+/// Holds the enclosing scope's watermark so scopes nest correctly.
+#[must_use = "an armed fault watch must be restored with Rank::fault_watch_restore"]
+pub struct FaultWatch {
+    prev: Option<u64>,
+}
+
+/// Classify an unwind payload caught around a fault-catching scope:
+/// injected-failure panics become the typed [`RankFailed`]; anything else
+/// (assertion failures, verifier aborts) resumes unwinding unchanged.
+fn fault_panic_payload(payload: Box<dyn std::any::Any + Send>) -> RankFailed {
+    match payload.downcast::<FaultPanic>() {
+        Ok(fp) => {
+            let FaultPanic(failed) = *fp;
+            failed
+        }
+        Err(other) => std::panic::resume_unwind(other),
+    }
+}
+
+/// Poll `fut` to completion, converting an injected rank failure raised
+/// during any poll — this rank killed by the fault plan, or a peer dying
+/// while it was suspended — into a typed [`RankFailed`] error. Panics
+/// that are not injected faults propagate unchanged. The caller must have
+/// armed the scope with [`Rank::fault_watch_arm`] first; see that method
+/// for the full bracketing pattern (or use
+/// [`catch_failures_async!`](crate::catch_failures_async)).
+pub async fn catch_fault_panics<T>(fut: impl Future<Output = T>) -> Result<T, RankFailed> {
+    let mut fut = std::pin::pin!(fut);
+    let result = std::future::poll_fn(|cx| {
+        let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.as_mut().poll(cx)));
+        match poll {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    })
+    .await;
+    match result {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(fault_panic_payload(payload)),
+    }
+}
+
+/// Async form of [`Rank::catch_failures`]: run a future-producing
+/// expression in a fault-catching scope on `rank`, yielding
+/// `Result<T, RankFailed>`.
+///
+/// ```
+/// use pmm_simnet::{catch_failures_async, FaultPlan, MachineParams, World};
+///
+/// let out = World::new(2, MachineParams::BANDWIDTH_ONLY)
+///     .with_faults(FaultPlan::none().with_kill(1, 1))
+///     .run_async(|rank| {
+///         Box::pin(async move {
+///             let wc = rank.world_comm();
+///             let me = rank.world_rank();
+///             let r = catch_failures_async!(rank, async {
+///                 if me == 0 {
+///                     rank.recv_a(&wc, 1).await; // blocks on the killed rank
+///                 } else {
+///                     rank.send_a(&wc, 0, &[1.0]).await; // killed here
+///                 }
+///             });
+///             r.is_err()
+///         })
+///     });
+/// assert_eq!(out.values, vec![true, true]);
+/// ```
+///
+/// The expansion brackets the body with [`Rank::fault_watch_arm`] /
+/// [`Rank::fault_watch_restore`] and polls it through
+/// [`catch_fault_panics`], so the scope semantics match the sync form
+/// exactly.
+#[macro_export]
+macro_rules! catch_failures_async {
+    ($rank:expr, $body:expr) => {{
+        let __pmm_watch = $rank.fault_watch_arm();
+        let __pmm_result = $crate::catch_fault_panics($body).await;
+        $rank.fault_watch_restore(__pmm_watch);
+        __pmm_result
+    }};
 }
 
 /// A simulated processor. Each rank runs on its own OS thread; the closure
@@ -104,6 +222,7 @@ pub struct Rank {
 }
 
 impl Rank {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor; World owns the knobs
     pub(crate) fn new(
         world_rank: usize,
         world_members: Arc<Vec<usize>>,
@@ -111,6 +230,7 @@ impl Rank {
         params: MachineParams,
         mem_limit: Option<u64>,
         trace: bool,
+        vclock_audit: bool,
     ) -> Rank {
         let world_size = world_members.len();
         let (kill_at, slowdown) = match fabric.fault() {
@@ -127,7 +247,10 @@ impl Rank {
             mem: MemTracker::new(mem_limit),
             pending: HashMap::new(),
             trace: if trace { Some(Vec::new()) } else { None },
-            vclock: vec![0; world_size],
+            // An empty clock disables the happens-before audit: stamps
+            // are skipped entirely (O(P) per message otherwise — see
+            // `World::with_vclock_audit`).
+            vclock: if vclock_audit { vec![0; world_size] } else { Vec::new() },
             last_seen: HashMap::new(),
             kill_at,
             slowdown,
@@ -207,20 +330,41 @@ impl Rank {
     /// [`Rank::hard_sync`] and rebuild communicators from a
     /// [`Rank::recovery_split`].
     pub fn catch_failures<T>(&mut self, f: impl FnOnce(&mut Rank) -> T) -> Result<T, RankFailed> {
-        let prev = self.fault_watch;
-        self.fault_watch = Some(self.fabric.fault_epoch());
+        let watch = self.fault_watch_arm();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
-        self.fault_watch = prev;
+        self.fault_watch_restore(watch);
         match result {
             Ok(v) => Ok(v),
-            Err(payload) => match payload.downcast::<FaultPanic>() {
-                Ok(fp) => {
-                    let FaultPanic(failed) = *fp;
-                    Err(failed)
-                }
-                Err(other) => std::panic::resume_unwind(other),
-            },
+            Err(payload) => Err(fault_panic_payload(payload)),
         }
+    }
+
+    /// Open a fault-catching scope by hand: the async counterpart of
+    /// [`Rank::catch_failures`]. A closure-based async scope cannot be
+    /// expressed without `'static` bounds (the scoped future would have
+    /// to borrow both the rank and the closure's captures), so async
+    /// programs bracket the scope explicitly:
+    ///
+    /// ```text
+    /// let watch = rank.fault_watch_arm();
+    /// let result = catch_fault_panics(body_a(&mut *rank, ...)).await;
+    /// rank.fault_watch_restore(watch);
+    /// ```
+    ///
+    /// or use the [`catch_failures_async!`](crate::catch_failures_async)
+    /// macro, which expands to exactly that. The scope contract (armed
+    /// ranks are kicked out of blocking operations promptly when a peer
+    /// dies) is identical to the sync form.
+    pub fn fault_watch_arm(&mut self) -> FaultWatch {
+        let prev = self.fault_watch;
+        self.fault_watch = Some(self.fabric.fault_epoch());
+        FaultWatch { prev }
+    }
+
+    /// Close a fault-catching scope opened by [`Rank::fault_watch_arm`],
+    /// restoring the enclosing scope's watermark (scopes nest).
+    pub fn fault_watch_restore(&mut self, watch: FaultWatch) {
+        self.fault_watch = watch.prev;
     }
 
     /// World ranks killed by the fault plan so far (empty without one).
@@ -242,7 +386,7 @@ impl Rank {
         let start = self.time;
         let from = comm.index();
         let Some(fstate) = fabric.fault() else {
-            let vclock = Some(self.vclock_stamp());
+            let vclock = self.vclock_stamp();
             fabric.post(
                 comm.ctx,
                 to,
@@ -272,7 +416,7 @@ impl Rank {
             };
             match plan.decide(fstate.seed, tx) {
                 FaultAction::Deliver => {
-                    let vclock = Some(self.vclock_stamp());
+                    let vclock = self.vclock_stamp();
                     fabric.post(
                         comm.ctx,
                         to,
@@ -283,7 +427,7 @@ impl Rank {
                 FaultAction::Delay(d) => {
                     // The copy loiters in flight; the sender's own clock
                     // is unaffected (the delay stays under the timeout).
-                    let vclock = Some(self.vclock_stamp());
+                    let vclock = self.vclock_stamp();
                     fabric.post(
                         comm.ctx,
                         to,
@@ -300,7 +444,7 @@ impl Rank {
                 FaultAction::Duplicate => {
                     // Both copies arrive; the receiver's sequence check
                     // discards the second. The extra copy is overhead.
-                    let vclock = Some(self.vclock_stamp());
+                    let vclock = self.vclock_stamp();
                     let msg = Message { from, sent_at, payload: payload.to_vec(), vclock, meta };
                     fabric.post(comm.ctx, to, msg.clone());
                     fabric.post(comm.ctx, to, msg);
@@ -323,7 +467,7 @@ impl Rank {
                     if let Some(v) = damaged.get_mut(word) {
                         *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
                     }
-                    let vclock = Some(self.vclock_stamp());
+                    let vclock = self.vclock_stamp();
                     fabric.post(
                         comm.ctx,
                         to,
@@ -367,16 +511,23 @@ impl Rank {
     }
 
     /// Tick the local component and snapshot the clock for attachment to
-    /// an outgoing message.
-    fn vclock_stamp(&mut self) -> Arc<[u64]> {
+    /// an outgoing message; `None` when the audit is disabled for this
+    /// world (large `P` — see `World::with_vclock_audit`).
+    fn vclock_stamp(&mut self) -> Option<Arc<[u64]>> {
+        if self.vclock.is_empty() {
+            return None;
+        }
         self.vclock[self.world_rank] += 1;
-        self.vclock.clone().into()
+        Some(self.vclock.clone().into())
     }
 
     /// Fold a received message's clock into ours: assert the sender's own
     /// component strictly increased (per-channel FIFO, no duplication),
     /// then take the elementwise max and tick our component.
     fn vclock_observe(&mut self, ctx: Ctx, from_index: usize, sender_world: usize, msg: &Message) {
+        if self.vclock.is_empty() {
+            return; // audit disabled for this world
+        }
         let Some(vc) = &msg.vclock else { return };
         let stamp = vc[sender_world];
         let last = self.last_seen.insert((ctx, from_index), stamp);
@@ -536,6 +687,11 @@ impl Rank {
     /// message arrives at `send_start + α + βw`, and the receiver is busy
     /// for `α + βw` after the later of (its own readiness, the send start).
     pub fn send(&mut self, comm: &Comm, to: usize, payload: &[f64]) {
+        poll_now(self.send_a(comm, to, payload));
+    }
+
+    /// Async form of [`Rank::send`] (event-loop programs).
+    pub async fn send_a(&mut self, comm: &Comm, to: usize, payload: &[f64]) {
         self.check_abort();
         self.fault_tick();
         assert!(to < comm.size(), "send target {to} out of communicator of size {}", comm.size());
@@ -553,32 +709,51 @@ impl Rank {
             self.trace_event(comm.ctx, op, w, retry, t0, t1);
         }
         // Deterministic mode: record the post and yield the baton.
-        self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), w);
+        if self.fabric.is_event_loop() {
+            self.fabric.yield_post(self.world_rank, comm.ctx, comm.world_rank_of(to), w).await;
+        } else {
+            self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), w);
+        }
     }
 
     /// Blockingly receive the next message from member `from` of `comm`.
     #[track_caller]
     pub fn recv(&mut self, comm: &Comm, from: usize) -> Message {
-        self.check_abort();
-        self.fault_tick();
-        assert!(from < comm.size(), "recv source {from} out of communicator");
-        assert_ne!(from, comm.index(), "recv from self is not allowed");
-        let t0 = self.time;
-        let retry_before = self.meter.retry_words_recv;
-        let msg = self.match_directed(comm, from, Location::caller());
-        self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
-        let w = msg.payload.len() as u64;
-        self.meter.words_recv += w;
-        self.meter.msgs_recv += 1;
-        // Transfer occupies the receiver from when both sides are ready.
-        self.time = self.time.max(msg.sent_at)
-            + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
-        if self.trace.is_some() {
-            let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_before);
-            let op = TraceOp::Recv { from_world: comm.world_rank_of(from) };
-            self.trace_event(comm.ctx, op, w, retry, t0, t1);
+        poll_now(self.recv_a(comm, from))
+    }
+
+    /// Async form of [`Rank::recv`] (event-loop programs).
+    #[track_caller]
+    pub fn recv_a<'r>(
+        &'r mut self,
+        comm: &'r Comm,
+        from: usize,
+    ) -> impl Future<Output = Message> + 'r {
+        // `#[track_caller]` does not reach into an async body, so the
+        // call site is captured here, at construction.
+        let site = Location::caller();
+        async move {
+            self.check_abort();
+            self.fault_tick();
+            assert!(from < comm.size(), "recv source {from} out of communicator");
+            assert_ne!(from, comm.index(), "recv from self is not allowed");
+            let t0 = self.time;
+            let retry_before = self.meter.retry_words_recv;
+            let msg = self.match_directed(comm, from, site).await;
+            self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
+            let w = msg.payload.len() as u64;
+            self.meter.words_recv += w;
+            self.meter.msgs_recv += 1;
+            // Transfer occupies the receiver from when both sides are ready.
+            self.time = self.time.max(msg.sent_at)
+                + self.slowdown * (self.params.alpha + self.params.beta * w as f64);
+            if self.trace.is_some() {
+                let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_before);
+                let op = TraceOp::Recv { from_world: comm.world_rank_of(from) };
+                self.trace_event(comm.ctx, op, w, retry, t0, t1);
+            }
+            msg
         }
-        msg
     }
 
     /// Full-duplex exchange with `partner`: send `payload` and receive the
@@ -594,6 +769,17 @@ impl Rank {
         self.exchange(comm, partner, partner, payload)
     }
 
+    /// Async form of [`Rank::sendrecv`] (event-loop programs).
+    #[track_caller]
+    pub fn sendrecv_a<'r>(
+        &'r mut self,
+        comm: &'r Comm,
+        partner: usize,
+        payload: &'r [f64],
+    ) -> impl Future<Output = Message> + 'r {
+        self.exchange_a(comm, partner, partner, payload)
+    }
+
     /// Full-duplex exchange with distinct peers: send `payload` to `to`
     /// while receiving from `from` (ring shifts, pairwise all-to-all).
     ///
@@ -603,40 +789,59 @@ impl Rank {
     /// most one send and one receive.
     #[track_caller]
     pub fn exchange(&mut self, comm: &Comm, to: usize, from: usize, payload: &[f64]) -> Message {
-        self.check_abort();
-        self.fault_tick();
-        assert!(to < comm.size() && from < comm.size(), "exchange peer out of communicator");
-        assert_ne!(to, comm.index(), "exchange send-to-self is not allowed");
-        assert_ne!(from, comm.index(), "exchange recv-from-self is not allowed");
-        let ws = payload.len() as u64;
-        let t_entry = self.time;
-        let retry_sent_before = self.meter.retry_words_sent;
-        let retry_recv_before = self.meter.retry_words_recv;
-        self.meter.words_sent += ws;
-        self.meter.msgs_sent += 1;
-        let tx_start = self.transmit(comm, to, payload);
-        if self.trace.is_some() {
-            // The send half occupies no exclusive time of its own — the
-            // duplex transfer is charged once, on the receive half below.
-            let retry = self.meter.retry_words_sent - retry_sent_before;
-            let op = TraceOp::Send { to_world: comm.world_rank_of(to) };
-            self.trace_event(comm.ctx, op, ws, retry, t_entry, t_entry);
+        poll_now(self.exchange_a(comm, to, from, payload))
+    }
+
+    /// Async form of [`Rank::exchange`] (event-loop programs).
+    #[track_caller]
+    pub fn exchange_a<'r>(
+        &'r mut self,
+        comm: &'r Comm,
+        to: usize,
+        from: usize,
+        payload: &'r [f64],
+    ) -> impl Future<Output = Message> + 'r {
+        let site = Location::caller();
+        async move {
+            self.check_abort();
+            self.fault_tick();
+            assert!(to < comm.size() && from < comm.size(), "exchange peer out of communicator");
+            assert_ne!(to, comm.index(), "exchange send-to-self is not allowed");
+            assert_ne!(from, comm.index(), "exchange recv-from-self is not allowed");
+            let ws = payload.len() as u64;
+            let t_entry = self.time;
+            let retry_sent_before = self.meter.retry_words_sent;
+            let retry_recv_before = self.meter.retry_words_recv;
+            self.meter.words_sent += ws;
+            self.meter.msgs_sent += 1;
+            let tx_start = self.transmit(comm, to, payload);
+            if self.trace.is_some() {
+                // The send half occupies no exclusive time of its own — the
+                // duplex transfer is charged once, on the receive half below.
+                let retry = self.meter.retry_words_sent - retry_sent_before;
+                let op = TraceOp::Send { to_world: comm.world_rank_of(to) };
+                self.trace_event(comm.ctx, op, ws, retry, t_entry, t_entry);
+            }
+            if self.fabric.is_event_loop() {
+                self.fabric.yield_post(self.world_rank, comm.ctx, comm.world_rank_of(to), ws).await;
+            } else {
+                self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), ws);
+            }
+            let msg = self.match_directed(comm, from, site).await;
+            self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
+            let wr = msg.payload.len() as u64;
+            self.meter.words_recv += wr;
+            self.meter.msgs_recv += 1;
+            let wmax = ws.max(wr) as f64;
+            self.time = tx_start.max(msg.sent_at)
+                + self.slowdown * (self.params.alpha + self.params.beta * wmax);
+            if self.trace.is_some() {
+                let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_recv_before);
+                let op = TraceOp::Recv { from_world: comm.world_rank_of(from) };
+                self.trace_event(comm.ctx, op, wr, retry, t_entry, t1);
+            }
+            msg
         }
-        self.fabric.sched_post_event(self.world_rank, comm.ctx, comm.world_rank_of(to), ws);
-        let msg = self.match_directed(comm, from, Location::caller());
-        self.vclock_observe(comm.ctx, from, comm.world_rank_of(from), &msg);
-        let wr = msg.payload.len() as u64;
-        self.meter.words_recv += wr;
-        self.meter.msgs_recv += 1;
-        let wmax = ws.max(wr) as f64;
-        self.time = tx_start.max(msg.sent_at)
-            + self.slowdown * (self.params.alpha + self.params.beta * wmax);
-        if self.trace.is_some() {
-            let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_recv_before);
-            let op = TraceOp::Recv { from_world: comm.world_rank_of(from) };
-            self.trace_event(comm.ctx, op, wr, retry, t_entry, t1);
-        }
-        msg
     }
 
     /// Post a nonblocking receive for the next message from member `from`
@@ -658,29 +863,46 @@ impl Rank {
 
     /// Complete a nonblocking receive (see [`Rank::irecv`]).
     #[track_caller]
-    pub fn wait(&mut self, mut req: RecvRequest, comm: &Comm) -> Message {
-        self.check_abort();
-        self.fault_tick();
-        assert_eq!(req.ctx, comm.ctx(), "wait called with a different communicator");
-        req.redeemed = true;
-        let t0 = self.time;
-        let retry_before = self.meter.retry_words_recv;
-        let msg = self.match_directed(comm, req.from, Location::caller());
-        self.vclock_observe(comm.ctx, req.from, comm.world_rank_of(req.from), &msg);
-        let w = msg.payload.len() as u64;
-        self.meter.words_recv += w;
-        self.meter.msgs_recv += 1;
-        let arrival = msg.sent_at + self.params.alpha + self.params.beta * w as f64;
-        self.time = self.time.max(arrival);
-        if self.trace.is_some() {
-            let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_before);
-            let op = TraceOp::Recv { from_world: comm.world_rank_of(req.from) };
-            self.trace_event(comm.ctx, op, w, retry, t0, t1);
-        }
-        msg
+    pub fn wait(&mut self, req: RecvRequest, comm: &Comm) -> Message {
+        poll_now(self.wait_a(req, comm))
     }
 
-    fn match_directed(
+    /// Async form of [`Rank::wait`] (event-loop programs).
+    #[track_caller]
+    pub fn wait_a<'r>(
+        &'r mut self,
+        req: RecvRequest,
+        comm: &'r Comm,
+    ) -> impl Future<Output = Message> + 'r {
+        let site = Location::caller();
+        async move {
+            // Rebind to move the whole request into the continuation —
+            // disjoint field capture would copy out the `Copy` fields and
+            // drop the request (unredeemed) at future construction.
+            let mut req = req;
+            self.check_abort();
+            self.fault_tick();
+            assert_eq!(req.ctx, comm.ctx(), "wait called with a different communicator");
+            req.redeemed = true;
+            let t0 = self.time;
+            let retry_before = self.meter.retry_words_recv;
+            let msg = self.match_directed(comm, req.from, site).await;
+            self.vclock_observe(comm.ctx, req.from, comm.world_rank_of(req.from), &msg);
+            let w = msg.payload.len() as u64;
+            self.meter.words_recv += w;
+            self.meter.msgs_recv += 1;
+            let arrival = msg.sent_at + self.params.alpha + self.params.beta * w as f64;
+            self.time = self.time.max(arrival);
+            if self.trace.is_some() {
+                let (t1, retry) = (self.time, self.meter.retry_words_recv - retry_before);
+                let op = TraceOp::Recv { from_world: comm.world_rank_of(req.from) };
+                self.trace_event(comm.ctx, op, w, retry, t0, t1);
+            }
+            msg
+        }
+    }
+
+    async fn match_directed(
         &mut self,
         comm: &Comm,
         from: usize,
@@ -693,14 +915,29 @@ impl Rank {
         }
         let from_world = comm.world_rank_of(from);
         loop {
-            let Some(msg) = self.fabric.clone().take_any(
-                comm.ctx,
-                comm.index(),
-                self.world_rank,
-                from_world,
-                site,
-                self.fault_watch,
-            ) else {
+            let fabric = self.fabric.clone();
+            let taken = if fabric.is_event_loop() {
+                fabric
+                    .take_any_a(
+                        comm.ctx,
+                        comm.index(),
+                        self.world_rank,
+                        from_world,
+                        site,
+                        self.fault_watch,
+                    )
+                    .await
+            } else {
+                fabric.take_any(
+                    comm.ctx,
+                    comm.index(),
+                    self.world_rank,
+                    from_world,
+                    site,
+                    self.fault_watch,
+                )
+            };
+            let Some(msg) = taken else {
                 // Kicked out of the blocking wait: a rank died while we
                 // were waiting inside a catch_failures scope.
                 self.raise_peer_failure();
@@ -728,35 +965,67 @@ impl Rank {
     /// would piggyback the group agreement on the setup phase).
     #[track_caller]
     pub fn split(&mut self, comm: &Comm, color: i64, key: i64) -> Option<Comm> {
-        self.fault_tick();
-        // A split is a collective over the parent communicator: register
-        // it with the matching lint so members that issue splits in
-        // different orders (relative to other collectives) are flagged.
-        self.collective_begin(comm, CollectiveOp::Split, 0);
-        let seq = comm.next_split_seq();
-        let group = match self.fabric.clone().split(
-            comm.ctx,
-            comm.members(),
-            seq,
-            comm.index(),
-            self.world_rank,
-            color,
-            key,
-            Location::caller(),
-            self.fault_watch,
-        ) {
-            Err(FaultKick) => self.raise_peer_failure(),
-            Ok(None) => return None,
-            Ok(Some(group)) => group,
-        };
-        let my_index =
-            group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
-                panic!(
-                    "world rank {} missing from its own split group (ctx {}) — fabric bug",
-                    self.world_rank, group.ctx
+        poll_now(self.split_a(comm, color, key))
+    }
+
+    /// Async form of [`Rank::split`] (event-loop programs).
+    #[track_caller]
+    pub fn split_a<'r>(
+        &'r mut self,
+        comm: &'r Comm,
+        color: i64,
+        key: i64,
+    ) -> impl Future<Output = Option<Comm>> + 'r {
+        let site = Location::caller();
+        async move {
+            self.fault_tick();
+            // A split is a collective over the parent communicator: register
+            // it with the matching lint so members that issue splits in
+            // different orders (relative to other collectives) are flagged.
+            self.collective_begin_at(comm, CollectiveOp::Split, 0, site).await;
+            let seq = comm.next_split_seq();
+            let fabric = self.fabric.clone();
+            let result = if fabric.is_event_loop() {
+                fabric
+                    .split_a(
+                        comm.ctx,
+                        comm.members(),
+                        seq,
+                        comm.index(),
+                        self.world_rank,
+                        color,
+                        key,
+                        site,
+                        self.fault_watch,
+                    )
+                    .await
+            } else {
+                fabric.split(
+                    comm.ctx,
+                    comm.members(),
+                    seq,
+                    comm.index(),
+                    self.world_rank,
+                    color,
+                    key,
+                    site,
+                    self.fault_watch,
                 )
-            });
-        Some(Comm::new(group.ctx, Arc::new(group.members), my_index))
+            };
+            let group = match result {
+                Err(FaultKick) => self.raise_peer_failure(),
+                Ok(None) => return None,
+                Ok(Some(group)) => group,
+            };
+            let my_index =
+                group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
+                    panic!(
+                        "world rank {} missing from its own split group (ctx {}) — fabric bug",
+                        self.world_rank, group.ctx
+                    )
+                });
+            Some(Comm::new(group.ctx, group.members, my_index))
+        }
     }
 
     /// Rebuild a communicator over the **surviving** world ranks after a
@@ -771,34 +1040,61 @@ impl Rank {
     /// counted as opted out.
     #[track_caller]
     pub fn recovery_split(&mut self, round: u64) -> Comm {
-        self.check_abort();
-        let wc = self.world_comm();
-        let group = match self.fabric.clone().split(
-            wc.ctx,
-            wc.members(),
-            RECOVERY_SPLIT_SEQ_BASE + round,
-            wc.index(),
-            self.world_rank,
-            0,
-            self.world_rank as i64,
-            Location::caller(),
-            None,
-        ) {
-            Ok(Some(group)) => group,
-            Ok(None) | Err(FaultKick) => panic!(
-                "rank {}: recovery split round {round} failed — fabric bug (color 0 cannot opt \
-                 out, and recovery splits do not watch the fault epoch)",
-                self.world_rank
-            ),
-        };
-        let my_index =
-            group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
-                panic!(
-                    "world rank {} missing from its own recovery group (ctx {}) — fabric bug",
-                    self.world_rank, group.ctx
+        poll_now(self.recovery_split_a(round))
+    }
+
+    /// Async form of [`Rank::recovery_split`] (event-loop programs).
+    #[track_caller]
+    pub fn recovery_split_a(&mut self, round: u64) -> impl Future<Output = Comm> + '_ {
+        let site = Location::caller();
+        async move {
+            self.check_abort();
+            let wc = self.world_comm();
+            let fabric = self.fabric.clone();
+            let result = if fabric.is_event_loop() {
+                fabric
+                    .split_a(
+                        wc.ctx,
+                        wc.members(),
+                        RECOVERY_SPLIT_SEQ_BASE + round,
+                        wc.index(),
+                        self.world_rank,
+                        0,
+                        self.world_rank as i64,
+                        site,
+                        None,
+                    )
+                    .await
+            } else {
+                fabric.split(
+                    wc.ctx,
+                    wc.members(),
+                    RECOVERY_SPLIT_SEQ_BASE + round,
+                    wc.index(),
+                    self.world_rank,
+                    0,
+                    self.world_rank as i64,
+                    site,
+                    None,
                 )
-            });
-        Comm::new(group.ctx, Arc::new(group.members), my_index)
+            };
+            let group = match result {
+                Ok(Some(group)) => group,
+                Ok(None) | Err(FaultKick) => panic!(
+                    "rank {}: recovery split round {round} failed — fabric bug (color 0 cannot \
+                     opt out, and recovery splits do not watch the fault epoch)",
+                    self.world_rank
+                ),
+            };
+            let my_index =
+                group.members.iter().position(|&w| w == self.world_rank).unwrap_or_else(|| {
+                    panic!(
+                        "world rank {} missing from its own recovery group (ctx {}) — fabric bug",
+                        self.world_rank, group.ctx
+                    )
+                });
+            Comm::new(group.ctx, group.members, my_index)
+        }
     }
 
     /// Zero-cost synchronization of **all world ranks** (not metered). For
@@ -808,9 +1104,23 @@ impl Rank {
     /// failure.
     #[track_caller]
     pub fn hard_sync(&mut self) {
-        self.check_abort();
-        self.fault_tick();
-        self.fabric.hard_sync(self.world_rank, Location::caller());
+        poll_now(self.hard_sync_a());
+    }
+
+    /// Async form of [`Rank::hard_sync`] (event-loop programs).
+    #[track_caller]
+    pub fn hard_sync_a(&mut self) -> impl Future<Output = ()> + '_ {
+        let site = Location::caller();
+        async move {
+            self.check_abort();
+            self.fault_tick();
+            let fabric = self.fabric.clone();
+            if fabric.is_event_loop() {
+                fabric.hard_sync_a(self.world_rank, site).await;
+            } else {
+                fabric.hard_sync(self.world_rank, site);
+            }
+        }
     }
 
     // ----- communication-correctness hooks ----------------------------------
@@ -827,6 +1137,35 @@ impl Rank {
     /// don't need it.
     #[track_caller]
     pub fn collective_begin(&mut self, comm: &Comm, op: CollectiveOp, elems: u64) {
+        poll_now(self.collective_begin_a(comm, op, elems));
+    }
+
+    /// Async form of [`Rank::collective_begin`] (event-loop programs —
+    /// and the async collective implementations in `pmm-collectives`).
+    #[track_caller]
+    pub fn collective_begin_a<'r>(
+        &'r mut self,
+        comm: &'r Comm,
+        op: CollectiveOp,
+        elems: u64,
+    ) -> impl Future<Output = ()> + 'r {
+        self.collective_begin_at(comm, op, elems, Location::caller())
+    }
+
+    /// [`Rank::collective_begin_a`] with an explicit call site.
+    ///
+    /// Collective libraries whose public entry points are
+    /// `#[track_caller]` functions returning futures (the `_a` pattern:
+    /// capture `Location::caller()` before the `async move` block) use
+    /// this to attribute the collective to the *user's* call site rather
+    /// than a line inside the library.
+    pub async fn collective_begin_at(
+        &mut self,
+        comm: &Comm,
+        op: CollectiveOp,
+        elems: u64,
+        site: &'static Location<'static>,
+    ) {
         self.check_abort();
         if let Err(report) = self.fabric.verify.register_collective(
             comm.ctx,
@@ -835,7 +1174,7 @@ impl Rank {
             self.world_rank,
             op,
             elems,
-            Location::caller(),
+            site,
         ) {
             self.fabric.abort(report);
             self.fabric.verify.abort_panic(self.world_rank);
@@ -846,7 +1185,11 @@ impl Rank {
         }
         // Deterministic mode: collective entries are trace events and
         // yield points, so schedules interleave across collectives too.
-        self.fabric.sched_collective_event(self.world_rank, comm.ctx(), op, elems);
+        if self.fabric.is_event_loop() {
+            self.fabric.yield_collective(self.world_rank, comm.ctx(), op, elems).await;
+        } else {
+            self.fabric.sched_collective_event(self.world_rank, comm.ctx(), op, elems);
+        }
     }
 
     /// Description of messages received but never consumed by a directed

@@ -1,11 +1,18 @@
-//! World construction: spawn `P` rank threads, run a program, collect
-//! reports.
+//! World construction: run a rank program on an execution engine —
+//! the single-threaded deterministic event loop ([`Engine::EventLoop`],
+//! the primary engine for async programs) or one OS thread per rank
+//! ([`Engine::Threads`]) — and collect reports.
 
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 use pmm_model::{Cost, MachineParams};
 
+use crate::engine::{engine_from_env, poll_now, Engine, LocalBoxFuture};
 use crate::fabric::Fabric;
 use crate::fault::{FaultPanic, FaultPlan};
 use crate::meter::Meter;
@@ -13,6 +20,13 @@ use crate::rank::Rank;
 use crate::trace::{ChoicePoint, Repro, Schedule, ScheduleTrace};
 use crate::tracer::{TraceEvent, Tracer};
 use crate::verify::{lock_unpoisoned, AbortPanic, VerifyConfig, VerifyState};
+
+/// Worlds at or below this size run the vector-clock happens-before
+/// audit by default; larger worlds skip it (each stamp copies an O(P)
+/// clock onto every message, which is O(P²) total — prohibitive at the
+/// 10^5–10^6 scales the event-loop engine targets). Override with
+/// [`World::with_vclock_audit`].
+const VCLOCK_AUDIT_MAX_WORLD: usize = 4096;
 
 /// Marks a rank `done` in the verify registry on scope exit — including
 /// panics — so the watchdog treats dead ranks as inert (anyone blocked on
@@ -85,7 +99,16 @@ pub struct World {
     verify: VerifyConfig,
     schedule: Option<Schedule>,
     faults: Option<FaultPlan>,
+    engine: Option<Engine>,
+    record_schedule: bool,
+    targeted_wakeup: bool,
+    vclock_audit: Option<bool>,
 }
+
+/// One rank's resumable continuation on the event loop: `Some` while the
+/// program is still suspended, `None` once it has produced its value and
+/// report.
+type RankCell<'f, T> = Option<Pin<Box<dyn Future<Output = (T, RankReport)> + 'f>>>;
 
 impl World {
     /// A world of `size` ranks with machine parameters `params`.
@@ -100,6 +123,10 @@ impl World {
             verify: VerifyConfig::default(),
             schedule: None,
             faults: None,
+            engine: None,
+            record_schedule: true,
+            targeted_wakeup: false,
+            vclock_audit: None,
         }
     }
 
@@ -129,6 +156,64 @@ impl World {
     pub fn with_schedule(mut self, schedule: Schedule) -> World {
         self.schedule = Some(schedule);
         self
+    }
+
+    /// Pin the execution engine for [`World::run_async`] /
+    /// [`World::try_run_async`], overriding the `PMM_ENGINE` environment
+    /// variable (see [`crate::engine`] for the selection precedence).
+    /// Sync-closure [`World::run`] / [`World::try_run`] always use the
+    /// thread backend: a sync closure cannot suspend, and blocking the
+    /// single event-loop thread would wedge the whole world.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> World {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Toggle recording of the [`ScheduleTrace`] / [`ChoicePoint`] stream
+    /// on deterministic runs (on by default). Large-`P` runs turn this
+    /// off: the recorded ready-set snapshot is O(P) *per pick*, which is
+    /// the difference between executing 10^6 ranks and drowning in
+    /// bookkeeping. With recording off, [`WorldResult::schedule_trace`]
+    /// and [`WorldResult::choice_points`] are `None` even on seeded runs.
+    #[must_use]
+    pub fn with_schedule_recording(mut self, record: bool) -> World {
+        self.record_schedule = record;
+        self
+    }
+
+    /// Opt into targeted wakeups in the deterministic scheduler: a rank
+    /// blocked on a mailbox / split / barrier becomes runnable only when
+    /// *that* resource is touched, instead of at every unblock broadcast.
+    /// This keeps the runnable set small at large `P` (fewer spurious
+    /// ready→blocked→ready round trips), but changes which ranks are
+    /// runnable at each pick and therefore the schedule stream — seeded
+    /// golden traces recorded without it will not match. Off by default.
+    #[must_use]
+    pub fn with_targeted_wakeup(mut self, targeted: bool) -> World {
+        self.targeted_wakeup = targeted;
+        self
+    }
+
+    /// Force the vector-clock happens-before audit on or off. By default
+    /// it is on for worlds of at most 4096 ranks and off above that
+    /// (every message would carry an O(P) clock — O(P²) words of pure
+    /// bookkeeping at the scales the event engine targets).
+    #[must_use]
+    pub fn with_vclock_audit(mut self, audit: bool) -> World {
+        self.vclock_audit = Some(audit);
+        self
+    }
+
+    /// Whether ranks of this world stamp and audit vector clocks.
+    fn vclock_audit_on(&self) -> bool {
+        self.vclock_audit.unwrap_or(self.size <= VCLOCK_AUDIT_MAX_WORLD)
+    }
+
+    /// The engine [`World::run_async`] will use: explicit builder choice,
+    /// else `PMM_ENGINE`, else the event loop.
+    fn resolved_engine(&self) -> Engine {
+        self.engine.unwrap_or_else(|| engine_from_env(Engine::EventLoop))
     }
 
     /// Attach a fault plan: message-level faults (drop / duplicate /
@@ -225,7 +310,13 @@ impl World {
         T: Send,
         F: Fn(&mut Rank) -> T + Send + Sync,
     {
-        match self.run_impl(program) {
+        Self::unwrap_run(self.run_impl(program))
+    }
+
+    /// Panic with the canonical failure formatting (what [`World::run`]
+    /// and [`World::run_async`] do with a failed raw run).
+    fn unwrap_run<T>(result: Result<WorldResult<T>, RunFailureRaw>) -> WorldResult<T> {
+        match result {
             Ok(out) => out,
             Err(raw) => {
                 let note = raw.repro.note();
@@ -236,6 +327,64 @@ impl World {
                         std::panic::resume_unwind(payload);
                     }
                 }
+            }
+        }
+    }
+
+    /// Convert a raw failure into the public [`RunFailure`] value (what
+    /// the `try_` runners return).
+    fn raw_failure(raw: RunFailureRaw) -> RunFailure {
+        let report = match raw.error {
+            RunError::Report(r) => r,
+            RunError::RankPanic { rank, payload } => {
+                format!("pmm-simnet: rank {rank} panicked: {}", panic_message(&*payload))
+            }
+        };
+        RunFailure {
+            report,
+            repro: raw.repro,
+            schedule_trace: raw.schedule_trace,
+            choice_points: raw.choice_points,
+        }
+    }
+
+    /// Run an **async** rank program on the selected [`Engine`].
+    ///
+    /// On [`Engine::EventLoop`] (the default) every rank is a resumable
+    /// continuation on a single-threaded deterministic event loop — this
+    /// is what executes worlds of 10^5–10^6 ranks for real. The run is
+    /// always deterministic: without an explicit schedule it uses the
+    /// canonical [`Schedule::Prefix`]`(vec![])` (smallest runnable rank
+    /// at every pick). On [`Engine::Threads`] the same program runs on
+    /// the thread backend, where each async primitive completes in a
+    /// single poll — schedules, traces, meters, and clocks are
+    /// byte-identical across the two engines for the same [`Schedule`].
+    ///
+    /// `program` is a boxing closure:
+    /// `world.run_async(|rank| Box::pin(async move { ... }))`.
+    pub fn run_async<T, F>(&self, program: F) -> WorldResult<T>
+    where
+        T: Send,
+        F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync,
+    {
+        match self.resolved_engine() {
+            Engine::EventLoop => Self::unwrap_run(self.run_event_impl(&program)),
+            Engine::Threads => Self::unwrap_run(self.run_impl(|rank| poll_now(program(rank)))),
+        }
+    }
+
+    /// Like [`World::run_async`], but capture every failure as a
+    /// [`RunFailure`] value instead of panicking (the async analogue of
+    /// [`World::try_run`]).
+    pub fn try_run_async<T, F>(&self, program: F) -> Result<WorldResult<T>, RunFailure>
+    where
+        T: Send,
+        F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync,
+    {
+        match self.resolved_engine() {
+            Engine::EventLoop => self.run_event_impl(&program).map_err(Self::raw_failure),
+            Engine::Threads => {
+                self.run_impl(|rank| poll_now(program(rank))).map_err(Self::raw_failure)
             }
         }
     }
@@ -252,37 +401,20 @@ impl World {
         T: Send,
         F: Fn(&mut Rank) -> T + Send + Sync,
     {
-        self.run_impl(program).map_err(|raw| {
-            let report = match raw.error {
-                RunError::Report(r) => r,
-                RunError::RankPanic { rank, payload } => {
-                    format!("pmm-simnet: rank {rank} panicked: {}", panic_message(&*payload))
-                }
-            };
-            RunFailure {
-                report,
-                repro: raw.repro,
-                schedule_trace: raw.schedule_trace,
-                choice_points: raw.choice_points,
-            }
-        })
+        self.run_impl(program).map_err(Self::raw_failure)
     }
 
-    fn run_impl<T, F>(&self, program: F) -> Result<WorldResult<T>, RunFailureRaw>
-    where
-        T: Send,
-        F: Fn(&mut Rank) -> T + Send + Sync,
-    {
-        silence_abort_teardown_panics();
+    /// Build the fabric shared by both engines: deterministic schedule
+    /// (if any) and fault plan. No explicit fault seed: derive one from
+    /// the schedule seed's SplitMix64 stream (0 for unseeded and
+    /// prefix-replay worlds), so a single PMM_SEED pins both the
+    /// interleaving and the fault pattern.
+    fn make_fabric(&self, schedule: Option<Schedule>) -> Fabric {
         let mut fabric = Fabric::new(self.size);
-        if let Some(schedule) = &self.schedule {
-            fabric.enable_schedule(schedule.clone());
+        if let Some(schedule) = schedule {
+            fabric.enable_schedule(schedule, self.record_schedule, self.targeted_wakeup);
         }
         if let Some(plan) = &self.faults {
-            // No explicit fault seed: derive one from the schedule seed's
-            // SplitMix64 stream (0 for unseeded and prefix-replay
-            // worlds), so a single PMM_SEED pins both the interleaving
-            // and the fault pattern.
             let fault_seed = plan.seed.unwrap_or_else(|| {
                 let mut s = match &self.schedule {
                     Some(Schedule::Seeded(seed)) => *seed,
@@ -292,13 +424,23 @@ impl World {
             });
             fabric.enable_faults(plan.clone(), fault_seed);
         }
-        let fabric = Arc::new(fabric);
+        fabric
+    }
+
+    fn run_impl<T, F>(&self, program: F) -> Result<WorldResult<T>, RunFailureRaw>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
+        silence_abort_teardown_panics();
+        let fabric = Arc::new(self.make_fabric(self.schedule.clone()));
         let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
         let mut slots: Vec<Option<(T, RankReport)>> = Vec::with_capacity(self.size);
         for _ in 0..self.size {
             slots.push(None);
         }
         let strict_drain = self.verify.strict_drain;
+        let vclock_audit = self.vclock_audit_on();
 
         let scope_result: Result<(), RunError> = std::thread::scope(|scope| {
             // Stop signal for the watchdog: flag + condvar so shutdown is
@@ -347,8 +489,15 @@ impl World {
                         let _done = DoneGuard { verify: &fabric.verify, rank: r };
                         let _sched = SchedGuard { fabric: &fabric, rank: r };
                         fabric.sched_attach(r);
-                        let mut rank =
-                            Rank::new(r, members, fabric.clone(), params, mem_limit, trace);
+                        let mut rank = Rank::new(
+                            r,
+                            members,
+                            fabric.clone(),
+                            params,
+                            mem_limit,
+                            trace,
+                            vclock_audit,
+                        );
                         let value = program(&mut rank);
                         if strict_drain {
                             if let Some(desc) = rank.undrained_stash() {
@@ -422,30 +571,180 @@ impl World {
             Ok(())
         });
 
-        // Every failure path harvests the scheduler's artifacts and the
-        // canonical replay recipe exactly once, here — prefix replays
-        // report the choices actually made, seeded runs their seed.
-        let fail = |fabric: &Fabric, error: RunError| RunFailureRaw {
+        self.collect(&fabric, slots, scope_result)
+    }
+
+    /// Run an async program on the single-threaded deterministic event
+    /// loop. Every rank is a pinned continuation in a slab
+    /// ([`RankCell`]s); the loop polls exactly the rank the scheduler's
+    /// baton names, so a blocked rank costs one suspended future, not a
+    /// parked OS thread. Deadlock and divergence are proven synchronously
+    /// at pick time (there is no watchdog thread — and no need for one).
+    fn run_event_impl<T, F>(&self, program: &F) -> Result<WorldResult<T>, RunFailureRaw>
+    where
+        T: Send,
+        F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync,
+    {
+        silence_abort_teardown_panics();
+        // The event loop *is* the deterministic scheduler; without an
+        // explicit schedule, run under the canonical one (empty prefix:
+        // smallest runnable rank at every pick).
+        let schedule = self.schedule.clone().unwrap_or(Schedule::Prefix(Vec::new()));
+        let mut fabric = self.make_fabric(Some(schedule));
+        fabric.enable_event_loop();
+        let fabric = Arc::new(fabric);
+        let members: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
+        let strict_drain = self.verify.strict_drain;
+        let vclock_audit = self.vclock_audit_on();
+
+        let mut slots: Vec<Option<(T, RankReport)>> = Vec::with_capacity(self.size);
+        let mut cells: Vec<RankCell<'_, T>> = Vec::with_capacity(self.size);
+        for r in 0..self.size {
+            slots.push(None);
+            let fabric = fabric.clone();
+            let members = members.clone();
+            let params = self.params;
+            let mem_limit = self.mem_limit;
+            let trace = self.trace;
+            cells.push(Some(Box::pin(async move {
+                let mut rank =
+                    Rank::new(r, members, fabric.clone(), params, mem_limit, trace, vclock_audit);
+                let value = program(&mut rank).await;
+                if strict_drain {
+                    if let Some(desc) = rank.undrained_stash() {
+                        fabric.abort(format!(
+                            "pmm-verify: rank {r} finished with undrained receive \
+                             stash: {desc}"
+                        ));
+                        fabric.verify.abort_panic(r);
+                    }
+                }
+                let report = RankReport {
+                    meter: rank.meter(),
+                    time: rank.time(),
+                    peak_mem_words: rank.mem().peak(),
+                    trace: rank.take_trace(),
+                    final_vclock: rank.final_vclock(),
+                };
+                (value, report)
+            })));
+        }
+
+        // All ranks enter the scheduler at once; the first pick is made
+        // here (identical to the last thread attaching in thread mode).
+        fabric.sched_attach_all();
+
+        let mut remaining = self.size;
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        let mut abort_note: Option<String> = None;
+        let mut fault_note: Option<String> = None;
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        while remaining > 0 && !fabric.verify.is_aborted() {
+            let Some(r) = fabric.sched_current() else {
+                if fabric.verify.is_aborted() {
+                    break;
+                }
+                panic!(
+                    "pmm-engine: event loop stalled with {remaining} unfinished rank(s) and \
+                     no baton holder — scheduler bug"
+                );
+            };
+            let cell = cells[r].as_mut().expect("baton held by a finished rank");
+            match std::panic::catch_unwind(AssertUnwindSafe(|| cell.as_mut().poll(&mut cx))) {
+                Ok(Poll::Pending) => {
+                    // The continuation yielded the baton; the pick it made
+                    // on the way out tells the next iteration whom to poll.
+                }
+                Ok(Poll::Ready((value, report))) => {
+                    cells[r] = None;
+                    slots[r] = Some((value, report));
+                    remaining -= 1;
+                    // Same order as the thread backend's scope guards:
+                    // retire from the scheduler first, then mark done in
+                    // the verifier registry.
+                    fabric.sched_finish(r);
+                    fabric.verify.mark_done(r);
+                }
+                Err(payload) => {
+                    cells[r] = None;
+                    remaining -= 1;
+                    // Classification mirrors the thread-join loop below.
+                    if let Some(AbortPanic(note)) = payload.downcast_ref::<AbortPanic>() {
+                        abort_note.get_or_insert_with(|| note.clone());
+                    } else if let Some(FaultPanic(failed)) = payload.downcast_ref::<FaultPanic>() {
+                        fault_note.get_or_insert_with(|| failed.to_string());
+                    } else {
+                        first_panic.get_or_insert((r, payload));
+                    }
+                    fabric.sched_finish(r);
+                    fabric.verify.mark_done(r);
+                }
+            }
+        }
+
+        // Continuations of ranks that never ran to completion (the world
+        // aborted) are dropped here on a non-panicking thread; flag the
+        // teardown so leak checks in Drop impls (RecvRequest) stay quiet,
+        // exactly as `std::thread::panicking()` keeps them quiet on the
+        // thread backend.
+        if cells.iter().any(Option::is_some) {
+            crate::rank::begin_abort_teardown();
+            cells.clear();
+            crate::rank::end_abort_teardown();
+        }
+        drop(cells);
+
+        let scope_result: Result<(), RunError> = if let Some((r, payload)) = first_panic {
+            Err(RunError::RankPanic { rank: r, payload })
+        } else if fabric.verify.is_aborted() {
+            let report = fabric
+                .verify
+                .report_text()
+                .or(abort_note)
+                .unwrap_or_else(|| "pmm-verify: world aborted with no stored report".into());
+            Err(RunError::Report(report))
+        } else if let Some(detail) = fault_note {
+            Err(RunError::Report(format!(
+                "pmm-fault: rank failure was not handled by the program — {detail}\n\
+                 (wrap the failable region in Rank::catch_failures to recover)"
+            )))
+        } else {
+            Ok(())
+        };
+        self.collect(&fabric, slots, scope_result)
+    }
+
+    /// Shared epilogue of both engines: harvest the scheduler's artifacts
+    /// and the canonical replay recipe exactly once on every failure path
+    /// (prefix replays report the choices actually made, seeded runs
+    /// their seed), run the strict-drain audits, and assemble the
+    /// [`WorldResult`].
+    fn collect<T>(
+        &self,
+        fabric: &Fabric,
+        slots: Vec<Option<(T, RankReport)>>,
+        scope_result: Result<(), RunError>,
+    ) -> Result<WorldResult<T>, RunFailureRaw> {
+        let fail = |error: RunError| RunFailureRaw {
             error,
             repro: fabric.sched_repro().unwrap_or(Repro::Unseeded),
             schedule_trace: fabric.take_sched_trace(),
             choice_points: fabric.take_choice_points(),
         };
         if let Err(error) = scope_result {
-            return Err(fail(&fabric, error));
+            return Err(fail(error));
         }
 
+        let strict_drain = self.verify.strict_drain;
         if strict_drain {
             let residual = fabric.residual_messages();
             if !residual.is_empty() {
-                return Err(fail(
-                    &fabric,
-                    RunError::Report(format!(
-                        "pmm-verify: world finished with {} undrained mailbox(es) \
-                         [(ctx, member, messages)]: {residual:?}",
-                        residual.len()
-                    )),
-                ));
+                return Err(fail(RunError::Report(format!(
+                    "pmm-verify: world finished with {} undrained mailbox(es) \
+                     [(ctx, member, messages)]: {residual:?}",
+                    residual.len()
+                ))));
             }
         }
 
@@ -458,13 +757,10 @@ impl World {
             let msent: u64 = reports.iter().map(|r| r.meter.msgs_sent).sum();
             let mrecv: u64 = reports.iter().map(|r| r.meter.msgs_recv).sum();
             if sent != recv || msent != mrecv {
-                return Err(fail(
-                    &fabric,
-                    RunError::Report(format!(
-                        "pmm-verify: meter conservation violated: {sent} words sent vs {recv} \
-                         received, {msent} messages sent vs {mrecv} received"
-                    )),
-                ));
+                return Err(fail(RunError::Report(format!(
+                    "pmm-verify: meter conservation violated: {sent} words sent vs {recv} \
+                     received, {msent} messages sent vs {mrecv} received"
+                ))));
             }
         }
         Ok(WorldResult {
@@ -815,6 +1111,153 @@ mod tests {
         assert!(failure.to_string().contains("PMM_SCHEDULE=prefix:"), "{failure}");
         let choices = failure.choice_points.expect("choices recorded up to the failure");
         assert!(!choices.is_empty());
+    }
+
+    /// The async twin of `gather_program`, for cross-engine checks.
+    fn gather_program_a(rank: &mut Rank) -> LocalBoxFuture<'_, f64> {
+        Box::pin(async move {
+            let wc = rank.world_comm();
+            if rank.world_rank() == 0 {
+                let mut sum = 0.0;
+                for from in 1..wc.size() {
+                    sum += rank.recv_a(&wc, from).await.payload[0];
+                }
+                sum
+            } else {
+                rank.send_a(&wc, 0, &[rank.world_rank() as f64]).await;
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn event_loop_runs_async_programs() {
+        let out = World::new(6, MachineParams::BANDWIDTH_ONLY)
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        assert_eq!(out.values[0], 15.0);
+        assert!(out.schedule_trace.is_some(), "event runs are always deterministic");
+    }
+
+    #[test]
+    fn engines_agree_on_seeded_gather_byte_for_byte() {
+        for seed in 0..4 {
+            let ev = World::new(6, MachineParams::BANDWIDTH_ONLY)
+                .with_seed(seed)
+                .with_engine(Engine::EventLoop)
+                .run_async(gather_program_a);
+            let th = World::new(6, MachineParams::BANDWIDTH_ONLY)
+                .with_seed(seed)
+                .with_engine(Engine::Threads)
+                .run_async(gather_program_a);
+            assert_eq!(ev.values, th.values, "seed {seed}");
+            let (te, tt) = (ev.schedule_trace.unwrap(), th.schedule_trace.unwrap());
+            assert_eq!(te.render(), tt.render(), "seed {seed}");
+            for (a, b) in ev.reports.iter().zip(&th.reports) {
+                assert_eq!(a.meter, b.meter, "seed {seed}");
+                assert_eq!(a.time, b.time, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_loop_splits_barriers_and_exchanges() {
+        let run = |engine| {
+            World::new(8, MachineParams::BANDWIDTH_ONLY).with_seed(5).with_engine(engine).run_async(
+                |rank: &mut Rank| {
+                    Box::pin(async move {
+                        let wc = rank.world_comm();
+                        let r = rank.world_rank();
+                        let half = rank.split_a(&wc, (r / 4) as i64, r as i64).await.unwrap();
+                        rank.hard_sync_a().await;
+                        let m = rank
+                            .sendrecv_a(&half, half.size() - 1 - half.index(), &[r as f64])
+                            .await;
+                        m.payload[0] as usize
+                    }) as LocalBoxFuture<'_, usize>
+                },
+            )
+        };
+        let ev = run(Engine::EventLoop);
+        let th = run(Engine::Threads);
+        assert_eq!(ev.values, vec![3, 2, 1, 0, 7, 6, 5, 4]);
+        assert_eq!(ev.values, th.values);
+        assert_eq!(ev.schedule_trace.unwrap().render(), th.schedule_trace.unwrap().render());
+    }
+
+    #[test]
+    fn event_loop_detects_deadlock_synchronously() {
+        let failure = World::new(2, MachineParams::BANDWIDTH_ONLY)
+            .with_engine(Engine::EventLoop)
+            .try_run_async(|r: &mut Rank| {
+                Box::pin(async move {
+                    let wc = r.world_comm();
+                    if r.world_rank() == 0 {
+                        r.recv_a(&wc, 1).await;
+                    }
+                }) as LocalBoxFuture<'_, ()>
+            })
+            .expect_err("deadlocked event run must fail");
+        assert!(failure.report.contains("deadlock detected"), "{}", failure.report);
+    }
+
+    #[test]
+    fn event_loop_prefix_replay_matches_seeded_run() {
+        let seeded = World::new(5, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(3)
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        let prefix: Vec<usize> =
+            seeded.choice_points.as_ref().expect("choices").iter().map(|c| c.chosen).collect();
+        let replay = World::new(5, MachineParams::BANDWIDTH_ONLY)
+            .with_schedule(Schedule::Prefix(prefix))
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        assert_eq!(replay.values, seeded.values);
+        assert_eq!(
+            seeded.schedule_trace.expect("trace").events,
+            replay.schedule_trace.expect("trace").events
+        );
+    }
+
+    #[test]
+    fn schedule_recording_off_drops_artifacts_but_not_results() {
+        let out = World::new(6, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(9)
+            .with_schedule_recording(false)
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        assert_eq!(out.values[0], 15.0);
+        assert!(out.schedule_trace.is_none());
+        assert!(out.choice_points.is_none());
+    }
+
+    #[test]
+    fn targeted_wakeup_changes_bookkeeping_not_results() {
+        let base = World::new(6, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(2)
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        let targeted = World::new(6, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(2)
+            .with_targeted_wakeup(true)
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        assert_eq!(base.values, targeted.values);
+        for (a, b) in base.reports.iter().zip(&targeted.reports) {
+            assert_eq!(a.meter, b.meter);
+            assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn vclock_audit_off_empties_final_clocks() {
+        let out = World::new(4, MachineParams::BANDWIDTH_ONLY)
+            .with_vclock_audit(false)
+            .with_engine(Engine::EventLoop)
+            .run_async(gather_program_a);
+        assert_eq!(out.values[0], 6.0);
+        assert!(out.reports.iter().all(|r| r.final_vclock.is_empty()));
     }
 
     #[test]

@@ -65,14 +65,15 @@ pub use pmm_simnet as simnet;
 /// run).
 pub mod prelude {
     pub use pmm_algs::{
-        alg1, alg1_streamed, alg1_with_recovery, assemble_c, assemble_from_blocks, cannon, carma,
-        carma_assemble_c, carma_cost_words, carma_shares, summa, summa_with_recovery, twofived,
-        Alg1Config, Alg1Output, Assembly, CannonConfig, RecoveryOutput, SummaConfig, SummaRecovery,
-        TwoFiveDConfig,
+        alg1, alg1_a, alg1_streamed, alg1_streamed_a, alg1_with_recovery, alg1_with_recovery_a,
+        assemble_c, assemble_from_blocks, cannon, cannon_a, carma, carma_a, carma_assemble_c,
+        carma_cost_words, carma_shares, near_square_factors, summa, summa_a, summa_with_recovery,
+        summa_with_recovery_a, twofived, twofived_a, Alg1Config, Alg1Output, Assembly,
+        CannonConfig, RecoveryOutput, SummaConfig, SummaRecovery, TwoFiveDConfig,
     };
     pub use pmm_collectives::{
-        all_gather, all_reduce, bcast, reduce_scatter, AllGatherAlgo, AllReduceAlgo, BcastAlgo,
-        ReduceScatterAlgo,
+        all_gather, all_gather_a, all_reduce, all_reduce_a, bcast, bcast_a, reduce_scatter,
+        reduce_scatter_a, AllGatherAlgo, AllReduceAlgo, BcastAlgo, ReduceScatterAlgo,
     };
     // `Strategy` is aliased so the prelude can coexist with proptest's
     // `Strategy` trait in downstream glob imports.
@@ -90,12 +91,14 @@ pub mod prelude {
     };
     // `Strategy` is aliased here for the same reason as the advisor's.
     pub use pmm_explore::{
-        explore, explore_checked, explore_outcomes, ExploreConfig, ExploreReport, ScheduleFailure,
+        explore, explore_async, explore_checked, explore_checked_async, explore_outcomes,
+        explore_outcomes_async, ExploreConfig, ExploreReport, ScheduleFailure,
         Strategy as ExploreStrategy,
     };
     pub use pmm_simnet::{
-        fuzz_schedules, schedule_from_env, seed_from_env, Attribution, ChoicePoint, Comm,
-        CriticalPath, FaultPlan, Meter, Rank, RankFailed, Repro, Resource, RunFailure, Schedule,
-        ScheduleTrace, TraceEvent, TraceOp, Tracer, World, WorldResult, SCHEDULE_ENV,
+        engine_from_env, fuzz_schedules, poll_now, schedule_from_env, seed_from_env, Attribution,
+        ChoicePoint, Comm, CriticalPath, Engine, FaultPlan, LocalBoxFuture, Meter, Rank,
+        RankFailed, Repro, Resource, RunFailure, Schedule, ScheduleTrace, TraceEvent, TraceOp,
+        Tracer, World, WorldResult, ENGINE_ENV, SCHEDULE_ENV,
     };
 }

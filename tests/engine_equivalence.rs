@@ -1,0 +1,323 @@
+//! Cross-engine differential suite: `Engine::EventLoop` vs
+//! `Engine::Threads`.
+//!
+//! The event-driven core is only trustworthy if it is *observationally
+//! identical* to the thread backend it replaced: same values, same
+//! meters, same simulated clocks, same memory peaks, same vector
+//! clocks, and a byte-identical `ScheduleTrace` for the same
+//! `(program, schedule)` pair. This suite pins that equivalence on
+//!
+//! * the pinned `(program, seed)` workloads of `tests/determinism.rs`
+//!   (Algorithm 1 P = 12, Cannon P = 9, SUMMA P = 6, 2.5D P = 8);
+//! * all six algorithms of the workspace across the three Theorem 3
+//!   regimes of the `tests/conformance.rs` sweep instance
+//!   `(96, 24, 12)` — 1D interior (P = 2), 2D interior (P = 8), 3D
+//!   interior (P = 64);
+//! * property-sweeps with the fault layer armed (message drops,
+//!   duplicates, delays): goodput *and* retry meters must agree
+//!   bit-for-bit across engines.
+
+use pmm::prelude::*;
+use proptest::prelude::*;
+
+fn inputs(dims: MatMulDims) -> (Matrix, Matrix) {
+    (
+        random_int_matrix(dims.n1 as usize, dims.n2 as usize, -3..4, 101),
+        random_int_matrix(dims.n2 as usize, dims.n3 as usize, -3..4, 202),
+    )
+}
+
+/// Run `program` on both engines and assert every observable artifact
+/// matches: values, per-rank meters/clocks/memory/vector clocks, and
+/// the rendered + event-level schedule trace. Returns the event-loop
+/// result for further checks.
+fn assert_engines_agree<T, F>(label: &str, world: &World, program: F) -> WorldResult<T>
+where
+    T: Send + PartialEq + std::fmt::Debug,
+    F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync + Clone,
+{
+    let threads = world.clone().with_engine(Engine::Threads).run_async(program.clone());
+    let event = world.clone().with_engine(Engine::EventLoop).run_async(program);
+    assert_eq!(threads.values, event.values, "{label}: per-rank values diverge across engines");
+    assert_eq!(threads.reports.len(), event.reports.len(), "{label}: rank count");
+    for (r, (t, e)) in threads.reports.iter().zip(&event.reports).enumerate() {
+        assert_eq!(t.meter, e.meter, "{label}: rank {r} meter diverges across engines");
+        assert_eq!(t.time, e.time, "{label}: rank {r} clock diverges across engines");
+        assert_eq!(
+            t.peak_mem_words, e.peak_mem_words,
+            "{label}: rank {r} memory peak diverges across engines"
+        );
+        assert_eq!(
+            t.final_vclock, e.final_vclock,
+            "{label}: rank {r} vector clock diverges across engines"
+        );
+    }
+    match (&threads.schedule_trace, &event.schedule_trace) {
+        (Some(t), Some(e)) => {
+            assert_eq!(t.render(), e.render(), "{label}: schedule traces are not byte-identical");
+            t.assert_matches(e);
+        }
+        (None, None) => {}
+        (t, e) => panic!(
+            "{label}: trace presence diverges (threads: {}, event loop: {})",
+            t.is_some(),
+            e.is_some()
+        ),
+    }
+    event
+}
+
+/// The determinism-suite Algorithm 1 workload: P = 12 on a 2 × 3 × 2
+/// grid, seeds pinned to the same values `tests/determinism.rs` uses.
+#[test]
+fn engines_agree_on_the_pinned_alg1_workload() {
+    let dims = MatMulDims::new(24, 12, 18);
+    let cfg = Alg1Config {
+        dims,
+        grid: Grid3::new(2, 3, 2),
+        kernel: Kernel::Naive,
+        assembly: Assembly::ReduceScatter,
+    };
+    for seed in [0xA11CE_u64, 0xC1EA4, 0, 5] {
+        let world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_seed(seed);
+        let cfg = cfg.clone();
+        let out = assert_engines_agree(&format!("alg1 seed {seed}"), &world, move |rank| {
+            let cfg = cfg.clone();
+            Box::pin(async move {
+                let (a, b) = inputs(dims);
+                let out = alg1_a(rank, &cfg, &a, &b).await;
+                // Compare the chunk bits *and* the per-phase meters.
+                let phases: Vec<(String, Meter)> =
+                    out.phases.iter().map(|ph| (ph.label.to_string(), ph.meter)).collect();
+                (out.c_chunk, phases)
+            })
+        });
+        assert!(
+            out.schedule_trace.expect("seeded run records a trace").events.len() > 12,
+            "seed {seed}: a 12-rank Algorithm 1 run schedules real events"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_the_pinned_cannon_summa_and_twofived_workloads() {
+    let dims = MatMulDims::new(24, 12, 18);
+
+    let ccfg = CannonConfig { dims, q: 3, kernel: Kernel::Naive };
+    let world = World::new(9, MachineParams::BANDWIDTH_ONLY).with_seed(0xA11CE);
+    assert_engines_agree("cannon P=9", &world, move |rank| {
+        let ccfg = ccfg.clone();
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            cannon_a(rank, &ccfg, &a, &b).await.c_block
+        })
+    });
+
+    let scfg = SummaConfig { dims, pr: 2, pc: 3, kernel: Kernel::Naive };
+    let world = World::new(6, MachineParams::BANDWIDTH_ONLY).with_seed(0xA11CE);
+    assert_engines_agree("summa P=6", &world, move |rank| {
+        let scfg = scfg.clone();
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            summa_a(rank, &scfg, &a, &b).await.c_block
+        })
+    });
+
+    let tcfg = TwoFiveDConfig { dims, q: 2, c: 2, kernel: Kernel::Naive };
+    let world = World::new(8, MachineParams::BANDWIDTH_ONLY).with_seed(0xA11CE);
+    assert_engines_agree("2.5d P=8", &world, move |rank| {
+        let tcfg = tcfg.clone();
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            twofived_a(rank, &tcfg, &a, &b).await.c_block
+        })
+    });
+}
+
+/// One Theorem 3 regime point of the conformance instance
+/// `(96, 24, 12)`: run every algorithm that admits the processor count
+/// on both engines and cross-check all observables.
+fn regime_point(p: usize, seed: u64, label: &str) {
+    let dims = MatMulDims::new(96, 24, 12);
+    let bw = MachineParams::BANDWIDTH_ONLY;
+    let choice = best_divisible_grid(dims, p)
+        .unwrap_or_else(|| panic!("{label}: no divisible factorization of {p}"));
+    let grid = Grid3::from_dims(choice.grid);
+
+    // Algorithm 1, both assembly strategies.
+    for assembly in [Assembly::ReduceScatter, Assembly::AllToAllSum] {
+        let cfg = Alg1Config { dims, grid, kernel: Kernel::Naive, assembly };
+        let world = World::new(p, bw).with_seed(seed);
+        assert_engines_agree(&format!("{label}: alg1/{assembly:?}"), &world, move |rank| {
+            let cfg = cfg.clone();
+            Box::pin(async move {
+                let (a, b) = inputs(dims);
+                let out = alg1_a(rank, &cfg, &a, &b).await;
+                let phases: Vec<(String, Meter)> =
+                    out.phases.iter().map(|ph| (ph.label.to_string(), ph.meter)).collect();
+                (out.c_chunk, phases)
+            })
+        });
+    }
+
+    // Streamed Algorithm 1 (double-buffered slabs).
+    let world = World::new(p, bw).with_seed(seed);
+    assert_engines_agree(&format!("{label}: alg1/streamed"), &world, move |rank| {
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            alg1_streamed_a(rank, dims, grid, 2, Kernel::Naive, &a, &b).await.c_chunk
+        })
+    });
+
+    // Cannon needs a square process grid.
+    let q = (p as f64).sqrt() as usize;
+    if q * q == p {
+        let ccfg = CannonConfig { dims, q, kernel: Kernel::Naive };
+        let world = World::new(p, bw).with_seed(seed);
+        assert_engines_agree(&format!("{label}: cannon"), &world, move |rank| {
+            let ccfg = ccfg.clone();
+            Box::pin(async move {
+                let (a, b) = inputs(dims);
+                cannon_a(rank, &ccfg, &a, &b).await.c_block
+            })
+        });
+    }
+
+    // SUMMA on a near-square factorization.
+    let (pr, pc) = near_square_factors(p);
+    let scfg = SummaConfig { dims, pr, pc, kernel: Kernel::Naive };
+    let world = World::new(p, bw).with_seed(seed);
+    assert_engines_agree(&format!("{label}: summa"), &world, move |rank| {
+        let scfg = scfg.clone();
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            summa_a(rank, &scfg, &a, &b).await.c_block
+        })
+    });
+
+    // 2.5D wherever q²c = p has a solution with c ≤ q.
+    if let Some((q, c)) = [(2usize, 2usize), (4, 1), (4, 4), (2, 1), (8, 1)]
+        .into_iter()
+        .find(|&(q, c)| q * q * c == p)
+    {
+        let tcfg = TwoFiveDConfig { dims, q, c, kernel: Kernel::Naive };
+        let world = World::new(p, bw).with_seed(seed);
+        assert_engines_agree(&format!("{label}: 2.5d"), &world, move |rank| {
+            let tcfg = tcfg.clone();
+            Box::pin(async move {
+                let (a, b) = inputs(dims);
+                twofived_a(rank, &tcfg, &a, &b).await.c_block
+            })
+        });
+    }
+
+    // CARMA on power-of-two processor counts.
+    if p.is_power_of_two() {
+        let world = World::new(p, bw).with_seed(seed);
+        assert_engines_agree(&format!("{label}: carma"), &world, move |rank| {
+            Box::pin(async move {
+                let (a, b) = inputs(dims);
+                let (sa, sb) = carma_shares(p, rank.world_rank(), &a, &b);
+                let comm = rank.world_comm();
+                carma_a(rank, &comm, dims, Kernel::Naive, sa, sb).await
+            })
+        });
+    }
+}
+
+#[test]
+fn engines_agree_across_the_1d_regime() {
+    // P = 2 < m/n = 4: strictly inside the 1D case.
+    regime_point(2, 0xA11CE, "1D interior P=2");
+}
+
+#[test]
+fn engines_agree_across_the_2d_regime() {
+    // m/n = 4 < P = 8 < mn/k² = 16: strictly inside the 2D case.
+    regime_point(8, 0xA11CE, "2D interior P=8");
+}
+
+#[test]
+fn engines_agree_across_the_3d_regime() {
+    // P = 64 > mn/k² = 16: strictly inside the 3D case.
+    regime_point(64, 0xA11CE, "3D interior P=64");
+}
+
+#[test]
+fn engines_agree_with_a_fault_plan_armed() {
+    // Message faults are decided by hashing (fault seed, channel, seq,
+    // attempt) — never by engine or arrival order — so an armed plan
+    // must leave the two engines bit-identical, including the retry
+    // (waste) counters.
+    let dims = MatMulDims::new(24, 12, 18);
+    let cfg = Alg1Config {
+        dims,
+        grid: Grid3::new(2, 3, 2),
+        kernel: Kernel::Naive,
+        assembly: Assembly::ReduceScatter,
+    };
+    let plan = FaultPlan::none()
+        .with_seed(0x5EED_FA17)
+        .with_drop(0.10)
+        .with_duplicate(0.05)
+        .with_delay(0.05);
+    let world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_seed(0xA11CE).with_faults(plan);
+    let out = assert_engines_agree("alg1 with faults", &world, move |rank| {
+        let cfg = cfg.clone();
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            alg1_a(rank, &cfg, &a, &b).await.c_chunk
+        })
+    });
+    let retries: u64 = out.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
+    assert!(retries > 0, "a 10% drop rate must force at least one retransmission");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Cross-engine invariance as a property: arbitrary schedule seeds x
+    // arbitrary armed fault mixes on a messaging-heavy 4-rank exchange
+    // ring. Both engines must agree on every payload, every goodput
+    // counter, every retry counter, and the simulated clock.
+    #[test]
+    fn engines_agree_under_random_seeds_and_faults(
+        seed in 0u64..1_000_000,
+        fault_seed in 0u64..1_000_000,
+        drop in 0.0f64..0.30,
+        dup in 0.0f64..0.15,
+        delay in 0.0f64..0.15,
+        rounds in 1usize..6,
+    ) {
+        let mut plan = FaultPlan::none()
+            .with_seed(fault_seed)
+            .with_drop(drop)
+            .with_duplicate(dup)
+            .with_delay(delay);
+        plan.max_retries = 64;
+        let world = World::new(4, MachineParams::BANDWIDTH_ONLY)
+            .with_seed(seed)
+            .with_faults(plan);
+        assert_engines_agree(
+            &format!("ring seed {seed} faults {fault_seed}"),
+            &world,
+            move |rank| {
+                Box::pin(async move {
+                    let comm = rank.world_comm();
+                    let me = rank.world_rank();
+                    let n = comm.size();
+                    let mut acc = vec![me as f64];
+                    for round in 0..rounds {
+                        let to = (me + 1) % n;
+                        let from = (me + n - 1) % n;
+                        let msg = rank
+                            .exchange_a(&comm, to, from, &[acc[round] + 1.0])
+                            .await;
+                        acc.push(msg.payload[0]);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+}

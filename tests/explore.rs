@@ -323,6 +323,153 @@ fn generator_soak_has_zero_false_reports() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Event-loop engine: the certificates carry across engines
+// ---------------------------------------------------------------------------
+
+/// Async analogue of [`certify`] running every replay on
+/// [`Engine::EventLoop`]: the choice tree is a property of the
+/// deterministic scheduler, not of the execution backend, so the
+/// exhaustive schedule counts pinned on the thread engine must
+/// reproduce exactly on the event loop.
+fn certify_event<T, F>(label: &str, world: &World, program: F) -> (ExploreReport, ExploreReport)
+where
+    T: Send + std::fmt::Debug,
+    F: for<'a> Fn(&'a mut Rank) -> LocalBoxFuture<'a, T> + Send + Sync + Copy,
+{
+    let world = world.clone().with_engine(Engine::EventLoop);
+    let mut exhaustive_fps = BTreeSet::new();
+    let full =
+        explore_outcomes_async(&world, program, &ExploreConfig::exhaustive(), |_, outcome| {
+            exhaustive_fps.insert(fingerprint(outcome));
+            Ok(())
+        })
+        .unwrap_or_else(|f| panic!("{label} event-loop exhaustive walk failed: {f}"));
+    assert!(full.complete, "{label}: event-loop exhaustive walk must drain the frontier");
+    assert_eq!(full.pruned, 0, "{label}: exhaustive walk must not prune");
+
+    let mut sleep_fps = BTreeSet::new();
+    let pruned =
+        explore_outcomes_async(&world, program, &ExploreConfig::sleep_sets(), |_, outcome| {
+            sleep_fps.insert(fingerprint(outcome));
+            Ok(())
+        })
+        .unwrap_or_else(|f| panic!("{label} event-loop sleep-set walk failed: {f}"));
+    assert!(pruned.complete, "{label}: event-loop sleep-set walk must drain the frontier");
+    assert_eq!(
+        sleep_fps, exhaustive_fps,
+        "{label}: sleep-set pruning must cover every distinct outcome on the event loop"
+    );
+    (full, pruned)
+}
+
+/// The gather3 workload as an async rank program.
+fn gather3_a(rank: &mut Rank) -> LocalBoxFuture<'_, f64> {
+    Box::pin(async move {
+        let comm = rank.world_comm();
+        let me = rank.world_rank();
+        if me == 0 {
+            let mut sum = 0.0;
+            for from in 1..comm.size() {
+                sum += rank.recv_a(&comm, from).await.payload[0];
+            }
+            sum
+        } else {
+            rank.send_a(&comm, 0, &[me as f64]).await;
+            0.0
+        }
+    })
+}
+
+/// The barrier4 workload as an async rank program.
+fn barrier4_a(rank: &mut Rank) -> LocalBoxFuture<'_, usize> {
+    Box::pin(async move {
+        let comm = rank.world_comm();
+        rank.collective_begin_a(&comm, CollectiveOp::Barrier, 0).await;
+        rank.hard_sync_a().await;
+        rank.world_rank()
+    })
+}
+
+/// A 3-rank exchange ring as an async rank program.
+fn ring3_a(rank: &mut Rank) -> LocalBoxFuture<'_, f64> {
+    Box::pin(async move {
+        let comm = rank.world_comm();
+        let me = rank.world_rank();
+        let n = comm.size();
+        let msg = rank.exchange_a(&comm, (me + 1) % n, (me + n - 1) % n, &[me as f64]).await;
+        msg.payload[0]
+    })
+}
+
+#[test]
+fn event_loop_reproduces_the_gather3_certificate() {
+    // Same workload as `exhaustive_certificate_pins_the_gather3_schedule_space`,
+    // expressed as an async rank program and explored on the event-loop
+    // engine: the 72-interleaving certificate must not move.
+    let world = World::new(3, MachineParams::BANDWIDTH_ONLY).without_watchdog();
+    let (full, pruned) = certify_event("gather3/event", &world, gather3_a);
+    assert_eq!(full.schedules, 72, "gather3 certificate drifted on the event-loop engine");
+    assert!(pruned.pruned > 0, "gather3 must give sleep sets something to prune");
+}
+
+#[test]
+fn event_loop_reproduces_the_barrier4_certificate() {
+    // The 4-rank barrier workload: all 15120 interleavings, replayed as
+    // resumable continuations instead of parked threads.
+    let world = World::new(4, MachineParams::BANDWIDTH_ONLY).without_watchdog();
+    let (full, pruned) = certify_event("barrier4/event", &world, barrier4_a);
+    assert_eq!(full.schedules, 15120, "barrier4 certificate drifted on the event-loop engine");
+    assert!(
+        pruned.schedules < full.schedules / 10,
+        "sleep sets should prune the barrier4 space by at least 10x on the event loop \
+         (got {} of {})",
+        pruned.schedules,
+        full.schedules
+    );
+}
+
+#[test]
+fn pmm_schedule_prefix_replays_on_the_event_loop() {
+    // A `PMM_SCHEDULE=prefix:...` recipe (parsed through the same
+    // `FromStr` that `schedule_from_env` uses) must replay an explored
+    // branch exactly on the event-loop engine: same values, same
+    // meters, same recorded choice stream.
+    let world = World::new(3, MachineParams::BANDWIDTH_ONLY)
+        .without_watchdog()
+        .with_engine(Engine::EventLoop);
+    // Pick one explored schedule and remember its full choice prefix.
+    let mut recipe: Option<(Vec<usize>, String)> = None;
+    explore_outcomes_async(&world, ring3_a, &ExploreConfig::exhaustive(), |prefix, outcome| {
+        if recipe.is_none() && !prefix.is_empty() {
+            recipe = Some((prefix.to_vec(), fingerprint(outcome)));
+        }
+        Ok(())
+    })
+    .expect("exhaustive walk of the 3-rank exchange must succeed");
+    let (prefix, want_fp) = recipe.expect("at least one schedule has a non-empty prefix");
+
+    // Round-trip the prefix through the PMM_SCHEDULE string form.
+    let env_value = format!("{}", Schedule::Prefix(prefix.clone()));
+    let parsed: Schedule = env_value.parse().expect("rendered schedule must parse back");
+    assert_eq!(parsed, Schedule::Prefix(prefix.clone()), "PMM_SCHEDULE round-trip");
+
+    let replay = world
+        .clone()
+        .with_schedule(parsed)
+        .try_run_async(ring3_a)
+        .expect("prefix replay must succeed");
+    assert_eq!(fingerprint(Ok(&replay)), want_fp, "prefix replay diverged from the explored run");
+    let picks: Vec<usize> = replay
+        .choice_points
+        .expect("deterministic run records picks")
+        .iter()
+        .map(|c| c.chosen)
+        .take(prefix.len())
+        .collect();
+    assert_eq!(picks, prefix, "the replayed pick stream must start with the prefix");
+}
+
 #[test]
 fn explorer_cross_checks_generated_programs() {
     // Close the loop between the generator and the explorer: for

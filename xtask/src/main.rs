@@ -41,6 +41,14 @@
 //!   against the intent oracle. Collects the tests' `DPOR:` metric lines
 //!   into `BENCH_explore.json` (schedules/sec, states pruned, programs
 //!   generated). Failures print a `PMM_SCHEDULE=prefix:...` repro line.
+//! * `cargo xtask scale-check [budget-secs]` — the executed-at-scale
+//!   gate (`tests/scale.rs`, release mode): Algorithm 1 end-to-end on
+//!   the event-loop engine at P = 10^4, 10^5, and 10^6 (ascending, each
+//!   cell started only while the wall-clock budget — default 300 s —
+//!   lasts), with per-rank per-phase eq. (3) checks against
+//!   `pmm_model::alg1_prediction` on integral §5.2 grids. Collects the
+//!   tests' `SCALE:` metric lines into `BENCH_scale.json` (ranks/sec
+//!   stepped, peak RSS, max executed P).
 //! * `cargo xtask serve-soak [budget-secs]` — the chaos load harness for
 //!   the `pmm serve` advisor service (`pmm-bench`'s `serve_chaos` bin,
 //!   release mode): mixed valid/burst/panic/malformed/oversized/slowloris
@@ -91,6 +99,13 @@ fn main() -> ExitCode {
                 .unwrap_or(300);
             dpor(Duration::from_secs(budget))
         }
+        Some("scale-check") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(300);
+            scale_check(Duration::from_secs(budget))
+        }
         Some("serve-soak") => {
             let budget = args
                 .get(1)
@@ -122,6 +137,10 @@ fn main() -> ExitCode {
                  \x20                 (tests/explore.rs): exhaustive interleaving\n\
                  \x20                 certificates, budgeted frontier exploration, and a\n\
                  \x20                 1000-program generator soak; emits BENCH_explore.json\n\
+                 \x20 scale-check     [budget-secs] execute Algorithm 1 at large P\n\
+                 \x20                 (tests/scale.rs, release, event-loop engine):\n\
+                 \x20                 P = 10^4, 10^5, 10^6 cells until the budget\n\
+                 \x20                 (default 300 s) is spent; emits BENCH_scale.json\n\
                  \x20 serve-soak      [budget-secs] run the pmm-serve chaos load harness\n\
                  \x20                 (mixed valid/malformed/overload/slowloris traffic,\n\
                  \x20                 default 10 s) and emit BENCH_serve.json"
@@ -436,6 +455,127 @@ fn dpor(budget: Duration) -> ExitCode {
          {:.0} generated programs; metrics in {}",
         sum("pruned"),
         sum("programs"),
+        bench.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The large-P execution cells of `cargo xtask scale-check`, in
+/// ascending-P order so a spent budget drops the biggest cells first.
+/// Each entry is the exact `tests/scale.rs` test name and its pinned
+/// rank count.
+const SCALE_CELLS: [(&str, u64); 3] = [
+    ("alg1_executes_at_p_10_4_with_exact_eq3_attribution", 10_000),
+    ("alg1_executes_at_p_10_5_with_exact_eq3_attribution", 100_000),
+    ("alg1_executes_at_p_10_6", 1_000_000),
+];
+
+/// The executed-at-scale gate: run the `tests/scale.rs` cells (release
+/// mode, event-loop engine) in ascending-P order until the wall-clock
+/// budget is spent, collect each cell's `SCALE: key=value` metric line,
+/// and write `BENCH_scale.json` at the workspace root: ranks/sec
+/// stepped, peak RSS, and the maximum P actually executed.
+fn scale_check(budget: Duration) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    eprintln!("xtask: scale-check — executed-at-scale gate ({}s budget)", budget.as_secs());
+    let start = Instant::now();
+    let mut lines: Vec<Vec<(String, String)>> = Vec::new();
+    let mut max_p = 0u64;
+    let mut skipped = 0u32;
+    for (test, p) in SCALE_CELLS {
+        if start.elapsed() >= budget {
+            skipped += 1;
+            eprintln!("xtask: scale-check budget spent — skipping P = {p} cell");
+            continue;
+        }
+        eprintln!("xtask: scale-check cell P = {p} ({test})");
+        let output = match Command::new(&cargo)
+            .args([
+                "test",
+                "--release",
+                "--test",
+                "scale",
+                "--",
+                "--include-ignored",
+                "--exact",
+                test,
+                "--nocapture",
+            ])
+            .current_dir(&root)
+            .output()
+        {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("xtask: could not launch cargo test: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        print!("{stdout}");
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        if !output.status.success() {
+            eprintln!("xtask: scale-check FAILED at P = {p} ({test})");
+            return ExitCode::FAILURE;
+        }
+        for entry in stdout
+            .lines()
+            .filter_map(|l| l.find("SCALE:").map(|i| &l[i + "SCALE:".len()..]))
+            .map(|l| {
+                l.split_whitespace()
+                    .filter_map(|tok| tok.split_once('='))
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect::<Vec<_>>()
+            })
+        {
+            lines.push(entry);
+        }
+        max_p = max_p.max(p);
+    }
+    if lines.is_empty() {
+        eprintln!("xtask: scale-check ran no cells — raise the budget");
+        return ExitCode::FAILURE;
+    }
+
+    let field = |entry: &[(String, String)], key: &str| -> f64 {
+        entry.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok()).unwrap_or(0.0)
+    };
+    let peak_rss: f64 = lines.iter().map(|e| field(e, "peak_rss_kb")).fold(0.0, f64::max);
+    let best_rate: f64 = lines.iter().map(|e| field(e, "ranks_per_sec")).fold(0.0, f64::max);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"budget_secs\": {},\n", budget.as_secs()));
+    json.push_str(&format!("  \"wall_secs\": {:.3},\n", start.elapsed().as_secs_f64()));
+    json.push_str(&format!("  \"max_executed_p\": {max_p},\n"));
+    json.push_str(&format!("  \"best_ranks_per_sec\": {best_rate:.0},\n"));
+    json.push_str(&format!("  \"peak_rss_kb\": {peak_rss:.0},\n"));
+    json.push_str(&format!("  \"cells_skipped\": {skipped},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, entry) in lines.iter().enumerate() {
+        let fields: Vec<String> = entry
+            .iter()
+            .map(|(k, v)| {
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{k}\": {v}")
+                } else {
+                    format!("\"{k}\": \"{v}\"")
+                }
+            })
+            .collect();
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        json.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+    }
+    json.push_str("  ]\n}\n");
+    let bench = root.join("BENCH_scale.json");
+    if let Err(e) = std::fs::write(&bench, &json) {
+        eprintln!("xtask: could not write {}: {e}", bench.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask: scale-check passed — max executed P = {max_p}, {best_rate:.0} ranks/s, \
+         peak RSS {:.0} MB{}; metrics in {}",
+        peak_rss / 1024.0,
+        if skipped > 0 { format!(" ({skipped} cell(s) skipped on budget)") } else { String::new() },
         bench.display()
     );
     ExitCode::SUCCESS
