@@ -16,7 +16,7 @@
 
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::{poll_now, Rank};
+use pmm_simnet::{poll_now, Comm, Rank};
 
 /// Configuration for [`cannon`].
 #[derive(Debug, Clone)]
@@ -64,14 +64,39 @@ pub fn cannon(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> Ca
 pub async fn cannon_a(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matrix) -> CannonOutput {
     let q = cfg.q;
     assert_eq!(rank.world_size(), q * q, "world size must be q²");
+    let world = rank.world_comm();
+    cannon_on_a(rank, &world, cfg, a, b).await.expect("a q² world has no idle ranks")
+}
+
+/// Run Cannon's algorithm on communicator `base` instead of the world
+/// (recovery runs use a survivor communicator). The first `q²` members
+/// are active; later members participate in the two splits with a
+/// negative color and return `None`.
+pub async fn cannon_on_a(
+    rank: &mut Rank,
+    base: &Comm,
+    cfg: &CannonConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> Option<CannonOutput> {
+    let q = cfg.q;
+    assert!(base.size() >= q * q, "communicator too small for a q × q torus");
     let dims = cfg.dims;
     let (n1, n3) = (dims.n1 as usize, dims.n3 as usize);
-    let me = rank.world_rank();
+    let me = base.index();
+    if me >= q * q {
+        // Idle member: opt out of both splits (MPI_UNDEFINED) and hold
+        // no block.
+        let none = rank.split_a(base, -1, me as i64).await;
+        debug_assert!(none.is_none());
+        let none = rank.split_a(base, -1, me as i64).await;
+        debug_assert!(none.is_none());
+        return None;
+    }
     let (i, j) = (me / q, me % q);
 
-    let world = rank.world_comm();
-    let row = rank.split_a(&world, i as i64, j as i64).await.expect("row comm");
-    let col = rank.split_a(&world, (q + j) as i64, i as i64).await.expect("col comm");
+    let row = rank.split_a(base, i as i64, j as i64).await.expect("row comm");
+    let col = rank.split_a(base, (q + j) as i64, i as i64).await.expect("col comm");
     debug_assert_eq!(row.size(), q);
     debug_assert_eq!(col.size(), q);
 
@@ -127,7 +152,7 @@ pub async fn cannon_a(rank: &mut Rank, cfg: &CannonConfig, a: &Matrix, b: &Matri
         }
     }
 
-    CannonOutput { c_block: c }
+    Some(CannonOutput { c_block: c })
 }
 
 #[cfg(test)]

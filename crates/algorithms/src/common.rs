@@ -7,7 +7,7 @@ use pmm_simnet::{poll_now, Comm, Meter, Rank};
 
 /// Traffic attributed to one named phase of an algorithm (diff of two
 /// meter snapshots).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseMeter {
     /// Phase label (e.g. `"all-gather A"`).
     pub label: &'static str,

@@ -31,10 +31,9 @@ use pmm_collectives::{
     all_gather_v_a, all_to_all_a, reduce_scatter_v_a, AllGatherAlgo, AllToAllAlgo,
     ReduceScatterAlgo,
 };
-use pmm_core::gridopt::best_grid;
 use pmm_dense::{block_range, chunk_of_block, gemm, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};
-use pmm_simnet::{poll_now, Comm, Rank, RankFailed};
+use pmm_simnet::{poll_now, Comm, Rank};
 
 use crate::common::{fiber_comms_on_a, flatten_block, PhaseMeter, PhaseProbe};
 
@@ -72,7 +71,7 @@ impl Alg1Config {
 }
 
 /// Per-rank result of [`alg1`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Alg1Output {
     /// This rank's chunk of `C_{p1'p3'}` (a contiguous run of the block's
     /// row-major elements; chunk index = `p2'`).
@@ -127,7 +126,7 @@ pub async fn alg1_a(rank: &mut Rank, cfg: &Alg1Config, a: &Matrix, b: &Matrix) -
 /// must equal the grid size): this rank's grid position is its index in
 /// `base`, and all three fiber communicators are split from `base`. This
 /// is the entry point failure recovery uses to re-run the multiplication
-/// on the surviving ranks — see [`alg1_with_recovery`].
+/// on the surviving ranks — see [`crate::recovery::run_recoverable`].
 pub fn alg1_on(
     rank: &mut Rank,
     base: &Comm,
@@ -226,103 +225,6 @@ pub async fn alg1_on_a(
     rank.mem_release((a_block_words + b_block_words + c_block_words) as u64);
 
     Alg1Output { c_chunk, phases: [ph_a, ph_b, ph_c] }
-}
-
-/// Result of a fault-tolerant [`alg1_with_recovery`] run on one survivor.
-#[derive(Debug, Clone)]
-pub struct RecoveryOutput {
-    /// The successful attempt's per-rank output (chunk + phase meters).
-    /// The chunk belongs to position `survivors.index_of(me)` of `grid`.
-    pub output: Alg1Output,
-    /// The grid of the successful attempt (§5.2-optimal for the survivor
-    /// count).
-    pub grid: Grid3,
-    /// World ranks alive at the successful attempt, ascending. The rank
-    /// at grid position `g` is `survivors[g]`.
-    pub survivors: Vec<usize>,
-    /// Grids of every attempt, first to last (the last one succeeded).
-    /// Feed to `pmm_model::recovery_prediction` for the analytic cost of
-    /// the whole recovered computation.
-    pub attempt_grids: Vec<[usize; 3]>,
-}
-
-impl RecoveryOutput {
-    /// Number of attempts the run took (1 = no failure observed).
-    pub fn attempts(&self) -> usize {
-        self.attempt_grids.len()
-    }
-}
-
-/// Run Algorithm 1 with rank-failure recovery: on each attempt the
-/// survivors lay the §5.2-optimal grid for their count over their ranks
-/// and multiply; if the fault plan kills a rank mid-attempt, every
-/// survivor abandons the attempt (via [`Rank::catch_failures`]), rallies
-/// at a fault-aware barrier, rebuilds a communicator over the survivors
-/// ([`Rank::recovery_split`]), and retries. Inputs are re-extracted from
-/// the global `a`/`b` on each attempt — the simulation analogue of
-/// re-loading lost chunks from a checkpoint.
-///
-/// Returns `Err` on the killed rank (which must stop communicating) and
-/// `Ok` on every survivor once an attempt completes with no new deaths.
-/// Kills placed after the final attempt completes are not handled here —
-/// they surface wherever the program communicates next.
-pub fn alg1_with_recovery(
-    rank: &mut Rank,
-    dims: MatMulDims,
-    kernel: Kernel,
-    assembly: Assembly,
-    a: &Matrix,
-    b: &Matrix,
-) -> Result<RecoveryOutput, RankFailed> {
-    poll_now(alg1_with_recovery_a(rank, dims, kernel, assembly, a, b))
-}
-
-/// Async form of [`alg1_with_recovery`] (event-loop programs).
-pub async fn alg1_with_recovery_a(
-    rank: &mut Rank,
-    dims: MatMulDims,
-    kernel: Kernel,
-    assembly: Assembly,
-    a: &Matrix,
-    b: &Matrix,
-) -> Result<RecoveryOutput, RankFailed> {
-    let world_size = rank.world_size();
-    let mut attempt_grids = Vec::new();
-    let mut round: u64 = 0;
-    loop {
-        let dead = rank.dead_ranks();
-        let survivors: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
-        let base =
-            if dead.is_empty() { rank.world_comm() } else { rank.recovery_split_a(round).await };
-        debug_assert_eq!(base.members(), &survivors[..]);
-        let choice = best_grid(dims, survivors.len());
-        let grid = Grid3::from_dims(choice.grid);
-        attempt_grids.push(choice.grid);
-        let cfg = Alg1Config { dims, grid, kernel, assembly };
-        let attempt =
-            pmm_simnet::catch_failures_async!(rank, alg1_on_a(&mut *rank, &base, &cfg, a, b));
-        let completed = match attempt {
-            // This rank is the casualty: it must fall silent — the
-            // survivors' barrier already counts it as arrived.
-            Err(failed) if failed.rank == rank.world_rank() => return Err(failed),
-            Err(_) => None,
-            Ok(output) => Some(output),
-        };
-        // Rally every survivor (the barrier counts dead ranks as arrived)
-        // so all of them observe the same post-attempt dead set and make
-        // the same retry-or-return decision.
-        rank.hard_sync_a().await;
-        round += 1;
-        if let Some(output) = completed {
-            if rank.dead_ranks() == dead {
-                return Ok(RecoveryOutput { output, grid, survivors, attempt_grids });
-            }
-            // A rank died during the attempt: even ranks whose own
-            // collectives happened to complete must discard the result
-            // (their peers may hold no consistent counterpart) and rerun
-            // on the shrunken grid.
-        }
-    }
 }
 
 /// Reduce-scatter semantics via All-to-All + local summation (the

@@ -18,9 +18,9 @@
 use pmm_collectives::{all_gather_v_a, reduce_scatter_v_a, AllGatherAlgo, ReduceScatterAlgo};
 use pmm_dense::{block_range, chunk_of_block, gemm_acc, Kernel, Matrix};
 use pmm_model::{Grid3, MatMulDims};
-use pmm_simnet::{poll_now, Rank};
+use pmm_simnet::{poll_now, Comm, Rank};
 
-use crate::common::{fiber_comms_a, PhaseMeter, PhaseProbe};
+use crate::common::{fiber_comms_on_a, PhaseMeter, PhaseProbe};
 use crate::grid3d::Alg1Output;
 
 /// Run the streamed Algorithm 1 with `slabs` inner-dimension slabs
@@ -50,10 +50,29 @@ pub async fn alg1_streamed_a(
     a: &Matrix,
     b: &Matrix,
 ) -> Alg1Output {
+    let world = rank.world_comm();
+    alg1_streamed_on_a(rank, &world, dims, grid, slabs, kernel, a, b).await
+}
+
+/// Run the streamed variant on communicator `base` instead of the world
+/// (recovery runs use a survivor communicator). `base` must have exactly
+/// `grid.size()` members; this rank's grid coordinate is derived from its
+/// index in `base`.
+#[allow(clippy::too_many_arguments)]
+pub async fn alg1_streamed_on_a(
+    rank: &mut Rank,
+    base: &Comm,
+    dims: MatMulDims,
+    grid: Grid3,
+    slabs: usize,
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+) -> Alg1Output {
     assert!(slabs >= 1, "need at least one slab");
     let [p1, p2, p3] = grid.dims();
-    let coord = grid.coord_of(rank.world_rank());
-    let comms = fiber_comms_a(rank, grid).await;
+    let coord = grid.coord_of(base.index());
+    let comms = fiber_comms_on_a(rank, base, grid).await;
 
     let rows_a = block_range(dims.n1 as usize, p1, coord[0]);
     let cols_b = block_range(dims.n3 as usize, p3, coord[2]);

@@ -18,7 +18,7 @@
 
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::{poll_now, Comm, Rank, RankFailed};
+use pmm_simnet::{poll_now, Comm, Rank};
 
 use pmm_collectives::{bcast_a, BcastAlgo};
 
@@ -68,7 +68,7 @@ pub async fn summa_a(rank: &mut Rank, cfg: &SummaConfig, a: &Matrix, b: &Matrix)
 /// `pr·pc`: this rank's grid position is its index in `base`, and the
 /// row/column communicators are split from `base`. Failure recovery uses
 /// this to re-run SUMMA on the surviving ranks — see
-/// [`summa_with_recovery`].
+/// [`crate::recovery::run_recoverable`].
 pub fn summa_on(
     rank: &mut Rank,
     base: &Comm,
@@ -159,75 +159,6 @@ pub fn near_square_factors(p: usize) -> (usize, usize) {
         d += 1;
     }
     (pr, p / pr)
-}
-
-/// Result of a fault-tolerant [`summa_with_recovery`] run on one
-/// survivor.
-#[derive(Debug, Clone)]
-pub struct SummaRecovery {
-    /// The successful attempt's output. The block belongs to position
-    /// `survivors.index_of(me)` of the `pr × pc` grid (row-major).
-    pub output: SummaOutput,
-    /// Process-grid shape of the successful attempt (near-square for the
-    /// survivor count).
-    pub pr: usize,
-    /// Process-grid columns of the successful attempt.
-    pub pc: usize,
-    /// World ranks alive at the successful attempt, ascending.
-    pub survivors: Vec<usize>,
-    /// Number of attempts the run took (1 = no failure observed).
-    pub attempts: usize,
-}
-
-/// Run SUMMA with rank-failure recovery: each attempt lays the
-/// near-square grid for the survivor count over the surviving ranks; a
-/// kill mid-attempt makes every survivor abandon the attempt, rally, and
-/// retry on the shrunken grid (same protocol as
-/// `grid3d::alg1_with_recovery` — see its docs for the contract).
-pub fn summa_with_recovery(
-    rank: &mut Rank,
-    dims: MatMulDims,
-    kernel: Kernel,
-    a: &Matrix,
-    b: &Matrix,
-) -> Result<SummaRecovery, RankFailed> {
-    poll_now(summa_with_recovery_a(rank, dims, kernel, a, b))
-}
-
-/// Async form of [`summa_with_recovery`] (event-loop programs).
-pub async fn summa_with_recovery_a(
-    rank: &mut Rank,
-    dims: MatMulDims,
-    kernel: Kernel,
-    a: &Matrix,
-    b: &Matrix,
-) -> Result<SummaRecovery, RankFailed> {
-    let world_size = rank.world_size();
-    let mut attempts = 0;
-    let mut round: u64 = 0;
-    loop {
-        let dead = rank.dead_ranks();
-        let survivors: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
-        let base =
-            if dead.is_empty() { rank.world_comm() } else { rank.recovery_split_a(round).await };
-        let (pr, pc) = near_square_factors(survivors.len());
-        let cfg = SummaConfig { dims, pr, pc, kernel };
-        attempts += 1;
-        let attempt =
-            pmm_simnet::catch_failures_async!(rank, summa_on_a(&mut *rank, &base, &cfg, a, b));
-        let completed = match attempt {
-            Err(failed) if failed.rank == rank.world_rank() => return Err(failed),
-            Err(_) => None,
-            Ok(output) => Some(output),
-        };
-        rank.hard_sync_a().await;
-        round += 1;
-        if let Some(output) = completed {
-            if rank.dead_ranks() == dead {
-                return Ok(SummaRecovery { output, pr, pc, survivors, attempts });
-            }
-        }
-    }
 }
 
 async fn bcast_panel(

@@ -21,7 +21,7 @@
 use pmm_collectives::{bcast_a, reduce_a, BcastAlgo, ReduceAlgo};
 use pmm_dense::{block_range, gemm_acc, Kernel, Matrix};
 use pmm_model::MatMulDims;
-use pmm_simnet::{poll_now, Rank};
+use pmm_simnet::{poll_now, Comm, Rank};
 
 /// Configuration for [`twofived`].
 #[derive(Debug, Clone)]
@@ -59,22 +59,47 @@ pub async fn twofived_a(
 ) -> TwoFiveDOutput {
     let (q, c) = (cfg.q, cfg.c);
     assert_eq!(rank.world_size(), c * q * q, "world size must be c·q²");
+    let world = rank.world_comm();
+    twofived_on_a(rank, &world, cfg, a, b).await
+}
+
+/// Run the 2.5D algorithm on communicator `base` instead of the world
+/// (recovery runs use a survivor communicator). The first `c·q²`
+/// members are active; later members participate in the three splits
+/// with a negative color and return `c_block: None` like non-layer-0
+/// ranks.
+pub async fn twofived_on_a(
+    rank: &mut Rank,
+    base: &Comm,
+    cfg: &TwoFiveDConfig,
+    a: &Matrix,
+    b: &Matrix,
+) -> TwoFiveDOutput {
+    let (q, c) = (cfg.q, cfg.c);
+    assert!(base.size() >= c * q * q, "communicator too small for c layers of q × q");
     assert!(q % c == 0, "2.5D requires c | q (got q={q}, c={c})");
     let dims = cfg.dims;
     let (n1, n2, n3) = (dims.n1 as usize, dims.n2 as usize, dims.n3 as usize);
 
-    // Rank layout: world = l·q² + i·q + j.
-    let me = rank.world_rank();
+    // Rank layout: base index = l·q² + i·q + j.
+    let me = base.index();
+    if me >= c * q * q {
+        // Idle member: opt out of all three splits (MPI_UNDEFINED).
+        for _ in 0..3 {
+            let none = rank.split_a(base, -1, me as i64).await;
+            debug_assert!(none.is_none());
+        }
+        return TwoFiveDOutput { c_block: None };
+    }
     let l = me / (q * q);
     let (i, j) = ((me % (q * q)) / q, me % q);
 
-    let world = rank.world_comm();
     // Row comm within my layer (vary j), column comm within my layer
     // (vary i), fiber comm across layers (vary l).
-    let row = rank.split_a(&world, (l * q + i) as i64, j as i64).await.expect("row comm");
-    let col = rank.split_a(&world, (q * q + l * q + j) as i64, i as i64).await.expect("col comm");
+    let row = rank.split_a(base, (l * q + i) as i64, j as i64).await.expect("row comm");
+    let col = rank.split_a(base, (q * q + l * q + j) as i64, i as i64).await.expect("col comm");
     let fiber =
-        rank.split_a(&world, (2 * q * q + i * q + j) as i64, l as i64).await.expect("fiber comm");
+        rank.split_a(base, (2 * q * q + i * q + j) as i64, l as i64).await.expect("fiber comm");
     debug_assert_eq!(row.size(), q);
     debug_assert_eq!(col.size(), q);
     debug_assert_eq!(fiber.size(), c);

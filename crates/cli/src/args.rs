@@ -345,11 +345,19 @@ USAGE:
       continuations; executes P up to 10^5-10^6 for real) or 'threads'
       (one OS thread per rank); PMM_ENGINE sets the default. --faults
       injects seeded message faults and rank failures (recovered by
-      re-running on the surviving grid); SPEC is comma-separated
-      key=value pairs: drop/dup/corrupt/delay (rates), timeout, cap,
-      retries, seed (fault seed), kill=RANK@OP, slow=RANKxFACTOR — e.g.
-      --faults drop=0.05,kill=2@5,seed=0xFA. Exits nonzero if the
-      product is wrong or a failure is not recovered.
+      checkpointed re-planning onto the optimal grid of the survivors);
+      SPEC is comma-separated key=value pairs: drop/dup/corrupt/delay
+      (rates), timeout, cap, retries, seed (fault seed),
+      kill=RANK@OP (repeatable), cascade=RANK@EPOCH (kill RANK at its
+      next operation once EPOCH deaths have occurred),
+      part=R1+R2+...@LO..HI#HEAL (network partition: messages crossing
+      the cut are blackholed for sequence numbers LO..HI until HEAL
+      failed attempts, then the partition heals),
+      storm=RATExFACTOR (straggler storm: a RATE fraction of messages
+      slowed by FACTOR), slow=RANKxFACTOR — e.g.
+      --faults drop=0.05,kill=2@5,cascade=7@1,part=0+1@2..30#2,seed=0xFA.
+      Exits nonzero if the product is wrong or a failure is not
+      recovered.
   pmm trace    --dims N1xN2xN3 --procs P [--grid AxBxC] [--seed S]
                [--out FILE]
       Run Algorithm 1 with structured tracing on: report the per-phase

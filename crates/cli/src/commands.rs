@@ -3,13 +3,16 @@
 
 use std::fmt::Write as _;
 
-use pmm_algs::{alg1, alg1_a, alg1_with_recovery_a, assemble_c, Alg1Config, Assembly};
+use pmm_algs::{
+    alg1, alg1_a, assemble_c, assemble_recovered, run_recoverable_a, Alg1Config, Assembly, CShare,
+    Recoverable,
+};
 use pmm_core::advisor::{recommend, Strategy};
 use pmm_core::gridopt::{alg1_cost_words, best_grid, continuous_grid};
 use pmm_core::memlimit::{limited_memory_report, min_memory_words, Dominant};
 use pmm_core::theorem3::lower_bound;
 use pmm_dense::{gemm, random_int_matrix, Kernel};
-use pmm_model::{alg1_prediction, Grid3, MachineParams, MatMulDims};
+use pmm_model::{alg1_prediction, recovery_prediction, Grid3, MachineParams, MatMulDims};
 use pmm_serve::ServeConfig;
 use pmm_simnet::{seed_from_env, Engine, FaultPlan, World};
 
@@ -237,8 +240,9 @@ fn simulate_faulty(
             Box::pin(async move {
                 let a = random_int_matrix(n1, n2, -3..4, seed);
                 let b = random_int_matrix(n2, n3, -3..4, seed + 1);
-                alg1_with_recovery_a(rank, dims, Kernel::Tiled, Assembly::ReduceScatter, &a, &b)
-                    .await
+                let spec =
+                    Recoverable::Alg1 { kernel: Kernel::Tiled, assembly: Assembly::ReduceScatter };
+                run_recoverable_a(rank, &spec, dims, &a, &b).await
             })
         })
     }));
@@ -268,28 +272,35 @@ fn simulate_faulty(
             let _ = writeln!(s, "rank failure : {failed}");
         }
     }
-    let grid = ok.grid;
+    let plan_used = ok.plan.clone();
     let survivors = ok.survivors.clone();
     let _ = writeln!(
         s,
-        "recovery     : {} attempt(s); survivors {:?} on grid {}",
+        "recovery     : {} attempt(s); survivors {:?} on layout {}",
         ok.attempts(),
         survivors,
-        grid
+        plan_used
     );
-    let chunks: Vec<_> = survivors
+    let shares: Vec<CShare> = survivors
         .iter()
-        .map(|&w| out.values[w].as_ref().expect("survivor").output.c_chunk.clone())
+        .map(|&w| out.values[w].as_ref().expect("survivor").share.clone())
         .collect();
     let a = random_int_matrix(n1, n2, -3..4, seed);
     let b = random_int_matrix(n2, n3, -3..4, seed + 1);
-    let correct = assemble_c(dims, grid, &chunks) == gemm(&a, &b, Kernel::Tiled);
+    let correct = assemble_recovered(dims, &plan_used, &shares) == gemm(&a, &b, Kernel::Tiled);
     let _ = writeln!(s, "product      : {}", if correct { "correct ✓" } else { "WRONG ✗" });
-    let pred = alg1_prediction(dims, grid.dims()).total();
+    let pred = recovery_prediction(dims, &ok.attempt_plans, &ok.attempt_survivors);
     let goodput = out.reports[survivors[0]].meter.words_sent;
     let retry: u64 = out.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
     let _ = writeln!(s, "goodput      : {goodput} words on rank {} (all attempts)", survivors[0]);
-    let _ = writeln!(s, "eq.(3) model : {pred:.3} words/processor (final grid, one attempt)");
+    let _ = writeln!(
+        s,
+        "model        : final attempt {:.0} words total across ranks (+{:.0} restore); \
+         whole run ≤ {:.0}",
+        pred.last().run_words_total,
+        pred.last().restore_words_total,
+        pred.total_upper_bound_words()
+    );
     let _ = writeln!(s, "retry waste  : {retry} words total across ranks (separate from goodput)");
     (s, u8::from(!correct))
 }

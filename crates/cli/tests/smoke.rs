@@ -54,6 +54,29 @@ fn simulate_with_faults_recovers_and_exits_zero() {
 }
 
 #[test]
+fn simulate_with_multi_fault_partition_plan_recovers_and_exits_zero() {
+    // The full fault grammar in one plan: two deaths (a pinned kill and
+    // a cascade triggered by it), a healing partition, and a straggler
+    // storm. Recovery must re-plan onto the survivors and still verify.
+    let out = pmm(&[
+        "simulate",
+        "--dims",
+        "24x24x24",
+        "--procs",
+        "10",
+        "--seed",
+        "7",
+        "--faults",
+        "drop=0.03,kill=4@5,cascade=9@1,part=0+1@2..20#2,storm=0.2x2.0,seed=0xFA",
+    ]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "exit: {:?}\n{text}", out.status);
+    assert!(text.contains("correct ✓"), "{text}");
+    assert!(text.contains("survivors"), "must report the survivor set: {text}");
+    assert!(text.contains("attempt(s)"), "must report the attempt count: {text}");
+}
+
+#[test]
 fn simulate_unrecoverable_fault_exits_nonzero() {
     // Zero retransmissions under heavy drop: the first lost copy
     // exhausts the sender's budget and the run must fail with a report

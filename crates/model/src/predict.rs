@@ -76,42 +76,309 @@ pub fn alg1_prediction(dims: MatMulDims, grid: [usize; 3]) -> Alg1Prediction {
     }
 }
 
-/// Predicted goodput cost of a rank-failure recovery run of Algorithm 1:
-/// one eq. (3) evaluation per attempt (each attempt re-runs the whole
-/// multiplication on the grid its survivors chose; abandoned attempts
-/// are *upper-bounded* by their full eq. (3) term, since a kill truncates
-/// them partway).
+/// The layout one recovery attempt runs on — one variant per algorithm
+/// the generic `Recoverable` wrapper in `pmm-algs` can drive. The model
+/// prices each variant's full-run goodput in closed form
+/// ([`run_words_total`]), which is what makes recovery goodput
+/// assertions exact per algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgPlan {
+    /// Algorithm 1 on a `p1 × p2 × p3` grid (§5.2 optimum of the
+    /// survivors).
+    Alg1 {
+        /// Processor grid `[p1, p2, p3]`.
+        grid: [usize; 3],
+    },
+    /// Streamed Algorithm 1: same grid and same goodput as
+    /// [`AlgPlan::Alg1`], with the A/B all-gathers split into `slabs`
+    /// pieces.
+    Alg1Streamed {
+        /// Processor grid `[p1, p2, p3]`.
+        grid: [usize; 3],
+        /// Number of streamed slabs.
+        slabs: usize,
+    },
+    /// SUMMA on a `pr × pc` process grid.
+    Summa {
+        /// Process rows.
+        pr: usize,
+        /// Process columns.
+        pc: usize,
+    },
+    /// Cannon on a `q × q` torus (survivors beyond `q²` idle).
+    Cannon {
+        /// Torus side.
+        q: usize,
+    },
+    /// 2.5D on `c` layers of a `q × q` grid (survivors beyond `c·q²`
+    /// idle).
+    TwoFiveD {
+        /// Grid side.
+        q: usize,
+        /// Replication layers (`c` divides `q`).
+        c: usize,
+    },
+    /// CARMA recursion over `p` ranks (`p` a power of two; survivors
+    /// beyond `p` idle).
+    Carma {
+        /// Active processor count.
+        p: usize,
+    },
+}
+
+impl AlgPlan {
+    /// Ranks that actively participate in the run (idle survivors not
+    /// counted).
+    pub fn active(&self) -> usize {
+        match *self {
+            AlgPlan::Alg1 { grid } | AlgPlan::Alg1Streamed { grid, .. } => grid.iter().product(),
+            AlgPlan::Summa { pr, pc } => pr * pc,
+            AlgPlan::Cannon { q } => q * q,
+            AlgPlan::TwoFiveD { q, c } => c * q * q,
+            AlgPlan::Carma { p } => p,
+        }
+    }
+
+    /// Short algorithm name for reports.
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            AlgPlan::Alg1 { .. } => "alg1",
+            AlgPlan::Alg1Streamed { .. } => "alg1_streamed",
+            AlgPlan::Summa { .. } => "summa",
+            AlgPlan::Cannon { .. } => "cannon",
+            AlgPlan::TwoFiveD { .. } => "twofived",
+            AlgPlan::Carma { .. } => "carma",
+        }
+    }
+}
+
+impl std::fmt::Display for AlgPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AlgPlan::Alg1 { grid: [p1, p2, p3] } => write!(f, "alg1[{p1}x{p2}x{p3}]"),
+            AlgPlan::Alg1Streamed { grid: [p1, p2, p3], slabs } => {
+                write!(f, "alg1_streamed[{p1}x{p2}x{p3}/{slabs}]")
+            }
+            AlgPlan::Summa { pr, pc } => write!(f, "summa[{pr}x{pc}]"),
+            AlgPlan::Cannon { q } => write!(f, "cannon[{q}x{q}]"),
+            AlgPlan::TwoFiveD { q, c } => write!(f, "twofived[{q}x{q}x{c}]"),
+            AlgPlan::Carma { p } => write!(f, "carma[{p}]"),
+        }
+    }
+}
+
+/// Length of part `i` of `0..n` split into `parts` (extras spread over
+/// the first parts — the same convention as `pmm_dense::block_range`,
+/// mirrored here because the model crate sits below the dense crate).
+fn part_len(n: u64, parts: u64, i: u64) -> u64 {
+    n / parts + u64::from(i < n % parts)
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    a / gcd(a, b) * b
+}
+
+/// Total words a binomial-tree scatter of `w` words over `k` ranks
+/// sends: each non-root receives its subtree's payload exactly once, so
+/// the total is `chunk · Σ_{v=1}^{k-1} min(lowbit(v), k − v)` for
+/// uniform chunks `w / k`.
+fn binomial_scatter_words(w: u64, k: u64) -> u64 {
+    let chunk = w / k;
+    let subtree_sum: u64 = (1..k).map(|v| (v & v.wrapping_neg()).min(k - v)).sum();
+    chunk * subtree_sum
+}
+
+/// Total words one broadcast of `w` words over `k` ranks sends, summed
+/// over all ranks, for the collective-selection rule the SUMMA panel
+/// broadcast uses: scatter + ring all-gather when `k | w` (scatter as
+/// above, all-gather `(k−1)·w`), binomial tree (`(k−1)·w`) otherwise.
+fn bcast_words_total(w: u64, k: u64) -> u64 {
+    if k <= 1 || w == 0 {
+        0
+    } else if w.is_multiple_of(k) {
+        binomial_scatter_words(w, k) + (k - 1) * w
+    } else {
+        (k - 1) * w
+    }
+}
+
+/// Per-rank words of the CARMA recursion (mirrors
+/// `pmm_algs::carma_cost_words`, which lives above this crate).
+fn carma_words_per_rank(n1: f64, n2: f64, n3: f64, p: f64) -> f64 {
+    if p <= 1.0 {
+        return 0.0;
+    }
+    if n1 >= n2 && n1 >= n3 {
+        n2 * n3 / p + carma_words_per_rank(n1 / 2.0, n2, n3, p / 2.0)
+    } else if n3 >= n1 && n3 >= n2 {
+        n1 * n2 / p + carma_words_per_rank(n1, n2, n3 / 2.0, p / 2.0)
+    } else {
+        n1 * n3 / p + carma_words_per_rank(n1, n2 / 2.0, n3, p / 2.0)
+    }
+}
+
+/// Total goodput words **sent across all ranks** by one clean run of
+/// `plan` on `dims` — the exact sum of the surviving ranks' `words_sent`
+/// meters (excluding fault retries, which are metered separately).
+///
+/// Every term mirrors the executed communication structure:
+///
+/// - `alg1` / `alg1_streamed`: `P ×` eq. (3) (exact when the grid
+///   divides the dimensions; the streamed variant moves identical
+///   totals, slab by slab).
+/// - `summa`: per-panel broadcasts priced by the collective cost model
+///   (scatter–all-gather when the panel length divides the
+///   communicator, binomial otherwise).
+/// - `cannon`: skew exchanges (every rank off the zero row/column
+///   sends its block once) plus `q − 1` full-block rotations.
+/// - `twofived`: binomial input replication over the `c` fibers, the
+///   per-layer skew, `q/c − 1` rotations on all layers, and the
+///   binomial C reduction back to layer 0.
+/// - `carma`: `p ×` the recursion's per-rank closed form.
+pub fn run_words_total(dims: MatMulDims, plan: &AlgPlan) -> f64 {
+    let (n1, n2, n3) = (dims.n1, dims.n2, dims.n3);
+    match *plan {
+        AlgPlan::Alg1 { grid } | AlgPlan::Alg1Streamed { grid, .. } => {
+            let p: usize = grid.iter().product();
+            p as f64 * alg1_prediction(dims, grid).total()
+        }
+        AlgPlan::Summa { pr, pc } => {
+            let (pr, pc) = (pr as u64, pc as u64);
+            let s = lcm(pr, pc);
+            let mut total = 0u64;
+            for t in 0..s {
+                let w = part_len(n2, s, t);
+                for i in 0..pr {
+                    total += bcast_words_total(part_len(n1, pr, i) * w, pc);
+                }
+                for j in 0..pc {
+                    total += bcast_words_total(w * part_len(n3, pc, j), pr);
+                }
+            }
+            total as f64
+        }
+        AlgPlan::Cannon { q } => {
+            let q = q as u64;
+            if q <= 1 {
+                return 0.0;
+            }
+            let skew = (n1 - part_len(n1, q, 0)) * n2 + n2 * (n3 - part_len(n3, q, 0));
+            let rotate = (q - 1) * (n1 * n2 + n2 * n3);
+            (skew + rotate) as f64
+        }
+        AlgPlan::TwoFiveD { q, c } => {
+            let (q, c) = (q as u64, c as u64);
+            let inputs = n1 * n2 + n2 * n3;
+            let replicate = (c - 1) * inputs;
+            // Layer l skews by (l·q/c) mod q; exactly one row (and one
+            // column) index sits at shift 0 and keeps its block.
+            let mut skew = 0u64;
+            for l in 0..c {
+                let shift = (l * (q / c)) % q;
+                let home = (q - shift) % q;
+                skew += (n1 - part_len(n1, q, home)) * n2 + n2 * (n3 - part_len(n3, q, home));
+            }
+            let rotate = (q - c) * inputs;
+            let reduce = (c - 1) * n1 * n3;
+            (replicate + skew + rotate + reduce) as f64
+        }
+        AlgPlan::Carma { p } => {
+            p as f64 * carma_words_per_rank(n1 as f64, n2 as f64, n3 as f64, p as f64)
+        }
+    }
+}
+
+/// Total words one checkpoint capture or redistribution round moves
+/// across all ranks: the buddy ring sends every rank's owned A and B
+/// words exactly once, so the total is `|A| + |B|` whenever more than
+/// one rank participates (and zero for a single rank, which keeps its
+/// blocks in place).
+pub fn restore_words_total(dims: MatMulDims, survivors: usize) -> f64 {
+    if survivors <= 1 {
+        0.0
+    } else {
+        (dims.n1 * dims.n2 + dims.n2 * dims.n3) as f64
+    }
+}
+
+/// Predicted goodput of one attempt of a checkpointed recovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptPrediction {
+    /// The layout this attempt ran on.
+    pub plan: AlgPlan,
+    /// Restore-phase goodput total across ranks: the checkpoint capture
+    /// on the first attempt, redistribution from checkpoints on later
+    /// ones — both are priced by [`restore_words_total`].
+    pub restore_words_total: f64,
+    /// Algorithm-run goodput total across ranks
+    /// ([`run_words_total`]); exact for the successful attempt, an
+    /// upper bound for abandoned ones (a kill truncates them partway).
+    pub run_words_total: f64,
+    /// Per-rank eq. (3) phase terms when the plan is an Algorithm 1
+    /// grid (plain or streamed); `None` for the other algorithms.
+    pub alg1_phases: Option<Alg1Prediction>,
+}
+
+/// Predicted goodput cost of a checkpointed recovery run: one entry per
+/// attempt, each pricing its restore traffic and its full re-run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryPrediction {
-    /// Per-attempt phase predictions, first to last. The last entry is
-    /// the successful attempt, and its phases are exact (on divisible
-    /// grids) for the surviving ranks' goodput meters.
-    pub attempts: Vec<Alg1Prediction>,
+    /// Per-attempt predictions, first to last. The last entry is the
+    /// successful attempt; its totals are exact for the surviving
+    /// ranks' goodput meters.
+    pub attempts: Vec<AttemptPrediction>,
 }
 
 impl RecoveryPrediction {
     /// The successful (final) attempt's prediction.
-    pub fn last(&self) -> &Alg1Prediction {
+    pub fn last(&self) -> &AttemptPrediction {
         self.attempts.last().expect("recovery has at least one attempt")
     }
 
-    /// Upper bound on total per-processor goodput words across all
+    /// Upper bound on total goodput words across all ranks and all
     /// attempts (abandoned attempts counted in full).
-    pub fn total_upper_bound(&self) -> f64 {
-        self.attempts.iter().map(Alg1Prediction::total).sum()
+    pub fn total_upper_bound_words(&self) -> f64 {
+        self.attempts.iter().map(|a| a.restore_words_total + a.run_words_total).sum()
     }
 }
 
-/// Evaluate eq. (3) for every attempt of a recovery run. `attempt_grids`
-/// is the grid each attempt used, first to last — the caller (which knows
-/// the survivor counts and its grid optimizer) supplies them; e.g.
-/// `pmm_algs::RecoveryOutput::attempt_grids` records exactly this.
+/// Price every attempt of a checkpointed recovery run: `plans` is the
+/// layout each attempt used, first to last, and `survivors` the number
+/// of ranks that participated in each attempt (the checkpoint /
+/// redistribution ring size) — both recorded by the `Recoverable`
+/// wrapper in `pmm-algs`.
 ///
-/// Panics if `attempt_grids` is empty.
-pub fn recovery_prediction(dims: MatMulDims, attempt_grids: &[[usize; 3]]) -> RecoveryPrediction {
-    assert!(!attempt_grids.is_empty(), "recovery has at least one attempt");
+/// Panics if `plans` is empty or the lengths disagree.
+pub fn recovery_prediction(
+    dims: MatMulDims,
+    plans: &[AlgPlan],
+    survivors: &[usize],
+) -> RecoveryPrediction {
+    assert!(!plans.is_empty(), "recovery has at least one attempt");
+    assert_eq!(plans.len(), survivors.len(), "one survivor count per attempt");
     RecoveryPrediction {
-        attempts: attempt_grids.iter().map(|&g| alg1_prediction(dims, g)).collect(),
+        attempts: plans
+            .iter()
+            .zip(survivors)
+            .map(|(plan, &s)| AttemptPrediction {
+                plan: plan.clone(),
+                restore_words_total: restore_words_total(dims, s),
+                run_words_total: run_words_total(dims, plan),
+                alg1_phases: match *plan {
+                    AlgPlan::Alg1 { grid } | AlgPlan::Alg1Streamed { grid, .. } => {
+                        Some(alg1_prediction(dims, grid))
+                    }
+                    _ => None,
+                },
+            })
+            .collect(),
     }
 }
 
@@ -136,5 +403,86 @@ mod tests {
         assert_eq!(p.allgather_a, 0.0);
         assert_eq!(p.reduce_c, 0.0);
         assert!(p.allgather_b > 0.0);
+    }
+
+    #[test]
+    fn alg1_run_total_is_p_times_eq3() {
+        let dims = MatMulDims::new(24, 24, 24);
+        let plan = AlgPlan::Alg1 { grid: [2, 2, 2] };
+        assert_eq!(run_words_total(dims, &plan), 8.0 * alg1_prediction(dims, [2, 2, 2]).total());
+        let streamed = AlgPlan::Alg1Streamed { grid: [2, 2, 2], slabs: 3 };
+        assert_eq!(run_words_total(dims, &streamed), run_words_total(dims, &plan));
+    }
+
+    #[test]
+    fn cannon_run_total_counts_skew_and_rotations() {
+        // 6×6×6 on a 3×3 torus: skew moves 2/3 of each input, rotations
+        // move both inputs twice in full.
+        let dims = MatMulDims::new(6, 6, 6);
+        let skew = 2.0 * (36.0 - 12.0);
+        let rotate = 2.0 * (36.0 + 36.0);
+        assert_eq!(run_words_total(dims, &AlgPlan::Cannon { q: 3 }), skew + rotate);
+        // q = 1 is a purely local run.
+        assert_eq!(run_words_total(dims, &AlgPlan::Cannon { q: 1 }), 0.0);
+    }
+
+    #[test]
+    fn twofived_with_one_layer_degenerates_to_cannon() {
+        let dims = MatMulDims::new(12, 8, 4);
+        assert_eq!(
+            run_words_total(dims, &AlgPlan::TwoFiveD { q: 2, c: 1 }),
+            run_words_total(dims, &AlgPlan::Cannon { q: 2 }),
+        );
+    }
+
+    #[test]
+    fn binomial_scatter_counts_subtree_payloads() {
+        // p = 4, w = 8: root sends 2 chunks to vrank 2, then 1 chunk to
+        // vrank 1; vrank 2 sends 1 chunk to vrank 3 → 4 chunks of 2 words.
+        assert_eq!(binomial_scatter_words(8, 4), 8);
+        // p = 2: one chunk travels once.
+        assert_eq!(binomial_scatter_words(8, 2), 4);
+    }
+
+    #[test]
+    fn bcast_total_picks_sag_only_on_divisible_lengths() {
+        // Indivisible: binomial, (k-1)·w.
+        assert_eq!(bcast_words_total(7, 4), 21);
+        // Divisible: scatter + ring all-gather.
+        assert_eq!(bcast_words_total(8, 4), 8 + 3 * 8);
+        assert_eq!(bcast_words_total(0, 4), 0);
+        assert_eq!(bcast_words_total(9, 1), 0);
+    }
+
+    #[test]
+    fn carma_total_is_p_times_the_recursion() {
+        let dims = MatMulDims::new(32, 8, 16);
+        // One n1 split (share |B|/p), then n3 (|A|/p), then balanced.
+        let per_rank = carma_words_per_rank(32.0, 8.0, 16.0, 4.0);
+        assert_eq!(run_words_total(dims, &AlgPlan::Carma { p: 4 }), 4.0 * per_rank);
+        assert_eq!(run_words_total(dims, &AlgPlan::Carma { p: 1 }), 0.0);
+    }
+
+    #[test]
+    fn restore_total_is_the_input_footprint() {
+        let dims = MatMulDims::new(12, 8, 4);
+        assert_eq!(restore_words_total(dims, 5), (12 * 8 + 8 * 4) as f64);
+        assert_eq!(restore_words_total(dims, 1), 0.0, "a lone rank keeps its blocks");
+    }
+
+    #[test]
+    fn recovery_prediction_prices_every_attempt() {
+        let dims = MatMulDims::new(24, 24, 24);
+        let plans = [AlgPlan::Alg1 { grid: [3, 3, 1] }, AlgPlan::Alg1 { grid: [2, 2, 2] }];
+        let pred = recovery_prediction(dims, &plans, &[9, 8]);
+        assert_eq!(pred.attempts.len(), 2);
+        assert_eq!(pred.last().plan, plans[1]);
+        assert!(pred.last().alg1_phases.is_some());
+        assert_eq!(
+            pred.total_upper_bound_words(),
+            2.0 * restore_words_total(dims, 9)
+                + run_words_total(dims, &plans[0])
+                + run_words_total(dims, &plans[1])
+        );
     }
 }

@@ -537,6 +537,16 @@ impl Fabric {
         fault_watch.is_some_and(|watch| self.fault_epoch() > watch)
     }
 
+    /// Whether a watched directed receive must abandon its wait: the
+    /// fault epoch moved past the watermark, **or** the awaited peer is
+    /// already dead. The second arm matters when the peer died between
+    /// this rank's last dead-set read and the arming of its catch scope
+    /// — that death never bumps the epoch again, so the watermark alone
+    /// would leave the receiver blocked on a corpse forever.
+    fn recv_fault_kicked(&self, fault_watch: Option<u64>, from_world: usize) -> bool {
+        fault_watch.is_some() && (self.fault_kicked(fault_watch) || self.is_dead_rank(from_world))
+    }
+
     /// Switch this fabric into deterministic scheduling mode under a
     /// [`Schedule`]. Must be called before any rank thread starts (the
     /// world does this between constructing the fabric and spawning
@@ -1035,7 +1045,7 @@ impl Fabric {
                 self.det_touch(Resource::Mailbox { ctx, index });
                 return Some(m);
             }
-            if self.fault_kicked(fault_watch) {
+            if self.recv_fault_kicked(fault_watch, from_world) {
                 return None;
             }
         }
@@ -1056,7 +1066,7 @@ impl Fabric {
                 self.verify.clear_wait(me_world);
                 return Some(m);
             }
-            if self.fault_kicked(fault_watch) {
+            if self.recv_fault_kicked(fault_watch, from_world) {
                 self.verify.clear_wait(me_world);
                 return None;
             }
@@ -1119,7 +1129,7 @@ impl Fabric {
             self.det_touch(Resource::Mailbox { ctx, index });
             return Some(m);
         }
-        if self.fault_kicked(fault_watch) {
+        if self.recv_fault_kicked(fault_watch, from_world) {
             return None;
         }
         self.verify.set_wait(
@@ -1143,7 +1153,7 @@ impl Fabric {
                     self.verify.clear_wait(me_world);
                     return Some(m);
                 }
-                if self.fault_kicked(fault_watch) {
+                if self.recv_fault_kicked(fault_watch, from_world) {
                     self.verify.clear_wait(me_world);
                     return None;
                 }
@@ -1158,7 +1168,7 @@ impl Fabric {
                 self.verify.clear_wait(me_world);
                 return Some(m);
             }
-            if self.fault_kicked(fault_watch) {
+            if self.recv_fault_kicked(fault_watch, from_world) {
                 self.verify.clear_wait(me_world);
                 return None;
             }

@@ -4,11 +4,30 @@
 //! fabric lossy: messages can be dropped, duplicated, corrupted
 //! (single-bit flip, caught by a per-message checksum), or delayed; a
 //! rank can be slowed into a straggler or killed outright at a chosen
-//! operation. Every decision is a pure hash of
+//! operation. Every per-copy decision is a pure hash of
 //! `(fault seed, ctx, sender, receiver, channel sequence, attempt)`
 //! through the same SplitMix64 mixer the deterministic scheduler uses —
 //! so outcomes are independent of thread interleaving, and the triple
 //! `(program, seed, plan)` replays byte-identically.
+//!
+//! Beyond the single-copy faults, a plan composes three multi-fault
+//! clauses:
+//!
+//! - **Cascading kills** ([`CascadeSpec`], `cascade=R@E`): rank `R`
+//!   dies at its next communication operation once the fault epoch
+//!   (deaths observed so far) reaches `E` — correlated failures that
+//!   strike *because* an earlier rank died.
+//! - **Healing partitions** ([`Partition`], `part=R1+R2@LO..HI#HEAL`):
+//!   every copy crossing the cut between the listed ranks and the rest
+//!   of the world is blackholed while its channel sequence lies in
+//!   `[LO, HI)` and its attempt number is `< HEAL`. Reliable delivery
+//!   retransmits through the outage; the link "heals" at attempt
+//!   `HEAL`, so the payload still lands and the outage cost shows up
+//!   in the `retry_*` meters. A pure function of (channel, seq,
+//!   attempt) — schedule-independent like every other decision.
+//! - **Straggler storms** ([`Storm`], `storm=RATExFACTOR`): each rank
+//!   is independently slowed by `FACTOR` with probability `RATE`,
+//!   drawn from a pure hash of (fault seed, rank).
 //!
 //! On top of the lossy fabric, [`Rank::send`] runs a reliable-delivery
 //! protocol: sends are sequence-numbered and acknowledged, with a
@@ -57,6 +76,62 @@ pub struct Straggler {
     /// World rank to slow down.
     pub rank: usize,
     /// Time multiplier (≥ 1.0 models a slow node; must be > 0).
+    pub factor: f64,
+}
+
+/// Kill world rank `rank` at its next communication operation once the
+/// fault epoch (number of deaths so far) reaches `at_epoch` — a
+/// correlated kill that triggers *because* earlier ranks died. Under a
+/// fixed `(program, seed, plan)` triple the deterministic scheduler
+/// makes the trigger point exact, so cascades replay byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadeSpec {
+    /// World rank to kill.
+    pub rank: usize,
+    /// Fault epoch (≥ 1) at which the kill arms.
+    pub at_epoch: u64,
+}
+
+/// A healing link-level partition: every transmitted copy crossing the
+/// cut between `ranks` and the rest of the world is blackholed while
+/// its channel sequence number lies in `[from_seq, until_seq)` and its
+/// attempt number is below `heal_attempt`. Reliable delivery
+/// retransmits through the outage and succeeds once the link heals, so
+/// partitions cost retries (and backoff time) but never goodput.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// World ranks on the isolated side of the cut.
+    pub ranks: Vec<usize>,
+    /// First channel sequence number affected (inclusive).
+    pub from_seq: u64,
+    /// First channel sequence number no longer affected (exclusive).
+    pub until_seq: u64,
+    /// Attempt index at which the link heals: copies with
+    /// `attempt < heal_attempt` are blackholed. Must stay ≤
+    /// `max_retries` so delivery still completes.
+    pub heal_attempt: u32,
+}
+
+impl Partition {
+    /// Whether this partition blackholes the given copy.
+    fn blackholes(&self, tx: Transmission) -> bool {
+        let from_in = self.ranks.contains(&tx.from_world);
+        let to_in = self.ranks.contains(&tx.to_world);
+        from_in != to_in
+            && (self.from_seq..self.until_seq).contains(&tx.seq)
+            && tx.attempt < self.heal_attempt
+    }
+}
+
+/// A straggler storm: each rank is independently slowed by `factor`
+/// with probability `rate`, drawn from a pure hash of
+/// (fault seed, rank). Explicit [`Straggler`] entries take precedence
+/// for the ranks they name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Storm {
+    /// Per-rank probability of being slowed, in `[0, 1)`.
+    pub rate: f64,
+    /// Time multiplier applied to slowed ranks (must be > 0).
     pub factor: f64,
 }
 
@@ -114,6 +189,13 @@ pub struct FaultPlan {
     pub kills: Vec<KillSpec>,
     /// Ranks to slow down.
     pub stragglers: Vec<Straggler>,
+    /// Correlated kills that arm when the fault epoch reaches a
+    /// threshold (see [`CascadeSpec`]).
+    pub cascades: Vec<CascadeSpec>,
+    /// Healing link-level partitions (see [`Partition`]).
+    pub partitions: Vec<Partition>,
+    /// Probabilistic straggler storm (see [`Storm`]).
+    pub storm: Option<Storm>,
 }
 
 impl Default for FaultPlan {
@@ -129,6 +211,9 @@ impl Default for FaultPlan {
             max_retries: 16,
             kills: Vec::new(),
             stragglers: Vec::new(),
+            cascades: Vec::new(),
+            partitions: Vec::new(),
+            storm: None,
         }
     }
 }
@@ -229,6 +314,37 @@ impl FaultPlan {
         self
     }
 
+    /// Add a cascading kill (see [`CascadeSpec`]).
+    #[must_use]
+    pub fn with_cascade(mut self, rank: usize, at_epoch: u64) -> FaultPlan {
+        self.cascades.push(CascadeSpec { rank, at_epoch });
+        self
+    }
+
+    /// Add a healing partition (see [`Partition`]).
+    #[must_use]
+    pub fn with_partition(
+        mut self,
+        ranks: Vec<usize>,
+        seqs: std::ops::Range<u64>,
+        heal_attempt: u32,
+    ) -> FaultPlan {
+        self.partitions.push(Partition {
+            ranks,
+            from_seq: seqs.start,
+            until_seq: seqs.end,
+            heal_attempt,
+        });
+        self
+    }
+
+    /// Arm a straggler storm (see [`Storm`]).
+    #[must_use]
+    pub fn with_storm(mut self, rate: f64, factor: f64) -> FaultPlan {
+        self.storm = Some(Storm { rate, factor });
+        self
+    }
+
     /// Whether any per-message fault rate is nonzero.
     pub(crate) fn lossy(&self) -> bool {
         self.drop + self.duplicate + self.corrupt + self.delay > 0.0
@@ -249,12 +365,36 @@ impl FaultPlan {
             self.kills.iter().all(|k| k.at_op >= 1),
             "kill operation indices are 1-based (at_op >= 1)"
         );
+        assert!(
+            self.cascades.iter().all(|c| c.at_epoch >= 1),
+            "cascade epochs are 1-based (at_epoch >= 1)"
+        );
+        for p in &self.partitions {
+            assert!(!p.ranks.is_empty(), "a partition must name at least one rank");
+            assert!(p.from_seq < p.until_seq, "partition sequence window must be non-empty");
+            assert!(p.heal_attempt >= 1, "partition heal attempt is 1-based (>= 1)");
+            assert!(
+                p.heal_attempt <= self.max_retries,
+                "partition must heal within max_retries ({} > {}) or delivery cannot complete",
+                p.heal_attempt,
+                self.max_retries
+            );
+        }
+        if let Some(s) = self.storm {
+            assert!((0.0..1.0).contains(&s.rate), "storm rate must be in [0, 1)");
+            assert!(s.factor > 0.0, "storm factor must be positive");
+        }
     }
 
     /// Draw the fate of one transmitted copy. A pure function of its
     /// arguments — never of scheduling — so fault outcomes are identical
     /// across interleavings and replay exactly under a fixed plan.
     pub(crate) fn decide(&self, seed: u64, tx: Transmission) -> FaultAction {
+        // Partitions blackhole deterministically, before any random
+        // draw: the cut is a property of the channel, not of chance.
+        if self.partitions.iter().any(|p| p.blackholes(tx)) {
+            return FaultAction::Drop;
+        }
         if !self.lossy() {
             return FaultAction::Deliver;
         }
@@ -296,9 +436,21 @@ impl FaultPlan {
         (self.timeout * f64::powi(2.0, exp)).min(self.backoff_cap)
     }
 
-    /// Per-rank straggler factor (1.0 when the rank is not listed).
-    pub(crate) fn slowdown_of(&self, rank: usize) -> f64 {
-        self.stragglers.iter().find(|s| s.rank == rank).map_or(1.0, |s| s.factor)
+    /// Per-rank straggler factor (1.0 when the rank is not listed). An
+    /// explicit [`Straggler`] entry wins; otherwise an armed [`Storm`]
+    /// draws the rank's fate from a pure hash of (fault seed, rank).
+    pub(crate) fn slowdown_of(&self, seed: u64, rank: usize) -> f64 {
+        if let Some(s) = self.stragglers.iter().find(|s| s.rank == rank) {
+            return s.factor;
+        }
+        if let Some(storm) = self.storm {
+            let draw =
+                unit_interval(fault_hash(seed ^ 0x5708_3057_0830_5708, [rank as u64, 0, 0, 0, 0]));
+            if draw < storm.rate {
+                return storm.factor;
+            }
+        }
+        1.0
     }
 
     /// Per-rank kill point, if any (first matching entry wins).
@@ -306,10 +458,17 @@ impl FaultPlan {
         self.kills.iter().find(|k| k.rank == rank).map(|k| k.at_op)
     }
 
+    /// Per-rank cascade trigger epoch, if any (first matching entry
+    /// wins).
+    pub(crate) fn cascade_at(&self, rank: usize) -> Option<u64> {
+        self.cascades.iter().find(|c| c.rank == rank).map(|c| c.at_epoch)
+    }
+
     /// Parse the canonical serialization produced by `Display`:
     /// comma-separated `key=value` pairs (`drop`, `dup`, `corrupt`,
-    /// `delay`, `timeout`, `cap`, `retries`, `seed`, repeatable
-    /// `kill=R@OP` and `slow=RxFACTOR`), or the literal `none`.
+    /// `delay`, `timeout`, `cap`, `retries`, `seed`, `storm=RATExFACTOR`,
+    /// repeatable `kill=R@OP`, `slow=RxFACTOR`, `cascade=R@EPOCH` and
+    /// `part=R1+R2@LO..HI#HEAL`), or the literal `none`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         let spec = spec.trim();
@@ -360,10 +519,66 @@ impl FaultPlan {
                         factor: rate(f)?,
                     });
                 }
+                "cascade" => {
+                    let (r, e) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("fault spec cascade={value:?} is not RANK@EPOCH"))?;
+                    plan.cascades.push(CascadeSpec {
+                        rank: r
+                            .parse()
+                            .map_err(|_| format!("fault spec cascade rank {r:?} is not a usize"))?,
+                        at_epoch: e
+                            .parse()
+                            .map_err(|_| format!("fault spec cascade epoch {e:?} is not a u64"))?,
+                    });
+                }
+                "part" => {
+                    let (ranks, window) = value.split_once('@').ok_or_else(|| {
+                        format!("fault spec part={value:?} is not R1+R2@LO..HI#HEAL")
+                    })?;
+                    let (seqs, heal) = window.split_once('#').ok_or_else(|| {
+                        format!("fault spec part window {window:?} is not LO..HI#HEAL")
+                    })?;
+                    let (lo, hi) = seqs.split_once("..").ok_or_else(|| {
+                        format!("fault spec part sequence window {seqs:?} is not LO..HI")
+                    })?;
+                    let parse_rank = |r: &str| {
+                        r.parse::<usize>()
+                            .map_err(|_| format!("fault spec part rank {r:?} is not a usize"))
+                    };
+                    plan.partitions.push(Partition {
+                        ranks: ranks.split('+').map(parse_rank).collect::<Result<_, _>>()?,
+                        from_seq: lo
+                            .parse()
+                            .map_err(|_| format!("fault spec part sequence {lo:?} is not a u64"))?,
+                        until_seq: hi
+                            .parse()
+                            .map_err(|_| format!("fault spec part sequence {hi:?} is not a u64"))?,
+                        heal_attempt: heal.parse().map_err(|_| {
+                            format!("fault spec part heal attempt {heal:?} is not a u32")
+                        })?,
+                    });
+                }
+                "storm" => {
+                    let (r, f) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("fault spec storm={value:?} is not RATExFACTOR"))?;
+                    plan.storm = Some(Storm { rate: rate(r)?, factor: rate(f)? });
+                }
                 other => return Err(format!("fault spec key {other:?} is not recognized")),
             }
         }
         Ok(plan)
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    /// Alias for [`FaultPlan::parse`], so `--faults` specs work with
+    /// `str::parse` and argument parsers.
+    fn from_str(spec: &str) -> Result<FaultPlan, String> {
+        FaultPlan::parse(spec)
     }
 }
 
@@ -403,6 +618,16 @@ impl std::fmt::Display for FaultPlan {
         }
         for s in &self.stragglers {
             parts.push(format!("slow={}x{}", s.rank, s.factor));
+        }
+        for c in &self.cascades {
+            parts.push(format!("cascade={}@{}", c.rank, c.at_epoch));
+        }
+        for p in &self.partitions {
+            let ranks = p.ranks.iter().map(|r| r.to_string()).collect::<Vec<_>>().join("+");
+            parts.push(format!("part={ranks}@{}..{}#{}", p.from_seq, p.until_seq, p.heal_attempt));
+        }
+        if let Some(s) = self.storm {
+            parts.push(format!("storm={}x{}", s.rate, s.factor));
         }
         if parts.is_empty() {
             f.write_str("none")
@@ -615,6 +840,64 @@ mod tests {
     }
 
     #[test]
+    fn display_parse_round_trips_multi_fault_clauses() {
+        let plan = FaultPlan::none()
+            .with_seed(0xFA)
+            .with_drop(0.08)
+            .with_kill(4, 5)
+            .with_cascade(7, 1)
+            .with_cascade(2, 3)
+            .with_partition(vec![1, 2, 3], 4..64, 3)
+            .with_storm(0.25, 4.0);
+        let line = plan.to_string();
+        let back: FaultPlan = line.parse().expect("canonical form parses via FromStr");
+        assert_eq!(back, plan, "round-trip through {line:?}");
+    }
+
+    #[test]
+    fn partition_blackholes_exactly_the_cut_window_and_heals() {
+        let plan = FaultPlan::none().with_partition(vec![1, 2], 4..8, 3);
+        let tx = |from, to, seq, attempt| Transmission {
+            ctx: 0,
+            from_world: from,
+            to_world: to,
+            seq,
+            attempt,
+        };
+        // Crossing the cut inside the window, before the heal: dropped.
+        assert_eq!(plan.decide(7, tx(0, 1, 4, 0)), FaultAction::Drop);
+        assert_eq!(plan.decide(7, tx(2, 5, 7, 2)), FaultAction::Drop);
+        // Attempt at the heal index gets through.
+        assert_eq!(plan.decide(7, tx(0, 1, 4, 3)), FaultAction::Deliver);
+        // Outside the sequence window: unaffected.
+        assert_eq!(plan.decide(7, tx(0, 1, 3, 0)), FaultAction::Deliver);
+        assert_eq!(plan.decide(7, tx(0, 1, 8, 0)), FaultAction::Deliver);
+        // Both endpoints on the same side of the cut: unaffected.
+        assert_eq!(plan.decide(7, tx(1, 2, 5, 0)), FaultAction::Deliver);
+        assert_eq!(plan.decide(7, tx(0, 3, 5, 0)), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn storm_draw_is_pure_and_respects_the_rate() {
+        let plan = FaultPlan::none().with_storm(0.25, 4.0);
+        let slowed = (0..4000).filter(|&r| plan.slowdown_of(7, r) == 4.0).count();
+        assert!((800..1200).contains(&slowed), "slowed = {slowed}");
+        for r in 0..64 {
+            assert_eq!(plan.slowdown_of(7, r), plan.slowdown_of(7, r), "pure per (seed, rank)");
+        }
+        // An explicit straggler entry overrides the storm draw.
+        let pinned = plan.clone().with_straggler(3, 9.0);
+        assert_eq!(pinned.slowdown_of(7, 3), 9.0);
+    }
+
+    #[test]
+    fn cascade_at_reports_the_first_matching_entry() {
+        let plan = FaultPlan::none().with_cascade(5, 2).with_cascade(5, 9);
+        assert_eq!(plan.cascade_at(5), Some(2));
+        assert_eq!(plan.cascade_at(4), None);
+    }
+
+    #[test]
     fn default_plan_displays_and_parses_as_none() {
         assert_eq!(FaultPlan::default().to_string(), "none");
         assert_eq!(FaultPlan::parse("none").expect("parses"), FaultPlan::default());
@@ -628,6 +911,11 @@ mod tests {
         assert!(FaultPlan::parse("kill=4").is_err());
         assert!(FaultPlan::parse("slow=2").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("cascade=4").is_err());
+        assert!(FaultPlan::parse("part=1+2@4..64").is_err(), "missing heal attempt");
+        assert!(FaultPlan::parse("part=1+2@4#3").is_err(), "missing sequence window");
+        assert!(FaultPlan::parse("part=x@4..64#3").is_err(), "non-numeric rank");
+        assert!(FaultPlan::parse("storm=0.25").is_err(), "missing factor");
     }
 
     #[test]

@@ -205,6 +205,9 @@ pub struct Rank {
     last_seen: HashMap<(Ctx, usize), u64>,
     /// Operation index at which the fault plan kills this rank, if any.
     kill_at: Option<u64>,
+    /// Fault epoch at which a cascade entry kills this rank, if any
+    /// (checked at every communication operation).
+    cascade_at: Option<u64>,
     /// Straggler factor from the fault plan (1.0 = full speed; multiplies
     /// every local busy-time advance).
     slowdown: f64,
@@ -233,9 +236,13 @@ impl Rank {
         vclock_audit: bool,
     ) -> Rank {
         let world_size = world_members.len();
-        let (kill_at, slowdown) = match fabric.fault() {
-            Some(f) => (f.plan.kill_at(world_rank), f.plan.slowdown_of(world_rank)),
-            None => (None, 1.0),
+        let (kill_at, cascade_at, slowdown) = match fabric.fault() {
+            Some(f) => (
+                f.plan.kill_at(world_rank),
+                f.plan.cascade_at(world_rank),
+                f.plan.slowdown_of(f.seed, world_rank),
+            ),
+            None => (None, None, 1.0),
         };
         Rank {
             world_rank,
@@ -253,6 +260,7 @@ impl Rank {
             vclock: if vclock_audit { vec![0; world_size] } else { Vec::new() },
             last_seen: HashMap::new(),
             kill_at,
+            cascade_at,
             slowdown,
             op_count: 0,
             fault_watch: None,
@@ -279,6 +287,24 @@ impl Rank {
     fn fault_tick(&mut self) {
         if self.fabric.fault().is_none() {
             return;
+        }
+        // Cascade entries fire before peer-death observation: a rank
+        // slated to die *because* the epoch moved must die, not merely
+        // observe the death that armed it.
+        if let Some(at_epoch) = self.cascade_at {
+            if self.fabric.fault_epoch() >= at_epoch {
+                let seed_note = match self.fabric.sched_repro().and_then(|r| r.env()) {
+                    Some(env) => format!("{env}, "),
+                    None => String::new(),
+                };
+                let fault_seed = self.fabric.fault().map_or(0, |f| f.seed);
+                let detail = format!(
+                    "rank {} killed by fault-plan entry cascade={}@{} (replay: {}fault seed {:#x})",
+                    self.world_rank, self.world_rank, at_epoch, seed_note, fault_seed
+                );
+                self.fabric.mark_rank_dead(self.world_rank, detail.clone());
+                std::panic::panic_any(FaultPanic(RankFailed { rank: self.world_rank, detail }));
+            }
         }
         if self.fault_kicked() {
             self.raise_peer_failure();
@@ -358,6 +384,22 @@ impl Rank {
     pub fn fault_watch_arm(&mut self) -> FaultWatch {
         let prev = self.fault_watch;
         self.fault_watch = Some(self.fabric.fault_epoch());
+        FaultWatch { prev }
+    }
+
+    /// Open a fault-catching scope whose watermark is an explicit death
+    /// count rather than the current fault epoch. [`Rank::fault_watch_arm`]
+    /// snapshots `fault_epoch()` at arm time, which is correct for a scope
+    /// that only cares about deaths *after* it opens — but a rank joining
+    /// a multi-rank protocol round late would then never be kicked by the
+    /// death that its peers already reacted to, and could strand in a
+    /// collective its (live) peers have abandoned. Arming at the round's
+    /// agreed basis — the number of deaths when the round's membership was
+    /// fixed — makes any newer death kick this rank out immediately, no
+    /// matter when it armed relative to the kill.
+    pub fn fault_watch_arm_at(&mut self, deaths_at_basis: u64) -> FaultWatch {
+        let prev = self.fault_watch;
+        self.fault_watch = Some(deaths_at_basis);
         FaultWatch { prev }
     }
 

@@ -65,11 +65,11 @@ pub use pmm_simnet as simnet;
 /// run).
 pub mod prelude {
     pub use pmm_algs::{
-        alg1, alg1_a, alg1_streamed, alg1_streamed_a, alg1_with_recovery, alg1_with_recovery_a,
-        assemble_c, assemble_from_blocks, cannon, cannon_a, carma, carma_a, carma_assemble_c,
-        carma_cost_words, carma_shares, near_square_factors, summa, summa_a, summa_with_recovery,
-        summa_with_recovery_a, twofived, twofived_a, Alg1Config, Alg1Output, Assembly,
-        CannonConfig, RecoveryOutput, SummaConfig, SummaRecovery, TwoFiveDConfig,
+        alg1, alg1_a, alg1_streamed, alg1_streamed_a, assemble_c, assemble_from_blocks,
+        assemble_recovered, cannon, cannon_a, carma, carma_a, carma_assemble_c, carma_cost_words,
+        carma_shares, near_square_factors, plan_for, run_recoverable, run_recoverable_a, summa,
+        summa_a, twofived, twofived_a, Alg1Config, Alg1Output, Assembly, CShare, CannonConfig,
+        Recoverable, Recovered, SummaConfig, TwoFiveDConfig,
     };
     pub use pmm_collectives::{
         all_gather, all_gather_a, all_reduce, all_reduce_a, bcast, bcast_a, reduce_scatter,
@@ -86,8 +86,9 @@ pub mod prelude {
     pub use pmm_core::theorem3::{corollary4, lower_bound, BoundReport};
     pub use pmm_dense::{gemm, random_int_matrix, random_matrix, Kernel, Matrix};
     pub use pmm_model::{
-        alg1_prediction, recovery_prediction, Alg1Prediction, Case, Cost, Grid3, MachineParams,
-        MatMulDims, MatrixId, RecoveryPrediction, SortedDims,
+        alg1_prediction, recovery_prediction, restore_words_total, run_words_total, Alg1Prediction,
+        AlgPlan, AttemptPrediction, Case, Cost, Grid3, MachineParams, MatMulDims, MatrixId,
+        RecoveryPrediction, SortedDims,
     };
     // `Strategy` is aliased here for the same reason as the advisor's.
     pub use pmm_explore::{

@@ -273,6 +273,41 @@ fn engines_agree_with_a_fault_plan_armed() {
     assert!(retries > 0, "a 10% drop rate must force at least one retransmission");
 }
 
+#[test]
+fn engines_agree_on_checkpointed_recovery_under_a_multi_fault_plan() {
+    // The full robustness stack on one pinned (program, seed, plan)
+    // triple: checkpoint ring, a direct kill, a cascading kill armed on
+    // the first death, a healing partition, a straggler storm, and
+    // background message faults. Every per-rank Result (typed
+    // RankFailed on the casualties, full Recovered on the survivors),
+    // every meter, clock, and the rendered schedule trace must be
+    // byte-identical across engines.
+    let dims = MatMulDims::new(24, 24, 24);
+    let plan = FaultPlan::none()
+        .with_seed(0xFA17)
+        .with_drop(0.06)
+        .with_duplicate(0.02)
+        .with_kill(4, 6)
+        .with_cascade(7, 1)
+        .with_partition(vec![0, 1], 5..20, 2)
+        .with_storm(0.3, 2.0);
+    let world = World::new(9, MachineParams::BANDWIDTH_ONLY).with_seed(0xA11CE).with_faults(plan);
+    let out = assert_engines_agree("recovery multi-fault", &world, move |rank| {
+        Box::pin(async move {
+            let (a, b) = inputs(dims);
+            let spec =
+                Recoverable::Alg1 { kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+            run_recoverable_a(rank, &spec, dims, &a, &b).await
+        })
+    });
+    assert!(out.values[4].is_err() && out.values[7].is_err(), "both casualties report failure");
+    let ok = out.values[0].as_ref().expect("rank 0 survives");
+    assert_eq!(ok.survivors, vec![0, 1, 2, 3, 5, 6, 8]);
+    assert!(ok.attempts() >= 2, "the kills force at least one re-plan");
+    let retries: u64 = out.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
+    assert!(retries > 0, "the partition and drops must force retransmissions");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

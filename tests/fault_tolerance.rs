@@ -10,15 +10,21 @@
 //! Around it:
 //! * a fault-rate × seed sweep across the three Theorem 3 regimes (1D /
 //!   2D / 3D-leaning processor counts), driven by `cargo xtask
-//!   fault-sweep` via the `PMM_FAULT_RATE` env knob;
+//!   fault-sweep` via the `PMM_FAULT_RATE` / `PMM_ENGINE` env knobs —
+//!   the recovery runs here go through `run_async` +
+//!   `engine_from_env`, so the same cells certify both engines;
 //! * property tests for exactly-once delivery under arbitrary
-//!   drop/duplicate/corrupt schedules;
+//!   drop/duplicate/corrupt schedules, and for the `--faults` SPEC
+//!   grammar round-tripping through `Display`/`FromStr` (including the
+//!   multi-fault `cascade=`/`part=`/`storm=` clauses);
 //! * cross-seed schedule invariance (`fuzz_schedules`) with a pinned
 //!   fault plan — fault decisions are schedule-independent by
 //!   construction, so values *and* retry meters agree across seeds;
-//! * SUMMA recovery on its near-square shrunken grid;
-//! * the uncaught-kill path: `World::run` reports a typed rank failure,
-//!   not a deadlock.
+//! * SUMMA recovery on its near-square shrunken grid through the
+//!   generic [`run_recoverable`] wrapper;
+//! * the uncaught-kill path on **both** engines: `World::run` /
+//!   `run_async` report a typed rank failure naming the kill site and
+//!   the replay seed, never a deadlock.
 
 use pmm::prelude::*;
 use pmm_simnet::{FaultPlan, RankFailed};
@@ -45,47 +51,61 @@ fn fault_rate_from_env(default: f64) -> f64 {
     }
 }
 
-/// Run `alg1_with_recovery` on a faulty world and return the per-rank
-/// results plus reports.
+/// Run Algorithm 1 under the generic recovery wrapper on a faulty world
+/// and return the per-rank results plus reports. Honors `PMM_ENGINE`
+/// (the fault-sweep matrix runs this on both backends).
 fn run_recovery(
     dims: MatMulDims,
     p: usize,
     sched_seed: u64,
     plan: FaultPlan,
-) -> WorldResult<Result<RecoveryOutput, RankFailed>> {
-    World::new(p, MachineParams::BANDWIDTH_ONLY).with_seed(sched_seed).with_faults(plan).run(
-        move |rank| {
-            let (a, b) = inputs(dims);
-            alg1_with_recovery(rank, dims, Kernel::Naive, Assembly::ReduceScatter, &a, &b)
-        },
-    )
+) -> WorldResult<Result<Recovered, RankFailed>> {
+    World::new(p, MachineParams::BANDWIDTH_ONLY)
+        .with_seed(sched_seed)
+        .with_faults(plan)
+        .with_engine(engine_from_env(Engine::Threads))
+        .run_async(move |rank| {
+            Box::pin(async move {
+                let (a, b) = inputs(dims);
+                let spec =
+                    Recoverable::Alg1 { kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+                run_recoverable_a(rank, &spec, dims, &a, &b).await
+            })
+        })
 }
 
-/// Assemble C from the survivors' chunks and assert bitwise equality with
-/// the serial reference; returns (survivors, recovery grid, attempts).
+/// Assemble C from the survivors' shares and assert bitwise equality with
+/// the serial reference; returns (survivors, final plan, attempts).
 fn check_recovered_product(
     dims: MatMulDims,
-    out: &WorldResult<Result<RecoveryOutput, RankFailed>>,
-) -> (Vec<usize>, [usize; 3], usize) {
+    out: &WorldResult<Result<Recovered, RankFailed>>,
+) -> (Vec<usize>, AlgPlan, usize) {
     let ok = out
         .values
         .iter()
         .find_map(|v| v.as_ref().ok())
         .expect("at least one rank must survive and succeed");
     let survivors = ok.survivors.clone();
-    let grid = ok.grid;
+    let plan = ok.plan.clone();
     for &w in &survivors {
         let v = out.values[w].as_ref().unwrap_or_else(|e| panic!("survivor {w} failed: {e}"));
         assert_eq!(v.survivors, survivors, "survivors disagree across ranks");
-        assert_eq!(v.grid.dims(), grid.dims(), "recovery grids disagree across ranks");
+        assert_eq!(v.plan, plan, "recovery layouts disagree across ranks");
     }
-    let chunks: Vec<Vec<f64>> = survivors
+    let shares: Vec<CShare> = survivors
         .iter()
-        .map(|&w| out.values[w].as_ref().expect("survivor").output.c_chunk.clone())
+        .map(|&w| out.values[w].as_ref().expect("survivor").share.clone())
         .collect();
-    let c = assemble_c(dims, grid, &chunks);
+    let c = assemble_recovered(dims, &plan, &shares);
     assert_eq!(c, reference(dims), "recovered product must be bitwise-correct");
-    (survivors, grid.dims(), ok.attempts())
+    (survivors, plan, ok.attempts())
+}
+
+fn alg1_phases(v: &Recovered) -> &Alg1Output {
+    match &v.share {
+        CShare::Chunk(out) => out,
+        other => panic!("expected an Algorithm 1 share, got {other:?}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -94,9 +114,10 @@ fn check_recovered_product(
 
 #[test]
 fn killed_rank_mid_allgather_recovers_bitwise_on_surviving_grid() {
-    // 9 ranks; ops 1–3 are the three fiber splits, so op 5 lands inside
-    // the All-Gather phase of the first attempt. Rank 4 is not the root
-    // of anything special — a mid-grid casualty.
+    // 9 ranks; op 1 is the checkpoint ring, ops 2–4 the three fiber
+    // splits, so op 6 lands inside the All-Gather phase of the first
+    // attempt. Rank 4 is not the root of anything special — a mid-grid
+    // casualty.
     let dims = MatMulDims::new(24, 24, 24);
     let plan = FaultPlan::none()
         .with_seed(0xFA)
@@ -104,21 +125,21 @@ fn killed_rank_mid_allgather_recovers_bitwise_on_surviving_grid() {
         .with_duplicate(0.02)
         .with_corrupt(0.02)
         .with_delay(0.03)
-        .with_kill(4, 5);
+        .with_kill(4, 6);
     let out = run_recovery(dims, 9, 7, plan.clone());
 
     // The killed rank gets a typed error naming the fault-plan entry and
     // the replay seed — not a deadlock, not a panic.
     let failed = out.values[4].as_ref().expect_err("rank 4 was killed");
     assert_eq!(failed.rank, 4);
-    assert!(failed.detail.contains("kill=4@5"), "{}", failed.detail);
+    assert!(failed.detail.contains("kill=4@6"), "{}", failed.detail);
     assert!(failed.detail.contains("PMM_SEED=7"), "{}", failed.detail);
 
     // Survivors agree, recover on the §5.2 grid for 8 ranks, and the
     // product is bitwise-correct.
-    let (survivors, grid, attempts) = check_recovered_product(dims, &out);
+    let (survivors, plan_used, attempts) = check_recovered_product(dims, &out);
     assert_eq!(survivors, vec![0, 1, 2, 3, 5, 6, 7, 8]);
-    assert_eq!(grid, [2, 2, 2], "best grid for 8 ranks on a cube");
+    assert_eq!(plan_used, AlgPlan::Alg1 { grid: [2, 2, 2] }, "best grid for 8 ranks on a cube");
     assert_eq!(attempts, 2, "one abandoned attempt, one successful");
 
     // Retry overhead is real (≥5% drops must retransmit something) and
@@ -126,10 +147,10 @@ fn killed_rank_mid_allgather_recovers_bitwise_on_surviving_grid() {
     // goodput matches eq. (3) on the recovery grid *exactly*.
     let total_retry: u64 = out.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
     assert!(total_retry > 0, "8% drops over 9 ranks must cause retransmissions");
-    let pred = alg1_prediction(dims, grid);
+    let pred = alg1_prediction(dims, [2, 2, 2]);
     for &w in &survivors {
         let v = out.values[w].as_ref().expect("survivor");
-        for (ph, want) in v.output.phases.iter().zip(pred.phases()) {
+        for (ph, want) in alg1_phases(v).phases.iter().zip(pred.phases()) {
             assert_eq!(
                 ph.meter.words_sent as f64, want,
                 "rank {w} phase {:?}: goodput must equal eq. (3) despite faults",
@@ -145,8 +166,8 @@ fn killed_rank_mid_allgather_recovers_bitwise_on_surviving_grid() {
     for (w, (x, y)) in out.values.iter().zip(&replay.values).enumerate() {
         match (x, y) {
             (Ok(a), Ok(b)) => {
-                assert_eq!(a.output.c_chunk, b.output.c_chunk, "rank {w} chunk");
-                assert_eq!(a.attempt_grids, b.attempt_grids, "rank {w} attempts");
+                assert_eq!(a.share, b.share, "rank {w} share");
+                assert_eq!(a.attempt_plans, b.attempt_plans, "rank {w} attempts");
             }
             (Err(a), Err(b)) => assert_eq!(a, b, "rank {w} failure"),
             _ => panic!("rank {w}: replay changed success/failure"),
@@ -163,25 +184,111 @@ fn killed_rank_mid_allgather_recovers_bitwise_on_surviving_grid() {
 #[test]
 fn recovery_goodput_matches_model_recovery_prediction() {
     let dims = MatMulDims::new(24, 24, 24);
-    let plan = FaultPlan::none().with_seed(3).with_kill(4, 5);
+    let plan = FaultPlan::none().with_seed(3).with_kill(4, 6);
     let out = run_recovery(dims, 9, 1, plan);
     let ok = out.values[0].as_ref().expect("rank 0 survives");
-    let pred = recovery_prediction(dims, &ok.attempt_grids);
+    let pred = recovery_prediction(dims, &ok.attempt_plans, &ok.attempt_survivors);
     assert_eq!(pred.attempts.len(), ok.attempts());
     // Final attempt: exact per-phase goodput match.
-    for (ph, want) in ok.output.phases.iter().zip(pred.last().phases()) {
+    let phases = pred.last().alg1_phases.as_ref().expect("final plan is an Alg1 grid");
+    for (ph, want) in alg1_phases(ok).phases.iter().zip(phases.phases()) {
         assert_eq!(ph.meter.words_sent as f64, want, "phase {:?}", ph.label);
     }
-    // Whole-run goodput (including the abandoned attempt's partial
+    // The redistribution ring and the algorithm run sum to the model's
+    // totals exactly across survivors …
+    let survivors: Vec<&Recovered> = out.values.iter().filter_map(|v| v.as_ref().ok()).collect();
+    let restore: u64 = survivors.iter().map(|v| v.restore_meter.words_sent).sum();
+    let run: u64 = survivors.iter().map(|v| v.run_meter.words_sent).sum();
+    assert_eq!(restore as f64, pred.last().restore_words_total, "redistribution goodput");
+    assert_eq!(run as f64, pred.last().run_words_total, "final-attempt run goodput");
+    // … and whole-run goodput (including the abandoned attempt's partial
     // traffic) stays within the model's upper bound.
-    for &w in &ok.survivors {
-        let words = out.reports[w].meter.words_sent as f64;
-        assert!(
-            words <= pred.total_upper_bound() + 1e-9,
-            "rank {w}: {words} goodput words exceed the recovery upper bound {}",
-            pred.total_upper_bound()
-        );
+    let whole: u64 = ok.survivors.iter().map(|&w| out.reports[w].meter.words_sent).sum();
+    assert!(
+        (whole as f64) <= pred.total_upper_bound_words() + 1e-9,
+        "{whole} goodput words exceed the recovery upper bound {}",
+        pred.total_upper_bound_words()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Multi-fault plans: cascades, partitions, storms
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cascading_kills_shrink_the_grid_twice() {
+    let dims = MatMulDims::new(24, 24, 24);
+    // Rank 4 dies by direct kill; rank 7 is armed to die once the fault
+    // epoch reaches 1 (i.e. after the first death is detected).
+    let plan = FaultPlan::none().with_seed(0xCA5).with_kill(4, 6).with_cascade(7, 1);
+    let out = run_recovery(dims, 9, 11, plan);
+    assert!(out.values[4].is_err(), "rank 4 killed directly");
+    let cascaded = out.values[7].as_ref().expect_err("rank 7 killed by cascade");
+    assert!(cascaded.detail.contains("cascade=7@1"), "{}", cascaded.detail);
+    let (survivors, plan_used, attempts) = check_recovered_product(dims, &out);
+    assert_eq!(survivors, vec![0, 1, 2, 3, 5, 6, 8]);
+    assert!(attempts >= 2, "at least one abandoned attempt");
+    assert_eq!(plan_used.active(), 7);
+}
+
+#[test]
+fn healing_partition_delays_but_does_not_break_delivery() {
+    let dims = MatMulDims::new(24, 12, 18);
+    let grid = Grid3::new(2, 3, 2);
+    let cfg = Alg1Config { dims, grid, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+    let run = |plan: Option<FaultPlan>| {
+        let cfg = cfg.clone();
+        let mut world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_seed(2);
+        if let Some(p) = plan {
+            world = world.with_faults(p);
+        }
+        world.run(move |rank: &mut Rank| {
+            let (a, b) = inputs(dims);
+            alg1(rank, &cfg, &a, &b).c_chunk
+        })
+    };
+    let clean = run(None);
+    // Ranks {0,1,2} cut off from the rest for seq window [0, 40), healing
+    // at attempt 2: every cut-crossing copy with attempt < 2 blackholes.
+    let parted =
+        run(Some(FaultPlan::none().with_seed(0x9A97).with_partition(vec![0, 1, 2], 0..40, 2)));
+    assert_eq!(clean.values, parted.values, "a healed partition must not change results");
+    let retry: u64 = parted.reports.iter().map(|r| r.meter.retry_overhead_words()).sum();
+    assert!(retry > 0, "cut-crossing copies must have been retransmitted");
+    assert!(
+        parted.critical_path_time() > clean.critical_path_time(),
+        "blackholed attempts pay timeouts on the critical path"
+    );
+}
+
+#[test]
+fn straggler_storm_slows_the_clock_without_changing_traffic() {
+    let dims = MatMulDims::new(24, 12, 18);
+    let grid = Grid3::new(2, 3, 2);
+    let cfg = Alg1Config { dims, grid, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
+    let run = |plan: Option<FaultPlan>| {
+        let cfg = cfg.clone();
+        let mut world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_seed(1);
+        if let Some(p) = plan {
+            world = world.with_faults(p);
+        }
+        world.run(move |rank: &mut Rank| {
+            let (a, b) = inputs(dims);
+            alg1(rank, &cfg, &a, &b).c_chunk
+        })
+    };
+    let clean = run(None);
+    let stormed = run(Some(FaultPlan::none().with_seed(0x570).with_storm(0.5, 6.0)));
+    assert_eq!(clean.values, stormed.values, "a storm must not change results");
+    for (c, s) in clean.reports.iter().zip(&stormed.reports) {
+        assert_eq!(c.meter, s.meter, "a storm must not change any meter");
     }
+    assert!(
+        stormed.critical_path_time() > clean.critical_path_time(),
+        "half the ranks at 6× must stretch the critical path ({} vs {})",
+        stormed.critical_path_time(),
+        clean.critical_path_time()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -204,14 +311,15 @@ fn sweep_regime(p: usize, kill_rank: usize, kill_op: u64) {
         let out = run_recovery(dims, p, sched_seed, plan);
         let failed = out.values[kill_rank].as_ref().expect_err("killed rank errors");
         assert_eq!(failed.rank, kill_rank);
-        let (survivors, grid, _) = check_recovered_product(dims, &out);
+        let (survivors, plan_used, _) = check_recovered_product(dims, &out);
         assert_eq!(survivors.len(), p - 1);
         // Goodput exactness on divisible recovery grids (the sweep keeps
         // the oracle sharp wherever the model is exact).
+        let AlgPlan::Alg1 { grid } = plan_used else { panic!("Alg1 spec yields Alg1 plans") };
         if dims.divisible_by(grid) {
             let pred = alg1_prediction(dims, grid);
             let v = out.values[survivors[0]].as_ref().expect("survivor");
-            for (ph, want) in v.output.phases.iter().zip(pred.phases()) {
+            for (ph, want) in alg1_phases(v).phases.iter().zip(pred.phases()) {
                 assert_eq!(ph.meter.words_sent as f64, want, "P={p} phase {:?}", ph.label);
             }
         }
@@ -221,19 +329,19 @@ fn sweep_regime(p: usize, kill_rank: usize, kill_op: u64) {
 #[test]
 fn fault_sweep_1d_regime() {
     // P = 3 on (96, 24, 12) is the 1D case; killing rank 2 shrinks to 2.
-    sweep_regime(3, 2, 4);
+    sweep_regime(3, 2, 5);
 }
 
 #[test]
 fn fault_sweep_2d_regime() {
     // P = 16 is the 2D case for these dims.
-    sweep_regime(16, 5, 5);
+    sweep_regime(16, 5, 6);
 }
 
 #[test]
 fn fault_sweep_3d_regime() {
     // P = 64 is deep in the 3D case.
-    sweep_regime(64, 17, 6);
+    sweep_regime(64, 17, 7);
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +407,58 @@ proptest! {
         prop_assert_eq!(m1.words_recv, goodput_words, "goodput counts each word once");
         prop_assert_eq!(m1.msgs_recv, n_msgs as u64, "goodput counts each message once");
     }
+
+    // The full --faults SPEC grammar round-trips: any valid plan built
+    // from rates, kills, stragglers, cascades, partitions, and a storm
+    // prints to a spec that parses back to the identical plan (f64
+    // Display in Rust is shortest-round-trip, so equality is exact).
+    #[test]
+    fn fault_plan_grammar_round_trips(
+        pin_seed in 0u8..2,
+        seed in 0u64..u64::MAX,
+        drop in 0.0f64..0.4,
+        dup in 0.0f64..0.2,
+        corrupt in 0.0f64..0.2,
+        delay in 0.0f64..0.2,
+        kills in proptest::collection::vec((0usize..64, 1u64..100), 0..3),
+        stragglers in proptest::collection::vec((0usize..64, 1.5f64..10.0), 0..2),
+        cascades in proptest::collection::vec((0usize..64, 1u64..8), 0..3),
+        partitions in proptest::collection::vec(
+            (proptest::collection::vec(0usize..64, 1..4), 0u64..50, 1u64..50, 1u32..16),
+            0..2,
+        ),
+        has_storm in 0u8..2,
+        storm in (0.0f64..0.9, 1.5f64..10.0),
+    ) {
+        let mut plan = FaultPlan::none()
+            .with_drop(drop)
+            .with_duplicate(dup)
+            .with_corrupt(corrupt)
+            .with_delay(delay);
+        if pin_seed == 1 {
+            plan = plan.with_seed(seed);
+        }
+        for (r, at) in kills {
+            plan = plan.with_kill(r, at);
+        }
+        for (r, f) in stragglers {
+            plan = plan.with_straggler(r, f);
+        }
+        for (r, e) in cascades {
+            plan = plan.with_cascade(r, e);
+        }
+        for (ranks, lo, len, heal) in partitions {
+            plan = plan.with_partition(ranks, lo..lo + len, heal);
+        }
+        if has_storm == 1 {
+            plan = plan.with_storm(storm.0, storm.1);
+        }
+        let spec = plan.to_string();
+        let parsed: FaultPlan = spec.parse().unwrap_or_else(|e| {
+            panic!("spec {spec:?} failed to parse: {e}")
+        });
+        prop_assert_eq!(parsed, plan, "spec was {}", spec);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -311,7 +471,8 @@ fn fault_decisions_are_schedule_independent_across_seeds() {
     // counters), times, and peak memory across schedule seeds. Fault
     // decisions hash (fault seed, channel, seq, attempt) — never
     // arrival order — so a *pinned* fault seed must give identical
-    // results under every interleaving.
+    // results under every interleaving. The plan includes a healing
+    // partition and a storm: both are pure hashes too.
     let dims = MatMulDims::new(24, 12, 18);
     let grid = Grid3::new(2, 3, 2);
     let cfg = Alg1Config { dims, grid, kernel: Kernel::Naive, assembly: Assembly::ReduceScatter };
@@ -319,7 +480,9 @@ fn fault_decisions_are_schedule_independent_across_seeds() {
         .with_seed(0x5EED_FA17)
         .with_drop(0.10)
         .with_duplicate(0.05)
-        .with_corrupt(0.05);
+        .with_corrupt(0.05)
+        .with_partition(vec![0, 1], 3..9, 2)
+        .with_storm(0.25, 3.0);
     let world = World::new(12, MachineParams::BANDWIDTH_ONLY).with_faults(plan);
     let program = move |rank: &mut Rank| {
         let (a, b) = inputs(dims);
@@ -329,7 +492,7 @@ fn fault_decisions_are_schedule_independent_across_seeds() {
 }
 
 // ---------------------------------------------------------------------------
-// SUMMA recovery
+// SUMMA recovery (through the generic wrapper)
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -340,40 +503,40 @@ fn summa_recovers_on_near_square_survivor_grid() {
     let out = World::new(6, MachineParams::BANDWIDTH_ONLY).with_seed(5).with_faults(plan).run(
         move |rank| {
             let (a, b) = inputs(dims);
-            summa_with_recovery(rank, dims, Kernel::Naive, &a, &b)
+            run_recoverable(rank, &Recoverable::Summa { kernel: Kernel::Naive }, dims, &a, &b)
         },
     );
     assert!(out.values[3].is_err(), "killed rank reports failure");
     let ok = out.values[0].as_ref().expect("rank 0 survives");
-    assert_eq!((ok.pr, ok.pc), pmm_algs::near_square_factors(5));
+    let (pr, pc) = pmm_algs::near_square_factors(5);
+    assert_eq!(ok.plan, AlgPlan::Summa { pr, pc });
     assert_eq!(ok.survivors, vec![0, 1, 2, 4, 5]);
-    assert!(ok.attempts >= 2);
-    let (pr, pc) = (ok.pr, ok.pc);
-    let survivors = ok.survivors.clone();
-    let c = assemble_from_blocks(dims.n1 as usize, dims.n3 as usize, pr, pc, |i, j| {
-        let w = survivors[i * pc + j];
-        out.values[w].as_ref().expect("survivor").output.c_block.clone()
-    });
-    assert_eq!(c, reference(dims), "SUMMA recovery product must be bitwise-correct");
+    assert!(ok.attempts() >= 2);
+    let (survivors, plan_used, _) = check_recovered_product(dims, &out);
+    assert_eq!(survivors.len(), 5);
+    assert_eq!(plan_used.algorithm(), "summa");
 }
 
 // ---------------------------------------------------------------------------
-// Failure reporting
+// Failure reporting (both engines)
 // ---------------------------------------------------------------------------
 
-#[test]
-fn uncaught_kill_reports_rank_failure_not_deadlock() {
+/// The uncaught-kill program: no `catch_failures` anywhere, so the kill
+/// must surface as a typed world-level failure naming the fault-plan
+/// entry and the replay seed — never as a deadlock or divergence abort.
+fn assert_uncaught_kill_reports_rank_failure(engine: Engine) {
     let err = std::panic::catch_unwind(|| {
         World::new(3, MachineParams::BANDWIDTH_ONLY)
             .with_seed(7)
             .with_faults(FaultPlan::none().with_kill(1, 1))
-            .run(|rank| {
-                let wc = rank.world_comm();
-                // No catch_failures anywhere: the kill must surface as a
-                // typed world-level failure.
-                let partner = (rank.world_rank() + 1) % 3;
-                let from = (rank.world_rank() + 2) % 3;
-                rank.exchange(&wc, partner, from, &[1.0]).payload[0]
+            .with_engine(engine)
+            .run_async(|rank| {
+                Box::pin(async move {
+                    let wc = rank.world_comm();
+                    let partner = (rank.world_rank() + 1) % 3;
+                    let from = (rank.world_rank() + 2) % 3;
+                    rank.exchange_a(&wc, partner, from, &[1.0]).await.payload[0]
+                })
             })
     })
     .expect_err("uncaught kill must fail the run");
@@ -381,10 +544,24 @@ fn uncaught_kill_reports_rank_failure_not_deadlock() {
     // Two reporters can win the race: the verifier (if survivors block on
     // the dead rank first) or the world join loop (if the killed rank's
     // panic surfaces first). Both must name the fault, never a deadlock.
-    assert!(msg.contains("rank failure"), "{msg}");
-    assert!(msg.contains("kill=1@1"), "{msg}");
-    assert!(!msg.contains("deadlock detected"), "must not misreport as deadlock: {msg}");
-    assert!(msg.contains("PMM_SEED=7"), "report must carry the replay seed: {msg}");
+    assert!(msg.contains("rank failure"), "[{engine:?}] {msg}");
+    assert!(msg.contains("kill=1@1"), "[{engine:?}] {msg}");
+    assert!(
+        !msg.contains("deadlock detected"),
+        "[{engine:?}] must not misreport as deadlock: {msg}"
+    );
+    assert!(!msg.contains("diverged"), "[{engine:?}] must not misreport as divergence: {msg}");
+    assert!(msg.contains("PMM_SEED=7"), "[{engine:?}] report must carry the replay seed: {msg}");
+}
+
+#[test]
+fn uncaught_kill_reports_rank_failure_not_deadlock() {
+    assert_uncaught_kill_reports_rank_failure(Engine::Threads);
+}
+
+#[test]
+fn uncaught_kill_reports_rank_failure_not_deadlock_on_event_loop() {
+    assert_uncaught_kill_reports_rank_failure(Engine::EventLoop);
 }
 
 #[test]

@@ -31,9 +31,18 @@
 //!   budget (default 60 s) runs out, printing the failing `PMM_SEED` on
 //!   the first divergence;
 //! * `cargo xtask fault-sweep [budget-secs]` — the fault-injection suite
-//!   (`tests/fault_tolerance.rs`) under a pinned matrix of schedule
-//!   seeds × message fault rates (each rate exported as
-//!   `PMM_FAULT_RATE`), wall-clock capped (default 300 s);
+//!   (`tests/fault_tolerance.rs`) under a pinned matrix of execution
+//!   engines × schedule seeds × message fault rates (exported as
+//!   `PMM_ENGINE` / `PMM_FAULT_RATE`), wall-clock capped (default 300 s);
+//! * `cargo xtask chaos-soak [budget-secs]` — the chaos certification
+//!   suite (`tests/chaos.rs`, release mode, `--include-ignored`): the
+//!   checkpointed-recovery wrapper for all six algorithms × both engines
+//!   under kill / cascade / healing-partition / straggler-storm fault
+//!   plans, bitwise-checked against the fault-free reference and the
+//!   recovery goodput model, plus the fault-armed P = 10^4 event-loop
+//!   cell. Collects the tests' `CHAOS:` metric lines into
+//!   `BENCH_chaos.json` (cells run, recovery success rate — the gate
+//!   requires 100%);
 //! * `cargo xtask dpor [budget-secs]` — the schedule-space race checker
 //!   (`tests/explore.rs`, release mode): exhaustive interleaving
 //!   certificates for the pinned collective workloads, budgeted frontier
@@ -92,6 +101,13 @@ fn main() -> ExitCode {
                 .unwrap_or(300);
             fault_sweep(Duration::from_secs(budget))
         }
+        Some("chaos-soak") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(240);
+            chaos_soak(Duration::from_secs(budget))
+        }
         Some("dpor") => {
             let budget = args
                 .get(1)
@@ -131,8 +147,14 @@ fn main() -> ExitCode {
                  \x20 fuzz-schedules  [budget-secs] run the schedule fuzzer with fresh\n\
                  \x20                 seeds until the budget (default 60 s) is spent\n\
                  \x20 fault-sweep     [budget-secs] run tests/fault_tolerance.rs under a\n\
-                 \x20                 pinned seed × fault-rate matrix (PMM_FAULT_RATE),\n\
-                 \x20                 wall-clock capped (default 300 s)\n\
+                 \x20                 pinned engine × seed × fault-rate matrix\n\
+                 \x20                 (PMM_ENGINE, PMM_FAULT_RATE), wall-clock capped\n\
+                 \x20                 (default 300 s)\n\
+                 \x20 chaos-soak      [budget-secs] run the chaos certification suite\n\
+                 \x20                 (tests/chaos.rs, release, --include-ignored):\n\
+                 \x20                 all six recoverable algorithms × both engines ×\n\
+                 \x20                 fault-plan classes plus the P = 10^4 event-loop\n\
+                 \x20                 cell (default 240 s); emits BENCH_chaos.json\n\
                  \x20 dpor            [budget-secs] run the schedule-space race checker\n\
                  \x20                 (tests/explore.rs): exhaustive interleaving\n\
                  \x20                 certificates, budgeted frontier exploration, and a\n\
@@ -320,7 +342,8 @@ fn fuzz_schedules(budget: Duration) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The fault-sweep matrix: pinned schedule seeds × message fault rates.
+/// The fault-sweep matrix: execution engines × pinned schedule seeds ×
+/// message fault rates.
 /// Rate 0.0 doubles as the "armed but silent" regression cell (the
 /// determinism suite separately asserts it is meter-identical to no plan
 /// at all). Failures replay with the printed `PMM_SEED` +
@@ -328,26 +351,34 @@ fn fuzz_schedules(budget: Duration) -> ExitCode {
 const FAULT_SWEEP_SEEDS: [u64; 2] = [7, 0x00C0_FFEE];
 const FAULT_SWEEP_RATES: [&str; 3] = ["0.0", "0.05", "0.15"];
 
+const FAULT_SWEEP_ENGINES: [&str; 2] = ["threads", "event-loop"];
+
 fn fault_sweep(budget: Duration) -> ExitCode {
     let start = Instant::now();
     let mut cells = 0u32;
     let mut skipped = 0u32;
-    for seed in FAULT_SWEEP_SEEDS {
-        for rate in FAULT_SWEEP_RATES {
-            if start.elapsed() >= budget {
-                skipped += 1;
-                continue;
-            }
-            eprintln!("xtask: fault sweep, PMM_SEED={seed} PMM_FAULT_RATE={rate}");
-            let envs = [("PMM_FAULT_RATE", rate.to_string())];
-            if !run_seeded_test_env("fault_tolerance", seed, &[], &envs) {
+    for engine in FAULT_SWEEP_ENGINES {
+        for seed in FAULT_SWEEP_SEEDS {
+            for rate in FAULT_SWEEP_RATES {
+                if start.elapsed() >= budget {
+                    skipped += 1;
+                    continue;
+                }
                 eprintln!(
-                    "xtask: fault sweep FAILED — replay with \
-                     PMM_SEED={seed} PMM_FAULT_RATE={rate}"
+                    "xtask: fault sweep, PMM_SEED={seed} PMM_FAULT_RATE={rate} \
+                     PMM_ENGINE={engine}"
                 );
-                return ExitCode::FAILURE;
+                let envs =
+                    [("PMM_FAULT_RATE", rate.to_string()), ("PMM_ENGINE", engine.to_string())];
+                if !run_seeded_test_env("fault_tolerance", seed, &[], &envs) {
+                    eprintln!(
+                        "xtask: fault sweep FAILED — replay with \
+                         PMM_SEED={seed} PMM_FAULT_RATE={rate} PMM_ENGINE={engine}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                cells += 1;
             }
-            cells += 1;
         }
     }
     if skipped > 0 {
@@ -357,6 +388,114 @@ fn fault_sweep(budget: Duration) -> ExitCode {
         );
     }
     eprintln!("xtask: fault sweep passed {cells} cell(s) in {:.1}s", start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+/// The chaos certification soak: run `tests/chaos.rs` in release mode
+/// with `--include-ignored` (the tier-1 cert cells, the
+/// algorithm × regime × plan-class × engine soak, and the fault-armed
+/// P = 10^4 event-loop cell), export the wall-clock budget as
+/// `PMM_CHAOS_BUDGET_SECS`, collect the tests' `CHAOS: key=value`
+/// lines, and write them — plus the aggregate recovery success rate —
+/// to `BENCH_chaos.json` at the workspace root. The gate fails unless
+/// every executed cell recovered (a 100% success rate).
+fn chaos_soak(budget: Duration) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    eprintln!("xtask: chaos-soak — fault-recovery certification ({}s budget)", budget.as_secs());
+    let start = Instant::now();
+    let output = match Command::new(&cargo)
+        .args([
+            "test",
+            "--release",
+            "--test",
+            "chaos",
+            "--",
+            "--include-ignored",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("PMM_CHAOS_BUDGET_SECS", budget.as_secs().to_string())
+        .current_dir(&root)
+        .output()
+    {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("xtask: could not launch cargo test: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    print!("{stdout}");
+    eprint!("{stderr}");
+    if !output.status.success() {
+        eprintln!("xtask: chaos-soak FAILED");
+        return ExitCode::FAILURE;
+    }
+
+    // Each chaos cell prints one `CHAOS: key=value ...` line; under
+    // `--nocapture` libtest's own prefix may share the line, so search
+    // for the marker anywhere.
+    let lines: Vec<Vec<(&str, &str)>> = stdout
+        .lines()
+        .filter_map(|l| l.find("CHAOS:").map(|i| &l[i + "CHAOS:".len()..]))
+        .map(|l| l.split_whitespace().filter_map(|tok| tok.split_once('=')).collect())
+        .collect();
+    let field = |entry: &[(&str, &str)], key: &str| -> f64 {
+        entry.iter().find(|(k, _)| *k == key).and_then(|(_, v)| v.parse().ok()).unwrap_or(0.0)
+    };
+    let cells: Vec<&Vec<(&str, &str)>> =
+        lines.iter().filter(|e| e.iter().any(|(k, _)| *k == "recovered")).collect();
+    let recovered: f64 = cells.iter().map(|e| field(e, "recovered")).sum();
+    let success_rate = if cells.is_empty() { 0.0 } else { recovered / cells.len() as f64 };
+    let skipped: f64 = lines
+        .iter()
+        .filter(|e| e.iter().any(|(k, v)| *k == "summary" && *v == "soak"))
+        .map(|e| field(e, "skipped"))
+        .sum();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"budget_secs\": {},\n", budget.as_secs()));
+    json.push_str(&format!("  \"wall_secs\": {:.3},\n", start.elapsed().as_secs_f64()));
+    json.push_str(&format!("  \"cells\": {},\n", cells.len()));
+    json.push_str(&format!("  \"cells_skipped\": {skipped},\n"));
+    json.push_str(&format!("  \"recovery_success_rate\": {success_rate:.4},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, entry) in cells.iter().enumerate() {
+        let fields: Vec<String> = entry
+            .iter()
+            .map(|(k, v)| {
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{k}\": {v}")
+                } else {
+                    format!("\"{k}\": \"{v}\"")
+                }
+            })
+            .collect();
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        json.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+    }
+    json.push_str("  ]\n}\n");
+    let bench = root.join("BENCH_chaos.json");
+    if let Err(e) = std::fs::write(&bench, &json) {
+        eprintln!("xtask: could not write {}: {e}", bench.display());
+        return ExitCode::FAILURE;
+    }
+    if (success_rate - 1.0).abs() > f64::EPSILON || cells.is_empty() {
+        eprintln!(
+            "xtask: chaos-soak FAILED — recovery success rate {success_rate:.4} over {} cell(s) \
+             (must be 1.0)",
+            cells.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask: chaos-soak passed — {} cell(s), {skipped:.0} skipped, 100% recovery; \
+         metrics in {}",
+        cells.len(),
+        bench.display()
+    );
     ExitCode::SUCCESS
 }
 
