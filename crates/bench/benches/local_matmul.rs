@@ -7,11 +7,13 @@ use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_matmul");
+    // Every tier, including Auto (whose cost is the dispatch heuristic
+    // plus whichever tier it resolves to at that size).
     for n in [32usize, 64, 128, 256] {
         let a = random_matrix(n, n, 1);
         let b = random_matrix(n, n, 2);
         group.throughput(Throughput::Elements((n * n * n) as u64));
-        for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Parallel] {
+        for kernel in Kernel::ALL {
             group.bench_with_input(BenchmarkId::new(format!("{kernel:?}"), n), &n, |bench, _| {
                 bench.iter(|| black_box(gemm(black_box(&a), black_box(&b), kernel)))
             });
@@ -54,7 +56,7 @@ fn bench_rectangular(c: &mut Criterion) {
         let a = random_matrix(m, k, 3);
         let b = random_matrix(k, n, 4);
         group.throughput(Throughput::Elements((m * k * n) as u64));
-        for kernel in [Kernel::Naive, Kernel::Tiled] {
+        for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Blocked, Kernel::Recursive] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{kernel:?}"), format!("{m}x{k}x{n}")),
                 &0,

@@ -14,10 +14,17 @@
 //! | `strong_scaling` | strong-scaling behavior (Ballard et al. 2012b) |
 //! | `algo_compare` | §2.4 — Alg 1 vs Cannon/SUMMA/2.5D/CARMA |
 //! | `collectives_cost` | §3.1/§5.1 — collective cost optimality |
+//! | `phase_attribution` | eq. (3) per phase from the structured trace |
+//! | `kernel_bench` | kernel tiers + calibrated α-β-γ-δ prediction gate |
+//! | `calibrated_crossover` | §6.2 crossover re-expressed in calibrated seconds |
 //!
-//! Run all of them with `for b in table1 lemma2_cases …; do cargo run
-//! --release -p pmm-bench --bin $b; done`. Criterion wall-clock benches
-//! live in `benches/`.
+//! Run all of them with `scripts/run_experiments.sh`. Criterion
+//! wall-clock benches live in `benches/`; the [`calibrate`] module holds
+//! the measured-hardware probes shared by `kernel_bench`,
+//! `calibrated_crossover`, `pmm calibrate`, and `cargo xtask calibrate`
+//! (see `docs/PERFORMANCE.md`).
+
+pub mod calibrate;
 
 use std::fmt::Display;
 

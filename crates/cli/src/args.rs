@@ -48,6 +48,8 @@ pub enum Command {
     /// `pmm serve [--port N] [--oneshot] [--workers N] [--queue-depth N]
     /// [--deadline-ms N] [--read-timeout-ms N] [--max-line N] [--cache N]`
     Serve(ServeOpts),
+    /// `pmm calibrate [--budget-secs S] [--out FILE]`
+    Calibrate { budget_secs: f64, out: Option<String> },
     /// `pmm help` / `-h` / `--help`
     Help,
 }
@@ -320,6 +322,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 cache: parse_opt_int(&flags, "cache")?,
             }))
         }
+        "calibrate" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_unknown(&["budget-secs", "out"])?;
+            let budget_secs = parse_f64(&flags, "budget-secs", Some(10.0))?
+                .expect("parse_f64 returns Some when a default is supplied");
+            if budget_secs <= 0.0 || !budget_secs.is_finite() {
+                return Err(err("--budget-secs must be positive"));
+            }
+            Ok(Command::Calibrate { budget_secs, out: flags.get("out").map(String::from) })
+        }
         other => Err(err(format!("unknown command '{other}' (try 'pmm help')"))),
     }
 }
@@ -377,6 +389,13 @@ USAGE:
       isolated; see the PMM_SERVE_* environment table in the README for
       the defaults each flag overrides. --oneshot answers a single
       request from stdin and exits 0 iff the response is OK.
+  pmm calibrate [--budget-secs S] [--out FILE]
+      Measure this host's α (per-message), β (per-word), γ (per
+      multiply-add) and per-run setup cost from timed in-process probes
+      (ping-pong, stream, GEMM — see docs/PERFORMANCE.md), print the
+      fitted constants, and with --out write them as the calibration
+      JSON that turns eq. (3) word counts into predicted seconds. The
+      GEMM probe uses the kernel PMM_KERNEL selects (default: auto).
   pmm help
 ";
 
@@ -545,6 +564,21 @@ mod tests {
         assert!(parse_args(&argv("serve --port zero")).is_err());
         assert!(parse_args(&argv("serve --port 99999")).is_err(), "port must fit u16");
         assert!(parse_args(&argv("serve --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn parses_calibrate() {
+        assert_eq!(
+            parse_args(&argv("calibrate")).unwrap(),
+            Command::Calibrate { budget_secs: 10.0, out: None }
+        );
+        assert_eq!(
+            parse_args(&argv("calibrate --budget-secs 2.5 --out calibration.json")).unwrap(),
+            Command::Calibrate { budget_secs: 2.5, out: Some("calibration.json".into()) }
+        );
+        assert!(parse_args(&argv("calibrate --budget-secs 0")).is_err());
+        assert!(parse_args(&argv("calibrate --budget-secs -1")).is_err());
+        assert!(parse_args(&argv("calibrate --bogus 1")).is_err());
     }
 
     #[test]

@@ -7,11 +7,12 @@ use pmm_algs::{
     alg1, alg1_a, assemble_c, assemble_recovered, run_recoverable_a, Alg1Config, Assembly, CShare,
     Recoverable,
 };
+use pmm_bench::calibrate::calibrate as run_probes;
 use pmm_core::advisor::{recommend, Strategy};
 use pmm_core::gridopt::{alg1_cost_words, best_grid, continuous_grid};
 use pmm_core::memlimit::{limited_memory_report, min_memory_words, Dominant};
 use pmm_core::theorem3::lower_bound;
-use pmm_dense::{gemm, random_int_matrix, Kernel};
+use pmm_dense::{gemm, kernel_from_env, random_int_matrix, Kernel};
 use pmm_model::{alg1_prediction, recovery_prediction, Grid3, MachineParams, MatMulDims};
 use pmm_serve::ServeConfig;
 use pmm_simnet::{seed_from_env, Engine, FaultPlan, World};
@@ -193,7 +194,7 @@ fn simulate_clean(
     });
     let a = random_int_matrix(n1, n2, -3..4, seed);
     let b = random_int_matrix(n2, n3, -3..4, seed + 1);
-    let want = gemm(&a, &b, Kernel::Tiled);
+    let want = gemm(&a, &b, kernel_from_env(Kernel::default()));
     let chunks: Vec<_> = out.values.iter().map(|v| v.c_chunk.clone()).collect();
     let correct = assemble_c(dims, g, &chunks) == want;
 
@@ -240,8 +241,10 @@ fn simulate_faulty(
             Box::pin(async move {
                 let a = random_int_matrix(n1, n2, -3..4, seed);
                 let b = random_int_matrix(n2, n3, -3..4, seed + 1);
-                let spec =
-                    Recoverable::Alg1 { kernel: Kernel::Tiled, assembly: Assembly::ReduceScatter };
+                let spec = Recoverable::Alg1 {
+                    kernel: kernel_from_env(Kernel::default()),
+                    assembly: Assembly::ReduceScatter,
+                };
                 run_recoverable_a(rank, &spec, dims, &a, &b).await
             })
         })
@@ -287,7 +290,8 @@ fn simulate_faulty(
         .collect();
     let a = random_int_matrix(n1, n2, -3..4, seed);
     let b = random_int_matrix(n2, n3, -3..4, seed + 1);
-    let correct = assemble_recovered(dims, &plan_used, &shares) == gemm(&a, &b, Kernel::Tiled);
+    let correct = assemble_recovered(dims, &plan_used, &shares)
+        == gemm(&a, &b, kernel_from_env(Kernel::default()));
     let _ = writeln!(s, "product      : {}", if correct { "correct ✓" } else { "WRONG ✗" });
     let pred = recovery_prediction(dims, &ok.attempt_plans, &ok.attempt_survivors);
     let goodput = out.reports[survivors[0]].meter.words_sent;
@@ -335,7 +339,7 @@ pub fn trace(
     let a = random_int_matrix(n1, n2, -3..4, seed);
     let b = random_int_matrix(n2, n3, -3..4, seed + 1);
     let chunks: Vec<_> = out.values.iter().map(|v| v.c_chunk.clone()).collect();
-    let correct = assemble_c(dims, g, &chunks) == gemm(&a, &b, Kernel::Tiled);
+    let correct = assemble_c(dims, g, &chunks) == gemm(&a, &b, kernel_from_env(Kernel::default()));
 
     let tracer = out.tracer().expect("tracing was enabled");
     let pred = alg1_prediction(dims, grid);
@@ -471,6 +475,43 @@ pub fn serve(opts: &ServeOpts) -> u8 {
     }
 }
 
+/// `pmm calibrate`: measure this host's α, β, γ and per-run setup cost
+/// from the in-process probes (see `pmm_bench::calibrate` and
+/// `docs/PERFORMANCE.md`), print the fitted constants, and optionally
+/// write them as calibration JSON.
+///
+/// Exit code: `0` on success, `1` if `--out` could not be written.
+pub fn calibrate(budget_secs: f64, out_path: Option<&str>) -> (String, u8) {
+    let kernel = kernel_from_env(Kernel::default());
+    let report = run_probes(budget_secs, kernel);
+    let cal = report.cal;
+    let mut s = String::new();
+    let _ = writeln!(s, "calibrated in-process machine constants (GEMM kernel: {kernel}):");
+    let _ = writeln!(s, "  alpha     : {:.3e} s/message", cal.alpha);
+    let _ = writeln!(s, "  beta      : {:.3e} s/word ({:.2} ns)", cal.beta, cal.beta * 1e9);
+    let _ = writeln!(
+        s,
+        "  gamma     : {:.3e} s/madd ({:.2} GFLOP/s at 2 flops/madd)",
+        cal.gamma,
+        2.0 / cal.gamma / 1e9
+    );
+    let _ = writeln!(s, "  rank_secs : {:.3e} s/run", cal.rank_secs);
+    let _ = writeln!(s, "  stream    : {:.1} GB/s (diagnostic, not fitted)", report.stream_gbps);
+    let _ = writeln!(
+        s,
+        "  fit       : ping-pong worst-point error {:.1}%",
+        100.0 * report.pingpong_fit_error()
+    );
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(path, cal.to_json()) {
+            let _ = writeln!(s, "could not write {path}: {e}");
+            return (s, 1);
+        }
+        let _ = writeln!(s, "  written   : {path}");
+    }
+    (s, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +533,23 @@ mod tests {
         assert!(s.contains("memory-independent"), "output was: {s}");
         let s = bound(PAPER, 64.0, Some(9000.0));
         assert!(s.contains("INFEASIBLE"), "output was: {s}");
+    }
+
+    #[test]
+    fn calibrate_reports_constants_and_writes_json() {
+        let path = std::env::temp_dir().join("pmm_cli_calibrate_test.json");
+        let (s, code) = calibrate(0.5, path.to_str());
+        assert_eq!(code, 0, "output was: {s}");
+        assert!(s.contains("alpha"), "output was: {s}");
+        assert!(s.contains("gamma"), "output was: {s}");
+        let json = std::fs::read_to_string(&path).expect("calibration file written");
+        let parsed = pmm_model::MachineCalibration::from_json(&json)
+            .expect("written calibration round-trips");
+        assert!(parsed.gamma > 0.0);
+        let _ = std::fs::remove_file(&path);
+        // An unwritable path is a reported failure, not a panic.
+        let (s, code) = calibrate(0.5, Some("/nonexistent-dir/c.json"));
+        assert_eq!(code, 1, "output was: {s}");
     }
 
     #[test]

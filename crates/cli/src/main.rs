@@ -29,6 +29,13 @@ fn main() {
             }
         }
         Ok(Command::Sweep { dims, procs }) => print!("{}", commands::sweep(dims, &procs)),
+        Ok(Command::Calibrate { budget_secs, out }) => {
+            let (report, code) = commands::calibrate(budget_secs, out.as_deref());
+            print!("{report}");
+            if code != 0 {
+                std::process::exit(code.into());
+            }
+        }
         Ok(Command::Serve(opts)) => {
             let code = commands::serve(&opts);
             if code != 0 {

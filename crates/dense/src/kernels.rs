@@ -1,33 +1,198 @@
-//! Local matmul kernels.
+//! Local matmul kernels: the tiered dispatch.
 //!
 //! These perform the per-processor computation of every parallel algorithm
-//! (line 6 of Algorithm 1). Three implementations:
+//! (line 6 of Algorithm 1). The tiers, from pinned oracle to fastest:
 //!
 //! * [`Kernel::Naive`] — textbook `i-k-j` triple loop (the `k` middle loop
-//!   keeps the inner loop streaming over contiguous rows of `B` and `C`);
-//! * [`Kernel::Tiled`] — cache-blocked over all three loops;
-//! * [`Kernel::Parallel`] — the tiled kernel with rows parallelized via
-//!   Rayon (shared-memory, *within* one simulated rank; does not touch
-//!   the communication accounting).
+//!   keeps the inner loop streaming over contiguous rows of `B` and `C`).
+//!   This is the **pinned oracle**: every other tier must produce a
+//!   bitwise-identical product (see below).
+//! * [`Kernel::Tiled`] — cache-blocked over all three loops (64×64 tiles).
+//! * [`Kernel::Blocked`] — packed-panel GEMM with a register-tiled,
+//!   autovectorizable microkernel (BLIS-style `jc`/`pc`/`ic`/`jr`/`ir`
+//!   loop nest in the `blocked` module). The fast tier.
+//! * [`Kernel::Recursive`] — cache-oblivious recursive splitting of the
+//!   largest dimension down to a small base case (the `recursive`
+//!   module).
+//! * [`Kernel::Parallel`] — the blocked kernel with row stripes
+//!   parallelized via Rayon (shared-memory, *within* one simulated rank;
+//!   does not touch the communication accounting).
+//! * [`Kernel::Auto`] — runtime selection by problem volume: `Naive` for
+//!   tiny products, `Tiled` for small ones, `Blocked` beyond
+//!   [`AUTO_BLOCKED_MIN_FLOPS`].
+//!
+//! # Bitwise identity across tiers
+//!
+//! Every tier accumulates each output element `C[i][j]` over the
+//! contracted index `k` in **strictly increasing order**, one
+//! `mul`-then-`add` per term, with no FMA contraction and no private
+//! re-associated partial sums (the blocked microkernel loads the live `C`
+//! tile into its accumulator registers before the `k` loop and stores it
+//! back after). IEEE-754 arithmetic is deterministic, so all tiers
+//! produce **bitwise-identical** products for arbitrary `f64` inputs —
+//! not merely for the exact integer matrices used by the conformance
+//! tests. `tests/proptests.rs` pins this on fractional inputs and the
+//! kernel-invariance suite pins that tier choice never alters simulator
+//! meters or traces.
+//!
+//! # Selecting a tier
+//!
+//! Algorithm configs carry a `Kernel`; the CLI resolves the default from
+//! the [`KERNEL_ENV`] (`PMM_KERNEL`) environment variable via
+//! [`kernel_from_env`].
+//!
+//! ```
+//! use pmm_dense::{gemm, random_matrix, Kernel};
+//!
+//! let a = random_matrix(33, 65, 1); // fractional entries
+//! let b = random_matrix(65, 17, 2);
+//! let oracle = gemm(&a, &b, Kernel::Naive);
+//! for tier in Kernel::ALL {
+//!     assert_eq!(gemm(&a, &b, tier), oracle); // bitwise, not approximate
+//! }
+//! assert_eq!("blocked".parse::<Kernel>(), Ok(Kernel::Blocked));
+//! assert_eq!(Kernel::Recursive.to_string(), "recursive");
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
 
 use rayon::prelude::*;
 
+use crate::blocked::gemm_blocked;
 use crate::matrix::Matrix;
+use crate::recursive::gemm_recursive;
 
-/// Tile edge (in elements) for the blocked kernels; 64×64 f64 tiles ≈ 32
-/// KiB per operand, a reasonable L1/L2 compromise.
+/// Tile edge (in elements) for the [`Kernel::Tiled`] kernel; 64×64 f64
+/// tiles ≈ 32 KiB per operand, a reasonable L1/L2 compromise.
 const TILE: usize = 64;
 
-/// Kernel selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Row-stripe height (in rows of `C`) handed to each Rayon worker by
+/// [`Kernel::Parallel`]. Matches the blocked kernel's `MC` so each stripe
+/// is exactly one packed row panel.
+const STRIPE: usize = 128;
+
+/// [`Kernel::Auto`] switches from `Naive` to `Tiled` at this many
+/// multiply-adds (`m·k·n`)…
+pub const AUTO_TILED_MIN_FLOPS: usize = 32 * 32 * 32;
+
+/// …and from `Tiled` to `Blocked` (which pays two pack-buffer
+/// allocations per call) at this many.
+pub const AUTO_BLOCKED_MIN_FLOPS: usize = 96 * 96 * 96;
+
+/// Environment variable selecting the default kernel tier
+/// (`naive | tiled | blocked | recursive | parallel | auto`), consulted
+/// by [`kernel_from_env`]. An explicit `Kernel` in an algorithm config
+/// always wins.
+pub const KERNEL_ENV: &str = "PMM_KERNEL";
+
+/// The one multiply-add every kernel tier (and the view kernel) uses per
+/// accumulated term. On targets with hardware FMA it compiles to a single
+/// fused `vfmadd` (one rounding); elsewhere it is a plain IEEE
+/// `mul`-then-`add` (two roundings) — `f64::mul_add` without hardware
+/// support would fall back to a slow soft-float routine, so the `cfg!`
+/// (resolved at compile time) keeps that path out. Because every tier
+/// funnels through this helper, products stay bitwise identical across
+/// tiers on *any* build; the exact bits depend on the build target's FMA
+/// capability.
+#[inline(always)]
+pub(crate) fn madd(a: f64, b: f64, c: f64) -> f64 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+/// Kernel selector. See the [module docs](self) for the tier guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Kernel {
-    /// Triple loop, `i-k-j` order.
+    /// Triple loop, `i-k-j` order — the pinned oracle.
     Naive,
     /// Cache-tiled triple loop.
-    #[default]
     Tiled,
-    /// Tiled with Rayon row-parallelism.
+    /// Packed-panel microkernel GEMM (the fast tier).
+    Blocked,
+    /// Cache-oblivious recursive splitting.
+    Recursive,
+    /// Blocked with Rayon row-stripe parallelism.
     Parallel,
+    /// Pick `Naive`/`Tiled`/`Blocked` from the problem volume at run
+    /// time.
+    #[default]
+    Auto,
+}
+
+impl Kernel {
+    /// Every selectable tier, oracle first (handy for sweeps and
+    /// conformance loops).
+    pub const ALL: [Kernel; 6] = [
+        Kernel::Naive,
+        Kernel::Tiled,
+        Kernel::Blocked,
+        Kernel::Recursive,
+        Kernel::Parallel,
+        Kernel::Auto,
+    ];
+
+    /// The concrete tier `Auto` resolves to for an `m·k·n`-flop product.
+    pub fn resolve(self, m: usize, k: usize, n: usize) -> Kernel {
+        match self {
+            Kernel::Auto => {
+                let flops = m.saturating_mul(k).saturating_mul(n);
+                if flops < AUTO_TILED_MIN_FLOPS {
+                    Kernel::Naive
+                } else if flops < AUTO_BLOCKED_MIN_FLOPS {
+                    Kernel::Tiled
+                } else {
+                    Kernel::Blocked
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kernel::Naive => "naive",
+            Kernel::Tiled => "tiled",
+            Kernel::Blocked => "blocked",
+            Kernel::Recursive => "recursive",
+            Kernel::Parallel => "parallel",
+            Kernel::Auto => "auto",
+        })
+    }
+}
+
+impl FromStr for Kernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Kernel, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" => Ok(Kernel::Naive),
+            "tiled" => Ok(Kernel::Tiled),
+            "blocked" | "micro" | "microkernel" => Ok(Kernel::Blocked),
+            "recursive" | "oblivious" => Ok(Kernel::Recursive),
+            "parallel" | "rayon" => Ok(Kernel::Parallel),
+            "auto" => Ok(Kernel::Auto),
+            other => Err(format!(
+                "unrecognized kernel {other:?}: expected one of \
+                 naive|tiled|blocked|recursive|parallel|auto"
+            )),
+        }
+    }
+}
+
+/// Resolve the kernel tier from [`KERNEL_ENV`], falling back to
+/// `default`. Malformed values fall back to `default` (matching
+/// `engine_from_env`'s forgiving behavior in `pmm-simnet`).
+pub fn kernel_from_env(default: Kernel) -> Kernel {
+    match std::env::var(KERNEL_ENV) {
+        Ok(s) => s.parse().unwrap_or(default),
+        Err(_) => default,
+    }
 }
 
 /// `C = A·B` (allocates the result).
@@ -44,9 +209,17 @@ pub fn gemm_acc(c: &mut Matrix, a: &Matrix, b: &Matrix, kernel: Kernel) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions disagree");
     assert_eq!(c.rows(), a.rows(), "C rows disagree");
     assert_eq!(c.cols(), b.cols(), "C cols disagree");
-    match kernel {
-        Kernel::Naive => naive(c, a, b),
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    match kernel.resolve(m, k, n) {
+        Kernel::Naive | Kernel::Auto => naive(c, a, b),
         Kernel::Tiled => tiled(c, a, b),
+        Kernel::Blocked => gemm_blocked(c.as_mut_slice(), a.as_slice(), b.as_slice(), m, k, n),
+        Kernel::Recursive => {
+            gemm_recursive(c.as_mut_slice(), n, a.as_slice(), k, b.as_slice(), n, m, k, n);
+        }
         Kernel::Parallel => parallel(c, a, b),
     }
 }
@@ -56,13 +229,10 @@ fn naive(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     for i in 0..m {
         for l in 0..k {
             let aik = a[(i, l)];
-            if aik == 0.0 {
-                continue;
-            }
             let brow = b.row(l);
             let crow = c.row_mut(i);
             for j in 0..n {
-                crow[j] += aik * brow[j];
+                crow[j] = madd(aik, brow[j], crow[j]);
             }
         }
     }
@@ -76,8 +246,7 @@ fn tiled(c: &mut Matrix, a: &Matrix, b: &Matrix) {
     }
 }
 
-/// One horizontal stripe `[i0, i1)` of the tiled kernel; shared by the
-/// serial and parallel drivers.
+/// One horizontal stripe `[i0, i1)` of the tiled kernel.
 fn tiled_stripe(crows: &mut [f64], a: &Matrix, b: &Matrix, i0: usize, i1: usize) {
     let (k, n) = (a.cols(), b.cols());
     let ncols = n;
@@ -89,12 +258,9 @@ fn tiled_stripe(crows: &mut [f64], a: &Matrix, b: &Matrix, i0: usize, i1: usize)
                 let arow = a.row(i);
                 let crow = &mut crows[(i - i0) * ncols..][..ncols];
                 for (l, &ail) in arow.iter().enumerate().take(l1).skip(l0) {
-                    if ail == 0.0 {
-                        continue;
-                    }
                     let brow = b.row(l);
                     for j in j0..j1 {
-                        crow[j] += ail * brow[j];
+                        crow[j] = madd(ail, brow[j], crow[j]);
                     }
                 }
             }
@@ -107,20 +273,25 @@ fn tiled_rows(c: &mut Matrix, a: &Matrix, b: &Matrix, i0: usize, i1: usize, _k: 
     tiled_stripe(crows, a, b, i0, i1);
 }
 
+/// Row-stripe parallel driver: each worker runs the packed blocked kernel
+/// on a disjoint stripe of `C` rows (and the matching rows of `A`), so
+/// per-element accumulation order — and therefore the bitwise result —
+/// is independent of the worker count and schedule.
 fn parallel(c: &mut Matrix, a: &Matrix, b: &Matrix) {
-    let n = b.cols();
-    let m = a.rows();
-    c.as_mut_slice().par_chunks_mut(TILE * n).enumerate().for_each(|(chunk, crows)| {
-        let i0 = chunk * TILE;
-        let i1 = (i0 + TILE).min(m);
-        tiled_stripe(crows, a, b, i0, i1);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let a_slice = a.as_slice();
+    let b_slice = b.as_slice();
+    c.as_mut_slice().par_chunks_mut(STRIPE * n).enumerate().for_each(|(chunk, crows)| {
+        let i0 = chunk * STRIPE;
+        let i1 = (i0 + STRIPE).min(m);
+        gemm_blocked(crows, &a_slice[i0 * k..i1 * k], b_slice, i1 - i0, k, n);
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::random_int_matrix;
+    use crate::gen::{random_int_matrix, random_matrix};
 
     fn reference(a: &Matrix, b: &Matrix) -> Matrix {
         Matrix::from_fn(a.rows(), b.cols(), |i, j| {
@@ -145,9 +316,29 @@ mod tests {
             let a = random_int_matrix(m, k, -4..5, seed);
             let b = random_int_matrix(k, n, -4..5, seed + 100);
             let want = reference(&a, &b);
-            for kern in [Kernel::Naive, Kernel::Tiled, Kernel::Parallel] {
+            for kern in Kernel::ALL {
                 let got = gemm(&a, &b, kern);
                 assert_eq!(got, want, "{kern:?} disagrees for {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_tiers_bitwise_identical_on_fractional_matrices() {
+        // The stronger guarantee: identical accumulation order makes the
+        // tiers agree bitwise even where f64 arithmetic rounds.
+        for (m, k, n, seed) in [
+            (130usize, 257usize, 129usize, 1u64),
+            (97, 301, 64, 2),
+            (1, 500, 9, 3),
+            (260, 3, 260, 4),
+        ] {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed + 100);
+            let oracle = gemm(&a, &b, Kernel::Naive);
+            for kern in Kernel::ALL {
+                let got = gemm(&a, &b, kern);
+                assert_eq!(got, oracle, "{kern:?} not bitwise for {m}x{k}x{n}");
             }
         }
     }
@@ -166,20 +357,73 @@ mod tests {
     }
 
     #[test]
+    fn gemm_acc_starts_from_live_c_in_every_tier() {
+        // The blocked microkernel must load the live C tile before its k
+        // loop — seed C with fractional values so a kernel that zeroes or
+        // re-associates would diverge bitwise.
+        let a = random_matrix(150, 70, 1);
+        let b = random_matrix(70, 140, 2);
+        let init = random_matrix(150, 140, 3);
+        let mut oracle = init.clone();
+        gemm_acc(&mut oracle, &a, &b, Kernel::Naive);
+        for kern in Kernel::ALL {
+            let mut c = init.clone();
+            gemm_acc(&mut c, &a, &b, kern);
+            assert_eq!(c, oracle, "{kern:?} diverges when accumulating into live C");
+        }
+    }
+
+    #[test]
     fn degenerate_shapes() {
         let a = Matrix::zeros(0, 5);
         let b = Matrix::zeros(5, 3);
-        let c = gemm(&a, &b, Kernel::Tiled);
-        assert_eq!((c.rows(), c.cols()), (0, 3));
+        for kern in Kernel::ALL {
+            let c = gemm(&a, &b, kern);
+            assert_eq!((c.rows(), c.cols()), (0, 3));
+        }
 
         let a = Matrix::from_vec(1, 1, vec![3.0]);
         let b = Matrix::from_vec(1, 1, vec![4.0]);
-        assert_eq!(gemm(&a, &b, Kernel::Parallel).as_slice(), &[12.0]);
+        for kern in Kernel::ALL {
+            assert_eq!(gemm(&a, &b, kern).as_slice(), &[12.0]);
+        }
     }
 
     #[test]
     #[should_panic(expected = "inner dimensions")]
     fn shape_mismatch_panics() {
         gemm(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2), Kernel::Naive);
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        for kern in Kernel::ALL {
+            assert_eq!(kern.to_string().parse::<Kernel>(), Ok(kern));
+        }
+        assert!("fused".parse::<Kernel>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_by_volume() {
+        assert_eq!(Kernel::Auto.resolve(8, 8, 8), Kernel::Naive);
+        assert_eq!(Kernel::Auto.resolve(64, 64, 64), Kernel::Tiled);
+        assert_eq!(Kernel::Auto.resolve(512, 512, 512), Kernel::Blocked);
+        // Non-auto tiers resolve to themselves.
+        assert_eq!(Kernel::Recursive.resolve(8, 8, 8), Kernel::Recursive);
+    }
+
+    #[test]
+    fn env_selection_parses_all_names() {
+        // `kernel_from_env` itself reads the process environment (covered
+        // by the CLI tests); here pin the parser it relies on.
+        for (name, want) in [
+            ("naive", Kernel::Naive),
+            ("BLOCKED", Kernel::Blocked),
+            (" recursive ", Kernel::Recursive),
+            ("rayon", Kernel::Parallel),
+            ("auto", Kernel::Auto),
+        ] {
+            assert_eq!(name.parse::<Kernel>(), Ok(want));
+        }
     }
 }

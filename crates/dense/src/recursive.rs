@@ -1,0 +1,114 @@
+//! Cache-oblivious recursive GEMM
+//! ([`Kernel::Recursive`](crate::Kernel::Recursive)).
+//!
+//! Recursively halves the largest of `(m, k, n)` until every dimension
+//! fits [`BASE`], then runs a direct strided `i-k-j` base case. No tuning
+//! constants beyond the base size: each recursion level roughly halves
+//! the working set, so some level fits each cache level regardless of the
+//! cache hierarchy (Frigo et al.'s cache-oblivious argument — the same
+//! recursion CARMA applies *across* processors in `pmm-algs`).
+//!
+//! **Bitwise contract**: `m`/`n` splits touch disjoint halves of `C`;
+//! a `k` split runs the low half *to completion* before the high half, so
+//! every output element still accumulates its `k` terms in increasing
+//! order, one `mul`-then-`add` per term — identical to the naive oracle.
+
+use crate::kernels::madd;
+
+/// Largest dimension at which recursion bottoms out into the direct
+/// strided triple loop (a `BASE³` working set is ≈ 96 KiB, safely inside
+/// L2 on anything current).
+const BASE: usize = 64;
+
+/// `C += A·B` on row-major slices with explicit row strides: `c` is
+/// `m × n` with stride `sc`, `a` is `m × k` with stride `sa`, `b` is
+/// `k × n` with stride `sb`. Slices start at the submatrix origin; rows
+/// beyond the first are addressed through the stride, so recursion can
+/// pass column offsets without copying.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_recursive(
+    c: &mut [f64],
+    sc: usize,
+    a: &[f64],
+    sa: usize,
+    b: &[f64],
+    sb: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let largest = m.max(k).max(n);
+    if largest <= BASE {
+        base_case(c, sc, a, sa, b, sb, m, k, n);
+    } else if largest == m {
+        let mh = m / 2;
+        gemm_recursive(c, sc, a, sa, b, sb, mh, k, n);
+        gemm_recursive(&mut c[mh * sc..], sc, &a[mh * sa..], sa, b, sb, m - mh, k, n);
+    } else if largest == n {
+        let nh = n / 2;
+        gemm_recursive(c, sc, a, sa, b, sb, m, k, nh);
+        gemm_recursive(&mut c[nh..], sc, a, sa, &b[nh..], sb, m, k, n - nh);
+    } else {
+        // k split: sequential, low half first, to preserve per-element
+        // accumulation order.
+        let kh = k / 2;
+        gemm_recursive(c, sc, a, sa, b, sb, m, kh, n);
+        gemm_recursive(c, sc, &a[kh..], sa, &b[kh * sb..], sb, m, k - kh, n);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn base_case(
+    c: &mut [f64],
+    sc: usize,
+    a: &[f64],
+    sa: usize,
+    b: &[f64],
+    sb: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        for l in 0..k {
+            let ail = a[i * sa + l];
+            let brow = &b[l * sb..l * sb + n];
+            let crow = &mut c[i * sc..i * sc + n];
+            for j in 0..n {
+                crow[j] = madd(ail, brow[j], crow[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn matches_direct_accumulation_bitwise() {
+        for (m, k, n) in
+            [(1usize, 1usize, 1usize), (65, 64, 63), (7, 200, 5), (200, 7, 130), (100, 100, 100)]
+        {
+            let a = random_matrix(m, k, 5);
+            let b = random_matrix(k, n, 6);
+            let mut want = Matrix::zeros(m, n);
+            for i in 0..m {
+                for l in 0..k {
+                    let ail = a[(i, l)];
+                    for j in 0..n {
+                        want[(i, j)] = madd(ail, b[(l, j)], want[(i, j)]);
+                    }
+                }
+            }
+            let mut c = Matrix::zeros(m, n);
+            gemm_recursive(c.as_mut_slice(), n, a.as_slice(), k, b.as_slice(), n, m, k, n);
+            assert_eq!(c, want, "recursive diverges for {m}x{k}x{n}");
+        }
+    }
+}

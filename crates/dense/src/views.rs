@@ -6,6 +6,7 @@
 //! [`gemm_view_acc`] runs the tiled kernel directly on views. The
 //! `local_matmul` criterion bench quantifies the copy-vs-view trade-off.
 
+use crate::kernels::madd;
 use crate::matrix::Matrix;
 
 /// An immutable view of an `rows × cols` region inside a larger row-major
@@ -104,12 +105,9 @@ pub fn gemm_view_acc(c: &mut Matrix, a: MatrixView<'_>, b: MatrixView<'_>) {
                     let arow = a.row(i);
                     let crow = c.row_mut(i);
                     for (l, &ail) in arow.iter().enumerate().take(l1).skip(l0) {
-                        if ail == 0.0 {
-                            continue;
-                        }
                         let brow = b.row(l);
                         for j in j0..j1 {
-                            crow[j] += ail * brow[j];
+                            crow[j] = madd(ail, brow[j], crow[j]);
                         }
                     }
                 }

@@ -125,3 +125,87 @@ proptest! {
         }
     }
 }
+
+// ---- kernel-tier bitwise equivalence -----------------------------------
+//
+// Every tier must produce the *bitwise identical* product to the naive
+// oracle on real floating-point data: all kernels accumulate each C[i][j]
+// over k in increasing order through the shared fused-multiply-add
+// helper, so reassociation never occurs and f64 equality is exact — not
+// merely within tolerance (see docs/PERFORMANCE.md).
+
+use pmm_dense::random_matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_tier_is_bitwise_identical_on_float_data(
+        (m, k, n) in (1usize..48, 1usize..48, 1usize..48),
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let oracle = gemm(&a, &b, Kernel::Naive);
+        for kernel in Kernel::ALL {
+            prop_assert_eq!(&oracle, &gemm(&a, &b, kernel), "tier {} diverged", kernel);
+        }
+    }
+
+    #[test]
+    fn every_tier_is_bitwise_identical_on_degenerate_shapes(
+        sel in 0usize..4,
+        x in 1usize..80,
+        y in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        // Row vectors, column outputs, outer products, and odd sizes
+        // crossing the blocked kernel's microtile edges — the shapes
+        // where packing/edge-case code earns its keep.
+        let (m, k, n) = match sel {
+            0 => (1, x, y),          // (1×k)·(k×n)
+            1 => (x, y, 1),          // (m×k)·(k×1)
+            2 => (x, 1, y),          // outer product
+            _ => (x + 32, y + 32, 65), // odd, larger than one microtile
+        };
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let oracle = gemm(&a, &b, Kernel::Naive);
+        for kernel in Kernel::ALL {
+            prop_assert_eq!(&oracle, &gemm(&a, &b, kernel), "tier {} diverged", kernel);
+        }
+    }
+
+    #[test]
+    fn every_tier_accumulates_identically(
+        (m, k, n) in (1usize..32, 1usize..32, 1usize..32),
+        seed in 0u64..1000,
+    ) {
+        // gemm_acc must add the identical product into C for every tier.
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let init = random_matrix(m, n, seed + 2);
+        let mut oracle = init.clone();
+        gemm_acc(&mut oracle, &a, &b, Kernel::Naive);
+        for kernel in Kernel::ALL {
+            let mut acc = init.clone();
+            gemm_acc(&mut acc, &a, &b, kernel);
+            prop_assert_eq!(&oracle, &acc, "tier {} diverged in gemm_acc", kernel);
+        }
+    }
+}
+
+#[test]
+fn every_tier_handles_empty_matrices() {
+    // 0×n, n×0, and inner-dimension-0 products are all defined (an empty
+    // or all-zero result) and must not panic in any tier.
+    for (m, k, n) in [(0usize, 5usize, 5usize), (5, 0, 5), (5, 5, 0), (0, 0, 0)] {
+        let a = random_matrix(m, k, 1);
+        let b = random_matrix(k, n, 2);
+        let oracle = gemm(&a, &b, Kernel::Naive);
+        assert_eq!((oracle.rows(), oracle.cols()), (m, n));
+        for kernel in Kernel::ALL {
+            assert_eq!(oracle, gemm(&a, &b, kernel), "tier {kernel} diverged on empty shape");
+        }
+    }
+}

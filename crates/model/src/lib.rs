@@ -20,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod calib;
 pub mod cost;
 pub mod dims;
 pub mod grid;
 pub mod predict;
 
+pub use calib::{fit_affine, fit_through_origin, MachineCalibration};
 pub use cost::{Cost, MachineParams};
 pub use dims::{Case, MatMulDims, MatrixId, SortedDims};
 pub use grid::{divisors, Coord3, Grid3};

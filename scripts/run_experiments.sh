@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 mkdir -p results
 BINS=(table1 lemma2_cases tightness fig1 fig2 eq3_check limited_memory \
       strong_scaling algo_compare collectives_cost tradeoff_25d genbound_demo \
-      phase_attribution)
+      phase_attribution kernel_bench calibrated_crossover)
 
 for b in "${BINS[@]}"; do
     echo "=== $b ==="

@@ -122,6 +122,20 @@ fn main() -> ExitCode {
                 .unwrap_or(300);
             scale_check(Duration::from_secs(budget))
         }
+        Some("calibrate") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(10.0);
+            calibrate(budget)
+        }
+        Some("kernel-bench") => {
+            let budget = args
+                .get(1)
+                .map(|s| s.parse().expect("budget must be a number of seconds"))
+                .unwrap_or(20.0);
+            kernel_bench(budget)
+        }
         Some("serve-soak") => {
             let budget = args
                 .get(1)
@@ -812,6 +826,168 @@ fn serve_soak(budget: Duration) -> ExitCode {
         derived_field("cache_hit_rate"),
         bench.display()
     );
+    ExitCode::SUCCESS
+}
+
+/// `cargo xtask calibrate [budget-secs]`: run the in-process probe suite
+/// via `pmm calibrate` and write the fitted α-β-γ constants to
+/// `calibration.json` at the workspace root (gitignored — the constants
+/// describe *this* host, so they are never committed).
+fn calibrate(budget_secs: f64) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    let out = root.join("calibration.json");
+    eprintln!("xtask: calibrate — fitting machine constants ({budget_secs}s budget)");
+    let status = Command::new(&cargo)
+        .args(["run", "--release", "-q", "-p", "pmm-cli", "--bin", "pmm", "--", "calibrate"])
+        .args(["--budget-secs", &budget_secs.to_string()])
+        .args(["--out", &out.display().to_string()])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            eprintln!("xtask: calibrate wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("xtask: calibrate FAILED");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull `key=value` out of a `KERNELS:` marker line (first occurrence).
+fn marker_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// How far the best kernel may regress against the committed
+/// `BENCH_kernels.json` baseline before the gate fails (fraction of the
+/// baseline GFLOP/s that must survive).
+const KERNEL_BENCH_FLOOR: f64 = 0.8;
+
+/// `cargo xtask kernel-bench [budget-secs]`: run the `kernel_bench`
+/// harness (per-tier GFLOP/s, calibration fit, Theorem 3 validation
+/// cells — its own checks gate the exit status), parse its `KERNELS:`
+/// marker lines into `BENCH_kernels.json` at the workspace root, and
+/// fail if the best kernel's GFLOP/s dropped more than 20% below the
+/// committed baseline's `best_gflops`.
+fn kernel_bench(budget_secs: f64) -> ExitCode {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let root = workspace_root();
+    let bench = root.join("BENCH_kernels.json");
+    // Read the committed baseline before the new run overwrites it.
+    let baseline_gflops: Option<f64> = std::fs::read_to_string(&bench).ok().and_then(|json| {
+        json.lines()
+            .find(|l| l.contains("\"best_gflops\""))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+    });
+    eprintln!("xtask: kernel-bench — local kernels + calibration ({budget_secs}s budget)");
+    let start = Instant::now();
+    let output = match Command::new(&cargo)
+        .args(["run", "--release", "-p", "pmm-bench", "--bin", "kernel_bench"])
+        .arg("--")
+        .arg(budget_secs.to_string())
+        .current_dir(&root)
+        .output()
+    {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("xtask: could not launch the kernel_bench harness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    print!("{stdout}");
+    eprint!("{}", String::from_utf8_lossy(&output.stderr));
+    if !output.status.success() {
+        eprintln!("xtask: kernel-bench FAILED (harness checks)");
+        return ExitCode::FAILURE;
+    }
+
+    let lines: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| l.find("KERNELS:").map(|i| l[i + "KERNELS:".len()..].trim()))
+        .collect();
+    let kernels: Vec<&&str> = lines.iter().filter(|l| l.starts_with("kernel ")).collect();
+    let cells: Vec<&&str> = lines.iter().filter(|l| l.starts_with("cell ")).collect();
+    let calibration = lines.iter().find(|l| l.starts_with("calibration "));
+    let summary = lines.iter().find(|l| l.starts_with("summary "));
+    let (Some(calibration), Some(summary)) = (calibration, summary) else {
+        eprintln!("xtask: kernel-bench passed but its KERNELS: marker lines are missing");
+        return ExitCode::FAILURE;
+    };
+    let render = |line: &str, skip: usize| -> String {
+        let fields: Vec<String> = line
+            .split_whitespace()
+            .skip(skip)
+            .filter_map(|tok| tok.split_once('='))
+            .map(|(k, v)| {
+                if v.parse::<f64>().is_ok() {
+                    format!("\"{k}\": {v}")
+                } else {
+                    format!("\"{k}\": \"{v}\"")
+                }
+            })
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"budget_secs\": {budget_secs},\n"));
+    json.push_str(&format!("  \"wall_secs\": {:.3},\n", start.elapsed().as_secs_f64()));
+    for key in ["best_kernel", "best_gflops", "naive_gflops", "speedup", "max_err_pct"] {
+        let v = marker_value(summary, key).unwrap_or("0");
+        if v.parse::<f64>().is_ok() {
+            json.push_str(&format!("  \"{key}\": {v},\n"));
+        } else {
+            json.push_str(&format!("  \"{key}\": \"{v}\",\n"));
+        }
+    }
+    json.push_str(&format!("  \"calibration\": {},\n", render(calibration, 1)));
+    json.push_str("  \"kernels\": [\n");
+    for (i, line) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        json.push_str(&format!("    {}{comma}\n", render(line, 1)));
+    }
+    json.push_str("  ],\n  \"cells\": [\n");
+    for (i, line) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        json.push_str(&format!("    {}{comma}\n", render(line, 1)));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&bench, &json) {
+        eprintln!("xtask: could not write {}: {e}", bench.display());
+        return ExitCode::FAILURE;
+    }
+
+    let new_gflops: f64 =
+        marker_value(summary, "best_gflops").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    if let Some(base) = baseline_gflops {
+        if new_gflops < KERNEL_BENCH_FLOOR * base {
+            eprintln!(
+                "xtask: kernel-bench FAILED — best kernel regressed to {new_gflops:.2} GFLOP/s, \
+                 below {:.0}% of the committed baseline {base:.2}",
+                100.0 * KERNEL_BENCH_FLOOR
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "xtask: kernel-bench passed — best {new_gflops:.2} GFLOP/s \
+             (baseline {base:.2}); metrics in {}",
+            bench.display()
+        );
+    } else {
+        eprintln!(
+            "xtask: kernel-bench passed — best {new_gflops:.2} GFLOP/s (no baseline to \
+             compare); metrics in {}",
+            bench.display()
+        );
+    }
     ExitCode::SUCCESS
 }
 
